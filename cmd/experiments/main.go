@@ -1,0 +1,91 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Section VII). Each experiment prints the same rows/series
+// as the corresponding figure or table; EXPERIMENTS.md records
+// paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp fig5
+//	experiments -exp all -n 50000 -dmax 12 -tmax 8
+//	experiments -exp fig6 -paperscale   # hours of runtime; see DESIGN.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"skybench/internal/bench"
+)
+
+func main() {
+	var (
+		expName    = flag.String("exp", "all", "experiment name (see -list) or 'all'")
+		list       = flag.Bool("list", false, "list available experiments")
+		n          = flag.Int("n", 0, "override base cardinality")
+		d          = flag.Int("d", 0, "override base dimensionality")
+		dmax       = flag.Int("dmax", 0, "cap the dimensionality sweep")
+		tmax       = flag.Int("tmax", 0, "override max thread count")
+		reps       = flag.Int("reps", 1, "repetitions averaged per cell")
+		seed       = flag.Int64("seed", 42, "dataset seed")
+		realScale  = flag.Float64("realscale", 0, "real-data stand-in scale (0,1]")
+		paperScale = flag.Bool("paperscale", false, "use the paper's original workload sizes")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, exp := range bench.Experiments() {
+			fmt.Printf("%-10s %s\n", exp.Name, exp.Desc)
+		}
+		return
+	}
+
+	cfg := bench.Default()
+	if *paperScale {
+		cfg = bench.PaperScale()
+	}
+	if *n > 0 {
+		cfg.N = *n
+	}
+	if *d > 0 {
+		cfg.D = *d
+	}
+	if *dmax > 0 {
+		var dims []int
+		for _, x := range cfg.Dims {
+			if x <= *dmax {
+				dims = append(dims, x)
+			}
+		}
+		cfg.Dims = dims
+	}
+	if *tmax > 0 {
+		cfg.MaxThreads = *tmax
+		var ts []int
+		for _, t := range cfg.Threads {
+			if t <= *tmax {
+				ts = append(ts, t)
+			}
+		}
+		cfg.Threads = ts
+	}
+	cfg.Reps = *reps
+	cfg.Seed = *seed
+	if *realScale > 0 {
+		cfg.RealScale = *realScale
+	}
+
+	ran := false
+	for _, exp := range bench.Experiments() {
+		if *expName == "all" || strings.EqualFold(*expName, exp.Name) {
+			exp.Run(cfg, os.Stdout)
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", *expName)
+		os.Exit(1)
+	}
+}

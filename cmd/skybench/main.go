@@ -1,0 +1,118 @@
+// Command skybench runs one skyline algorithm over one dataset and
+// reports the result with timing and dominance-test statistics.
+//
+// Usage:
+//
+//	skybench -algo hybrid -dist anticorrelated -n 100000 -d 8 -t 4
+//	skybench -algo bskytree -input points.csv -print
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"skybench"
+
+	"skybench/internal/dataset"
+	"skybench/internal/point"
+	"skybench/internal/verify"
+)
+
+func main() {
+	var (
+		algoName  = flag.String("algo", "hybrid", "algorithm: hybrid|qflow|pskyline|pbskytree|psfs|apskyline|bskytree|bnl|sfs|salsa|less|dnc")
+		distName  = flag.String("dist", "independent", "synthetic distribution: correlated|independent|anticorrelated")
+		n         = flag.Int("n", 100000, "synthetic cardinality")
+		d         = flag.Int("d", 8, "synthetic dimensionality")
+		seed      = flag.Int64("seed", 42, "generator seed")
+		input     = flag.String("input", "", "CSV dataset to load instead of generating")
+		threads   = flag.Int("t", 0, "threads (0 = all CPUs)")
+		alpha     = flag.Int("alpha", 0, "alpha block size override (0 = paper default)")
+		pivotName = flag.String("pivot", "median", "hybrid pivot: median|balanced|manhattan|volume|random")
+		printSky  = flag.Bool("print", false, "print skyline points")
+		check     = flag.Bool("check", false, "verify the result against a brute-force oracle (O(n²); small inputs only)")
+	)
+	flag.Parse()
+
+	alg, err := skybench.ParseAlgorithm(*algoName)
+	if err != nil {
+		fatal(err)
+	}
+	pv, err := parsePivot(*pivotName)
+	if err != nil {
+		fatal(err)
+	}
+
+	var m point.Matrix
+	if *input != "" {
+		m, err = dataset.ReadFile(*input)
+		if err != nil {
+			fatal(fmt.Errorf("loading %s: %w", *input, err))
+		}
+	} else {
+		dist, err := dataset.ParseDistribution(*distName)
+		if err != nil {
+			fatal(err)
+		}
+		m = dataset.Generate(dist, *n, *d, *seed)
+	}
+
+	res, err := skybench.Compute(m.Rows(), skybench.Options{
+		Algorithm: alg,
+		Threads:   *threads,
+		Alpha:     *alpha,
+		Pivot:     pv,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	s := res.Stats
+	fmt.Printf("algorithm   : %s\n", alg)
+	fmt.Printf("input       : %d points × %d dims\n", s.InputSize, m.D())
+	fmt.Printf("skyline     : %d points (%.2f%%)\n", s.SkylineSize, 100*float64(s.SkylineSize)/float64(s.InputSize))
+	fmt.Printf("elapsed     : %v\n", s.Elapsed)
+	fmt.Printf("dom. tests  : %d\n", s.DominanceTests)
+	tm := s.Timings
+	if tm.PhaseOne > 0 || tm.PhaseTwo > 0 {
+		fmt.Printf("phases      : init=%v prefilter=%v pivot=%v phase1=%v phase2=%v compress=%v other=%v\n",
+			tm.Init, tm.Prefilter, tm.Pivot, tm.PhaseOne, tm.PhaseTwo, tm.Compress, tm.Other)
+	}
+	if *check {
+		want := verify.BruteForce(m)
+		if verify.SameSkyline(res.Indices, want) {
+			fmt.Println("check       : OK (matches brute-force oracle)")
+		} else {
+			fmt.Printf("check       : FAILED (got %d points, oracle says %d)\n", len(res.Indices), len(want))
+			os.Exit(1)
+		}
+	}
+	if *printSky {
+		for _, i := range res.Indices {
+			fmt.Println(m.Row(i))
+		}
+	}
+}
+
+func parsePivot(s string) (skybench.PivotStrategy, error) {
+	switch s {
+	case "median":
+		return skybench.PivotMedian, nil
+	case "balanced":
+		return skybench.PivotBalanced, nil
+	case "manhattan":
+		return skybench.PivotManhattan, nil
+	case "volume":
+		return skybench.PivotVolume, nil
+	case "random":
+		return skybench.PivotRandom, nil
+	}
+	return 0, fmt.Errorf("unknown pivot strategy %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "skybench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Hotels: multi-criteria shortlisting, the classic skyline use case.
+// A traveller wants a hotel that is cheap, close to the beach, and
+// well-reviewed. No single weighting of those criteria is right for
+// everyone; the skyline is exactly the set of hotels that are optimal
+// under *some* preference — everything else is objectively worse than
+// an alternative on all counts.
+//
+// Ratings are to be maximized, so they enter negated (the library's
+// minimization convention).
+//
+// Run with: go run ./examples/hotels
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"skybench"
+)
+
+type hotel struct {
+	name     string
+	price    float64 // EUR per night   (minimize)
+	distance float64 // km to the beach (minimize)
+	rating   float64 // 1..5 stars      (maximize)
+}
+
+func main() {
+	hotels := generateHotels(500)
+
+	// Build the criteria matrix: negate the rating to maximize it.
+	data := make([][]float64, len(hotels))
+	for i, h := range hotels {
+		data[i] = []float64{h.price, h.distance, -h.rating}
+	}
+
+	res, err := skybench.Compute(data, skybench.Options{Algorithm: skybench.Hybrid})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	short := make([]hotel, 0, len(res.Indices))
+	for _, i := range res.Indices {
+		short = append(short, hotels[i])
+	}
+	sort.Slice(short, func(a, b int) bool { return short[a].price < short[b].price })
+
+	fmt.Printf("%d hotels reduced to a skyline shortlist of %d:\n\n", len(hotels), len(short))
+	fmt.Printf("%-12s %10s %10s %8s\n", "hotel", "price", "distance", "rating")
+	for _, h := range short {
+		fmt.Printf("%-12s %9.0f€ %8.1fkm %8.1f\n", h.name, h.price, h.distance, h.rating)
+	}
+	fmt.Println("\nEvery hotel not listed is worse than some listed hotel on price,")
+	fmt.Println("distance, AND rating simultaneously.")
+}
+
+// generateHotels synthesizes a plausible market: price anti-correlates
+// with distance (seafront is expensive) and correlates with rating.
+func generateHotels(n int) []hotel {
+	rng := rand.New(rand.NewSource(7))
+	out := make([]hotel, n)
+	for i := range out {
+		quality := rng.Float64()  // latent quality of the hotel
+		seafront := rng.Float64() // latent location quality
+		price := 40 + 260*quality*0.6 + 200*seafront*0.4 + 30*rng.Float64()
+		distance := 12 * (1 - seafront) * (0.5 + 0.5*rng.Float64())
+		rating := 1 + 4*(0.7*quality+0.3*rng.Float64())
+		out[i] = hotel{
+			name:     fmt.Sprintf("hotel-%03d", i),
+			price:    float64(int(price)),
+			distance: float64(int(distance*10)) / 10,
+			rating:   float64(int(rating*10)) / 10,
+		}
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+// Quickstart: the smallest useful skybench program. It computes the
+// skyline of a handful of two-dimensional points (the example of the
+// paper's Figure 1a) and prints the result.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"skybench"
+)
+
+func main() {
+	// Points are (x, y) with smaller preferred on both dimensions —
+	// e.g. (fuel consumption, expected travel time) of route options.
+	points := [][]float64{
+		{2, 4}, // p — skyline
+		{4, 6}, // q — dominated by p
+		{1, 7}, // r — skyline
+		{5, 2}, // s — skyline
+		{8, 1}, // t — skyline
+	}
+	names := []string{"p", "q", "r", "s", "t"}
+
+	idx, err := skybench.Skyline(points)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("skyline (non-dominated) options:")
+	for _, i := range idx {
+		fmt.Printf("  %s = %v\n", names[i], points[i])
+	}
+
+	// The same computation with explicit options and statistics:
+	res, err := skybench.Compute(points, skybench.Options{
+		Algorithm: skybench.Hybrid,
+		Threads:   2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d of %d points are in the skyline; %d dominance tests, %v\n",
+		res.Stats.SkylineSize, res.Stats.InputSize,
+		res.Stats.DominanceTests, res.Stats.Elapsed)
+}

@@ -1,0 +1,76 @@
+package apskyline
+
+import (
+	"testing"
+
+	"skybench/internal/dataset"
+	"skybench/internal/point"
+	"skybench/internal/stats"
+	"skybench/internal/verify"
+)
+
+func TestMatchesOracle(t *testing.T) {
+	for _, dist := range dataset.AllDistributions {
+		for _, threads := range []int{1, 2, 3, 8} {
+			for _, n := range []int{1, 2, 10, 500} {
+				m := dataset.Generate(dist, n, 5, int64(n*13+threads))
+				if !verify.SameSkyline(Skyline(m, threads), verify.BruteForce(m)) {
+					t.Fatalf("%v t=%d n=%d: wrong skyline", dist, threads, n)
+				}
+			}
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if got := Skyline(point.Matrix{}, 4); got != nil {
+		t.Fatalf("empty: %v", got)
+	}
+}
+
+func TestDuplicatesAcrossPartitions(t *testing.T) {
+	rows := make([][]float64, 60)
+	for i := range rows {
+		rows[i] = []float64{float64(1 + i%5), float64(1 + (i*7)%5)}
+	}
+	rows[10] = []float64{0, 0}
+	rows[50] = []float64{0, 0}
+	m := point.FromRows(rows)
+	if !verify.SameSkyline(Skyline(m, 4), verify.BruteForce(m)) {
+		t.Fatal("coincident minima across angular partitions mishandled")
+	}
+}
+
+func TestZeroVectorAngles(t *testing.T) {
+	// The origin and on-axis points exercise Atan2's edge cases.
+	m := point.FromRows([][]float64{
+		{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 1},
+	})
+	if !verify.SameSkyline(Skyline(m, 2), verify.BruteForce(m)) {
+		t.Fatal("axis-aligned points mishandled")
+	}
+}
+
+// The angle partitioning should make local skylines smaller than
+// PSkyline's linear cut on anticorrelated data — the merge workload
+// (and hence total DTs) should not explode.
+func TestAngularPartitioningEffectiveness(t *testing.T) {
+	m := dataset.Generate(dataset.Anticorrelated, 2000, 4, 9)
+	c := stats.NewDTCounters(4)
+	_, dts := SkylineDT(m, 4)
+	_ = c
+	n := uint64(m.N())
+	if dts > n*n {
+		t.Errorf("APSkyline did %d DTs (> n² = %d)", dts, n*n)
+	}
+}
+
+func TestThreadInvariance(t *testing.T) {
+	m := dataset.Generate(dataset.Independent, 900, 6, 4)
+	want := Skyline(m, 1)
+	for _, threads := range []int{2, 7} {
+		if !verify.SameSkyline(Skyline(m, threads), want) {
+			t.Fatalf("t=%d disagrees with t=1", threads)
+		}
+	}
+}

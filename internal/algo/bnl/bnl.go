@@ -1,0 +1,58 @@
+// Package bnl implements the Block-Nested-Loops skyline algorithm of
+// Börzsönyi et al. (ICDE 2001), the original baseline every later skyline
+// algorithm is measured against. It maintains a window of candidate
+// points; each input point is compared against the window, evicting
+// dominated candidates and being discarded if dominated itself.
+//
+// The in-memory variant here keeps the whole window resident (the
+// paper's evaluation is entirely main-memory, Section VII-A1).
+package bnl
+
+import (
+	"skybench/internal/point"
+)
+
+// Skyline computes SKY(m) and returns the original row indices of the
+// skyline points.
+func Skyline(m point.Matrix) []int {
+	idx, _ := SkylineDT(m)
+	return idx
+}
+
+// SkylineDT is Skyline instrumented with a dominance-test count. One
+// window comparison via point.Compare counts as a single dominance test,
+// matching the paper's accounting (one check of p ≺ q, here fused with
+// the reverse direction in a single pass).
+func SkylineDT(m point.Matrix) ([]int, uint64) {
+	n := m.N()
+	if n == 0 {
+		return nil, 0
+	}
+	var dts uint64
+	window := make([]int, 0, 64)
+	for i := 0; i < n; i++ {
+		p := m.Row(i)
+		dominated := false
+		w := 0
+		for k, j := range window {
+			dts++
+			rel := point.Compare(m.Row(j), p)
+			if rel == point.LeftDominates {
+				// p is dominated: keep j and every remaining candidate.
+				w += copy(window[w:], window[k:])
+				dominated = true
+				break
+			}
+			if rel == point.RightDominates {
+				continue // p dominates j: evict j from the window
+			}
+			window[w] = j
+			w++
+		}
+		window = window[:w]
+		if !dominated {
+			window = append(window, i)
+		}
+	}
+	return window, dts
+}

@@ -1,0 +1,60 @@
+package bnl
+
+import (
+	"testing"
+
+	"skybench/internal/dataset"
+	"skybench/internal/point"
+	"skybench/internal/verify"
+)
+
+func TestSkylineMatchesOracle(t *testing.T) {
+	for _, dist := range dataset.AllDistributions {
+		for _, n := range []int{1, 2, 50, 400} {
+			for _, d := range []int{1, 2, 5, 8} {
+				m := dataset.Generate(dist, n, d, int64(n*d))
+				got := Skyline(m)
+				if !verify.SameSkyline(got, verify.BruteForce(m)) {
+					t.Fatalf("%v n=%d d=%d: wrong skyline", dist, n, d)
+				}
+			}
+		}
+	}
+}
+
+func TestSkylineEmpty(t *testing.T) {
+	if got := Skyline(point.Matrix{}); got != nil {
+		t.Fatalf("empty: %v", got)
+	}
+}
+
+func TestSkylineDuplicates(t *testing.T) {
+	m := point.FromRows([][]float64{{1, 1}, {1, 1}, {0, 3}, {1, 1}, {2, 2}})
+	got := Skyline(m)
+	if !verify.SameSkyline(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("duplicates: got %v", got)
+	}
+}
+
+func TestSkylineAllIdentical(t *testing.T) {
+	m := point.FromRows([][]float64{{2, 2}, {2, 2}, {2, 2}})
+	if got := Skyline(m); len(got) != 3 {
+		t.Fatalf("identical points: got %v", got)
+	}
+}
+
+func TestSkylineDTCountsSomething(t *testing.T) {
+	m := dataset.Generate(dataset.Independent, 200, 4, 1)
+	_, dts := SkylineDT(m)
+	if dts == 0 {
+		t.Error("expected dominance tests > 0")
+	}
+}
+
+func TestQuantizedInputs(t *testing.T) {
+	m := dataset.Generate(dataset.Anticorrelated, 300, 4, 9)
+	dataset.Quantize(m, 8)
+	if !verify.SameSkyline(Skyline(m), verify.BruteForce(m)) {
+		t.Fatal("wrong skyline on duplicate-heavy data")
+	}
+}

@@ -1,0 +1,144 @@
+// Package dnc implements the divide-and-conquer skyline algorithm that
+// accompanied BNL in the operator's introducing paper (Börzsönyi et al.,
+// ICDE 2001, the paper's reference [4]).
+//
+// The input is split at the median of the first dimension; the skylines
+// of both halves are computed recursively; then points of the worse half
+// are removed if dominated by a skyline point of the better half. The
+// divide-and-conquer paradigm is exactly what PSkyline parallelizes —
+// and what the paper's global-skyline paradigm argues against — so the
+// sequential original belongs in the benchmark suite.
+package dnc
+
+import (
+	"sort"
+
+	"skybench/internal/point"
+)
+
+// recursionFloor is the sub-problem size below which a window scan beats
+// further recursion.
+const recursionFloor = 32
+
+// Skyline computes SKY(m) and returns original row indices.
+func Skyline(m point.Matrix) []int {
+	idx, _ := SkylineDT(m)
+	return idx
+}
+
+// SkylineDT is Skyline with a dominance-test count.
+func SkylineDT(m point.Matrix) ([]int, uint64) {
+	n := m.N()
+	if n == 0 {
+		return nil, 0
+	}
+	pts := make([]int, n)
+	for i := range pts {
+		pts[i] = i
+	}
+	var dts uint64
+	out := skylineRec(m, pts, 0, &dts)
+	return out, dts
+}
+
+// skylineRec computes the skyline of pts, cycling the split dimension by
+// recursion depth for balanced cuts on correlated data.
+func skylineRec(m point.Matrix, pts []int, depth int, dts *uint64) []int {
+	if len(pts) <= recursionFloor {
+		return windowScan(m, pts, dts)
+	}
+	dim := depth % m.D()
+	// Split at the median of the split dimension. Sorting also gives the
+	// invariant that points in the lower half cannot be dominated by
+	// points in the upper half except through ties on the split value.
+	sort.Slice(pts, func(a, b int) bool { return m.Row(pts[a])[dim] < m.Row(pts[b])[dim] })
+	mid := len(pts) / 2
+	lower := append([]int(nil), pts[:mid]...)
+	upper := append([]int(nil), pts[mid:]...)
+
+	skyLower := skylineRec(m, lower, depth+1, dts)
+	skyUpper := skylineRec(m, upper, depth+1, dts)
+
+	// Merge: upper-half skyline points survive only if no lower-half
+	// skyline point dominates them. Lower-half points can still be
+	// dominated by upper-half points when the split values tie, so the
+	// symmetric check runs too (a windowed merge handles both).
+	merged := make([]int, 0, len(skyLower)+len(skyUpper))
+	merged = append(merged, skyLower...)
+	for _, u := range skyUpper {
+		p := m.Row(u)
+		dominated := false
+		for _, l := range skyLower {
+			*dts++
+			if point.Dominates(m.Row(l), p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			merged = append(merged, u)
+		}
+	}
+	// Upper points cannot dominate lower skyline points: every lower
+	// point has a split-dimension value ≤ every upper point's, and if
+	// equal, dominance would require the upper point to be better
+	// elsewhere — possible! — so complete with a reverse pass over ties.
+	return cleanupTies(m, merged, len(skyLower), dim, dts)
+}
+
+// cleanupTies removes lower-half skyline points dominated by a surviving
+// upper-half point with an equal split-dimension value.
+func cleanupTies(m point.Matrix, merged []int, lowerCount, dim int, dts *uint64) []int {
+	out := merged[:0]
+	for k, i := range merged {
+		if k >= lowerCount {
+			out = append(out, i)
+			continue
+		}
+		p := m.Row(i)
+		dominated := false
+		for _, j := range merged[lowerCount:] {
+			if m.Row(j)[dim] > p[dim] {
+				continue // strictly worse on the split dim: cannot dominate
+			}
+			*dts++
+			if point.Dominates(m.Row(j), p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// windowScan is the leaf case: a BNL-style window over a small group.
+func windowScan(m point.Matrix, pts []int, dts *uint64) []int {
+	window := make([]int, 0, len(pts))
+	for _, i := range pts {
+		p := m.Row(i)
+		dominated := false
+		w := 0
+		for k, j := range window {
+			*dts++
+			rel := point.Compare(m.Row(j), p)
+			if rel == point.LeftDominates {
+				w += copy(window[w:], window[k:])
+				dominated = true
+				break
+			}
+			if rel == point.RightDominates {
+				continue
+			}
+			window[w] = j
+			w++
+		}
+		window = window[:w]
+		if !dominated {
+			window = append(window, i)
+		}
+	}
+	return window
+}

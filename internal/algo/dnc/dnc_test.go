@@ -1,0 +1,71 @@
+package dnc
+
+import (
+	"testing"
+
+	"skybench/internal/dataset"
+	"skybench/internal/point"
+	"skybench/internal/verify"
+)
+
+func TestSkylineMatchesOracle(t *testing.T) {
+	for _, dist := range dataset.AllDistributions {
+		for _, n := range []int{1, 2, 31, 32, 33, 64, 500} {
+			for _, d := range []int{1, 2, 4, 7} {
+				m := dataset.Generate(dist, n, d, int64(5*n+d))
+				if !verify.SameSkyline(Skyline(m), verify.BruteForce(m)) {
+					t.Fatalf("%v n=%d d=%d: wrong skyline", dist, n, d)
+				}
+			}
+		}
+	}
+}
+
+func TestSkylineEmpty(t *testing.T) {
+	if got := Skyline(point.Matrix{}); got != nil {
+		t.Fatalf("empty: %v", got)
+	}
+}
+
+// The split-dimension tie case the merge's cleanup pass exists for: a
+// lower-half point dominated by an upper-half point that ties on the
+// split dimension.
+func TestSplitDimensionTies(t *testing.T) {
+	rows := [][]float64{}
+	// Many points with identical first coordinate, differing elsewhere.
+	for i := 0; i < 100; i++ {
+		rows = append(rows, []float64{5, float64(100 - i), float64(i % 10)})
+	}
+	rows = append(rows, []float64{5, 0, 0}) // dominates most of the above
+	m := point.FromRows(rows)
+	if !verify.SameSkyline(Skyline(m), verify.BruteForce(m)) {
+		t.Fatal("tie-heavy split dimension handled incorrectly")
+	}
+}
+
+func TestDuplicateRows(t *testing.T) {
+	rows := [][]float64{}
+	for i := 0; i < 80; i++ {
+		rows = append(rows, []float64{1, 1})
+	}
+	m := point.FromRows(rows)
+	if got := Skyline(m); len(got) != 80 {
+		t.Fatalf("coincident rows: kept %d of 80", len(got))
+	}
+}
+
+func TestQuantizedData(t *testing.T) {
+	m := dataset.Generate(dataset.Anticorrelated, 600, 4, 3)
+	dataset.Quantize(m, 4)
+	if !verify.SameSkyline(Skyline(m), verify.BruteForce(m)) {
+		t.Fatal("wrong skyline on quantized data")
+	}
+}
+
+func TestDTCounting(t *testing.T) {
+	m := dataset.Generate(dataset.Independent, 400, 4, 2)
+	_, dts := SkylineDT(m)
+	if dts == 0 {
+		t.Error("expected DTs > 0")
+	}
+}

@@ -1,0 +1,104 @@
+// Package less implements LESS (Linear Elimination Sort for Skyline) of
+// Godfrey et al. (VLDB J 2007). LESS improves SFS by doing dominance
+// work during the sorting pass: an elimination-filter (EF) window of a
+// few best points (smallest L1 norms) seen so far discards the bulk of
+// dominated points before the sort, shrinking the input to the SFS-style
+// filter phase.
+package less
+
+import (
+	"sort"
+
+	"skybench/internal/point"
+)
+
+// DefaultEFSize is the elimination-filter window capacity. Godfrey et
+// al. observe a handful of entries suffices; we match the paper's β = 8.
+const DefaultEFSize = 8
+
+// Skyline computes SKY(m) and returns original row indices.
+func Skyline(m point.Matrix) []int {
+	idx, _ := SkylineDT(m, DefaultEFSize)
+	return idx
+}
+
+// SkylineDT is Skyline with a dominance-test count and a configurable
+// elimination-filter size (ef ≤ 0 selects DefaultEFSize).
+func SkylineDT(m point.Matrix, ef int) ([]int, uint64) {
+	n := m.N()
+	if n == 0 {
+		return nil, 0
+	}
+	if ef <= 0 {
+		ef = DefaultEFSize
+	}
+	l1 := make([]float64, n)
+	m.L1All(l1)
+	d := m.D()
+	var dts uint64
+
+	// Pass 1 (during "sort"): maintain the EF window of the ef points
+	// with smallest L1; every point is tested against it.
+	filter := make([]int, 0, ef)
+	worst := -1 // position in filter of the largest-L1 entry
+	recomputeWorst := func() {
+		worst = 0
+		for k := 1; k < len(filter); k++ {
+			if l1[filter[k]] > l1[filter[worst]] {
+				worst = k
+			}
+		}
+	}
+	survivors := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if len(filter) < ef {
+			filter = append(filter, i)
+			recomputeWorst()
+			survivors = append(survivors, i)
+			continue
+		}
+		if l1[i] < l1[filter[worst]] {
+			filter[worst] = i
+			recomputeWorst()
+			survivors = append(survivors, i)
+			continue
+		}
+		p := m.Row(i)
+		dominated := false
+		for _, j := range filter {
+			if l1[j] == l1[i] {
+				continue
+			}
+			dts++
+			if point.DominatesD(m.Row(j), p, d) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			survivors = append(survivors, i)
+		}
+	}
+
+	// Sort survivors by L1, then run the SFS filter phase.
+	sort.Slice(survivors, func(a, b int) bool { return l1[survivors[a]] < l1[survivors[b]] })
+	sky := make([]int, 0, 64)
+	for _, i := range survivors {
+		p := m.Row(i)
+		dominated := false
+		for _, j := range sky {
+			if l1[j] == l1[i] {
+				continue
+			}
+			dts++
+			if point.DominatesD(m.Row(j), p, d) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			sky = append(sky, i)
+		}
+	}
+	return sky, dts
+}

@@ -1,0 +1,57 @@
+package less
+
+import (
+	"testing"
+
+	"skybench/internal/dataset"
+	"skybench/internal/point"
+	"skybench/internal/verify"
+)
+
+func TestSkylineMatchesOracle(t *testing.T) {
+	for _, dist := range dataset.AllDistributions {
+		for _, n := range []int{1, 2, 50, 400} {
+			for _, d := range []int{1, 2, 5, 8} {
+				m := dataset.Generate(dist, n, d, int64(3*n+d))
+				if !verify.SameSkyline(Skyline(m), verify.BruteForce(m)) {
+					t.Fatalf("%v n=%d d=%d: wrong skyline", dist, n, d)
+				}
+			}
+		}
+	}
+}
+
+func TestSkylineEmpty(t *testing.T) {
+	if got := Skyline(point.Matrix{}); got != nil {
+		t.Fatalf("empty: %v", got)
+	}
+}
+
+func TestEFSizes(t *testing.T) {
+	m := dataset.Generate(dataset.Independent, 600, 5, 4)
+	want := verify.BruteForce(m)
+	for _, ef := range []int{1, 2, 8, 64} {
+		got, _ := SkylineDT(m, ef)
+		if !verify.SameSkyline(got, want) {
+			t.Fatalf("ef=%d: wrong skyline", ef)
+		}
+	}
+}
+
+// The elimination filter should cut the SFS phase's input on correlated
+// data: DTs with the filter must not exceed plain quadratic behaviour.
+func TestEliminationReducesWork(t *testing.T) {
+	m := dataset.Generate(dataset.Correlated, 2000, 4, 6)
+	_, dts := SkylineDT(m, DefaultEFSize)
+	n := uint64(m.N())
+	if dts > n*n/4 {
+		t.Errorf("LESS did %d DTs on easy correlated data (n²=%d)", dts, n*n)
+	}
+}
+
+func TestSkylineDuplicates(t *testing.T) {
+	m := point.FromRows([][]float64{{1, 1}, {1, 1}, {0, 2}, {2, 2}})
+	if !verify.SameSkyline(Skyline(m), []int{0, 1, 2}) {
+		t.Fatalf("duplicates: %v", Skyline(m))
+	}
+}

@@ -1,0 +1,53 @@
+package psfs
+
+import (
+	"testing"
+
+	"skybench/internal/dataset"
+	"skybench/internal/point"
+	"skybench/internal/verify"
+)
+
+func TestMatchesOracle(t *testing.T) {
+	for _, dist := range dataset.AllDistributions {
+		for _, threads := range []int{1, 2, 3, 8} {
+			for _, n := range []int{1, 2, 7, 8, 9, 500} {
+				m := dataset.Generate(dist, n, 5, int64(n*7+threads))
+				if !verify.SameSkyline(Skyline(m, threads), verify.BruteForce(m)) {
+					t.Fatalf("%v t=%d n=%d: wrong skyline", dist, threads, n)
+				}
+			}
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if got := Skyline(point.Matrix{}, 4); got != nil {
+		t.Fatalf("empty: %v", got)
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	m := point.FromRows([][]float64{{1, 1}, {1, 1}, {0, 3}, {2, 2}})
+	if !verify.SameSkyline(Skyline(m, 2), []int{0, 1, 2}) {
+		t.Fatalf("duplicates: %v", Skyline(m, 2))
+	}
+}
+
+func TestThreadInvariance(t *testing.T) {
+	m := dataset.Generate(dataset.Anticorrelated, 700, 5, 3)
+	want := Skyline(m, 1)
+	for _, threads := range []int{2, 5, 16} {
+		if !verify.SameSkyline(Skyline(m, threads), want) {
+			t.Fatalf("t=%d disagrees", threads)
+		}
+	}
+}
+
+func TestDTCounting(t *testing.T) {
+	m := dataset.Generate(dataset.Independent, 300, 4, 1)
+	_, dts := SkylineDT(m, 2)
+	if dts == 0 {
+		t.Error("expected DTs > 0")
+	}
+}

@@ -1,0 +1,77 @@
+package pskyline
+
+import (
+	"testing"
+
+	"skybench/internal/dataset"
+	"skybench/internal/point"
+	"skybench/internal/stats"
+	"skybench/internal/verify"
+)
+
+func TestMatchesOracle(t *testing.T) {
+	for _, dist := range dataset.AllDistributions {
+		for _, threads := range []int{1, 2, 3, 8} {
+			for _, n := range []int{1, 2, 10, 500} {
+				m := dataset.Generate(dist, n, 5, int64(n+threads))
+				if !verify.SameSkyline(Skyline(m, threads), verify.BruteForce(m)) {
+					t.Fatalf("%v t=%d n=%d: wrong skyline", dist, threads, n)
+				}
+			}
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if got := Skyline(point.Matrix{}, 4); got != nil {
+		t.Fatalf("empty: %v", got)
+	}
+}
+
+func TestMoreThreadsThanPoints(t *testing.T) {
+	m := point.FromRows([][]float64{{1, 2}, {2, 1}})
+	if got := Skyline(m, 16); len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDuplicatesAcrossBlocks(t *testing.T) {
+	// Coincident minima land in different thread blocks; the merge must
+	// keep both.
+	rows := make([][]float64, 100)
+	for i := range rows {
+		rows[i] = []float64{float64(5 + i%7), float64(5 + (i*3)%7)}
+	}
+	rows[3] = []float64{0, 0}
+	rows[97] = []float64{0, 0}
+	m := point.FromRows(rows)
+	got := Skyline(m, 4)
+	if !verify.SameSkyline(got, verify.BruteForce(m)) {
+		t.Fatalf("duplicates across blocks: %v", got)
+	}
+}
+
+func TestStatsRecorded(t *testing.T) {
+	m := dataset.Generate(dataset.Independent, 1000, 6, 9)
+	var st stats.Stats
+	got := SkylineStats(m, 4, &st)
+	if st.SkylineSize != len(got) || st.InputSize != 1000 {
+		t.Errorf("sizes: %+v", st)
+	}
+	if st.DominanceTests == 0 {
+		t.Error("no DTs recorded")
+	}
+	if st.Phases[stats.PhaseOne] == 0 && st.Phases[stats.PhaseTwo] == 0 {
+		t.Error("no phase time recorded")
+	}
+}
+
+func TestThreadCountInvariance(t *testing.T) {
+	m := dataset.Generate(dataset.Anticorrelated, 800, 6, 4)
+	want := Skyline(m, 1)
+	for _, threads := range []int{2, 5, 7} {
+		if !verify.SameSkyline(Skyline(m, threads), want) {
+			t.Fatalf("t=%d disagrees with t=1", threads)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Package salsa implements the Sort and Limit Skyline algorithm (SaLSa)
+// of Bartolini et al. (TODS 2008). Points are sorted by their minimum
+// coordinate (with L1 as tiebreak), which both preserves the
+// no-backward-dominance property and enables early termination: once the
+// best "stop point" seen so far has a maximum coordinate strictly smaller
+// than the minimum coordinate of the next input point, every remaining
+// point is dominated and the scan can stop.
+package salsa
+
+import (
+	"math"
+	"sort"
+
+	"skybench/internal/point"
+)
+
+// Skyline computes SKY(m) and returns original row indices.
+func Skyline(m point.Matrix) []int {
+	idx, _, _ := SkylineDT(m)
+	return idx
+}
+
+// SkylineDT is Skyline with a dominance-test count; it also reports how
+// many input points the early-termination rule skipped entirely.
+func SkylineDT(m point.Matrix) (sky []int, dts uint64, skipped int) {
+	n := m.N()
+	if n == 0 {
+		return nil, 0, 0
+	}
+	minC := make([]float64, n)
+	l1 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		minC[i] = point.MinCoord(row)
+		l1[i] = point.L1(row)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if minC[ia] != minC[ib] {
+			return minC[ia] < minC[ib]
+		}
+		return l1[ia] < l1[ib]
+	})
+
+	d := m.D()
+	stop := math.Inf(1) // smallest max-coordinate among skyline points so far
+	sky = make([]int, 0, 64)
+	for pos, i := range order {
+		if stop < minC[i] {
+			// The stop point is strictly better on every dimension than
+			// any remaining point (all their coordinates are ≥ minC ≥
+			// stop): everything left is dominated.
+			skipped = n - pos
+			break
+		}
+		p := m.Row(i)
+		dominated := false
+		for _, j := range sky {
+			if l1[j] == l1[i] {
+				continue // equal L1 ⇒ no dominance possible
+			}
+			dts++
+			if point.DominatesD(m.Row(j), p, d) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			sky = append(sky, i)
+			if mx := point.MaxCoord(p); mx < stop {
+				stop = mx
+			}
+		}
+	}
+	return sky, dts, skipped
+}

@@ -1,0 +1,65 @@
+package salsa
+
+import (
+	"testing"
+
+	"skybench/internal/dataset"
+	"skybench/internal/point"
+	"skybench/internal/verify"
+)
+
+func TestSkylineMatchesOracle(t *testing.T) {
+	for _, dist := range dataset.AllDistributions {
+		for _, n := range []int{1, 2, 50, 400} {
+			for _, d := range []int{1, 2, 5, 8} {
+				m := dataset.Generate(dist, n, d, int64(2*n+d))
+				if !verify.SameSkyline(Skyline(m), verify.BruteForce(m)) {
+					t.Fatalf("%v n=%d d=%d: wrong skyline", dist, n, d)
+				}
+			}
+		}
+	}
+}
+
+func TestSkylineEmpty(t *testing.T) {
+	if got := Skyline(point.Matrix{}); got != nil {
+		t.Fatalf("empty: %v", got)
+	}
+}
+
+// Early termination must actually fire on correlated data, where a
+// near-origin point dominates the bulk of the input.
+func TestEarlyTerminationFires(t *testing.T) {
+	m := dataset.Generate(dataset.Correlated, 3000, 2, 5)
+	_, _, skipped := SkylineDT(m)
+	if skipped == 0 {
+		t.Error("expected early termination to skip points on correlated 2-d data")
+	}
+}
+
+// And termination must never skip an actual skyline point.
+func TestEarlyTerminationIsSafe(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		m := dataset.Generate(dataset.Correlated, 500, 3, seed)
+		dataset.Quantize(m, 16) // ties stress the strict-< condition
+		if !verify.SameSkyline(Skyline(m), verify.BruteForce(m)) {
+			t.Fatalf("seed %d: early termination lost a skyline point", seed)
+		}
+	}
+}
+
+func TestSkylineDuplicates(t *testing.T) {
+	m := point.FromRows([][]float64{{1, 1}, {1, 1}, {0, 2}, {2, 2}})
+	if !verify.SameSkyline(Skyline(m), []int{0, 1, 2}) {
+		t.Fatalf("duplicates: %v", Skyline(m))
+	}
+}
+
+func TestConstantData(t *testing.T) {
+	// All points identical: all are skyline; the stop point equals every
+	// minC, so strict-< must not terminate early and drop points.
+	m := point.FromRows([][]float64{{3, 3}, {3, 3}, {3, 3}, {3, 3}})
+	if got := Skyline(m); len(got) != 4 {
+		t.Fatalf("constant data: %v", got)
+	}
+}

@@ -1,0 +1,58 @@
+// Package sfs implements the Sort-Filter Skyline algorithm of Chomicki
+// et al. (ICDE 2003). The input is presorted by a monotone scoring
+// function (here the L1 norm, as in the paper's Q-Flow) so that no point
+// can be dominated by a later point; the BNL window then only ever grows,
+// and every point that survives the window scan is immediately known to
+// be a skyline point — enabling progressive output.
+package sfs
+
+import (
+	"sort"
+
+	"skybench/internal/point"
+)
+
+// Skyline computes SKY(m) and returns original row indices.
+func Skyline(m point.Matrix) []int {
+	idx, _ := SkylineDT(m)
+	return idx
+}
+
+// SkylineDT is Skyline with a dominance-test count.
+func SkylineDT(m point.Matrix) ([]int, uint64) {
+	n := m.N()
+	if n == 0 {
+		return nil, 0
+	}
+	l1 := make([]float64, n)
+	m.L1All(l1)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return l1[order[a]] < l1[order[b]] })
+
+	var dts uint64
+	d := m.D()
+	sky := make([]int, 0, 64)
+	for _, i := range order {
+		p := m.Row(i)
+		dominated := false
+		for _, j := range sky {
+			// Cheap filter: a window point with equal L1 cannot dominate
+			// p unless coincident, and coincident points never dominate.
+			if l1[j] == l1[i] {
+				continue
+			}
+			dts++
+			if point.DominatesD(m.Row(j), p, d) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			sky = append(sky, i)
+		}
+	}
+	return sky, dts
+}

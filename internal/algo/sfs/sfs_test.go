@@ -1,0 +1,58 @@
+package sfs
+
+import (
+	"testing"
+
+	"skybench/internal/dataset"
+	"skybench/internal/point"
+	"skybench/internal/verify"
+)
+
+func TestSkylineMatchesOracle(t *testing.T) {
+	for _, dist := range dataset.AllDistributions {
+		for _, n := range []int{1, 2, 50, 400} {
+			for _, d := range []int{1, 2, 5, 8} {
+				m := dataset.Generate(dist, n, d, int64(n+d))
+				if !verify.SameSkyline(Skyline(m), verify.BruteForce(m)) {
+					t.Fatalf("%v n=%d d=%d: wrong skyline", dist, n, d)
+				}
+			}
+		}
+	}
+}
+
+func TestSkylineEmpty(t *testing.T) {
+	if got := Skyline(point.Matrix{}); got != nil {
+		t.Fatalf("empty: %v", got)
+	}
+}
+
+func TestSkylineDuplicates(t *testing.T) {
+	m := point.FromRows([][]float64{{1, 1}, {1, 1}, {2, 0}, {3, 3}})
+	if !verify.SameSkyline(Skyline(m), []int{0, 1, 2}) {
+		t.Fatalf("duplicates: %v", Skyline(m))
+	}
+}
+
+// SFS should do far fewer dominance tests than BNL-style scanning on
+// data where the sort front-loads strong pruners. Here we simply check
+// DTs are bounded by the quadratic worst case and nonzero.
+func TestSkylineDTBounds(t *testing.T) {
+	m := dataset.Generate(dataset.Correlated, 500, 4, 3)
+	_, dts := SkylineDT(m)
+	if dts == 0 {
+		t.Error("expected DTs > 0")
+	}
+	n := uint64(m.N())
+	if dts > n*n {
+		t.Errorf("DTs = %d exceeds n² = %d", dts, n*n)
+	}
+}
+
+func TestQuantizedInputs(t *testing.T) {
+	m := dataset.Generate(dataset.Anticorrelated, 300, 4, 9)
+	dataset.Quantize(m, 8)
+	if !verify.SameSkyline(Skyline(m), verify.BruteForce(m)) {
+		t.Fatal("wrong skyline on duplicate-heavy data")
+	}
+}

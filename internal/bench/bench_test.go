@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"skybench"
+
+	"skybench/internal/dataset"
+)
+
+// tiny returns a configuration small enough that every experiment runs
+// in well under a second.
+func tiny() Config {
+	return Config{
+		N:          400,
+		D:          5,
+		Dims:       []int{3, 5},
+		NSweep:     []int{200, 400},
+		Threads:    []int{1, 2},
+		MaxThreads: 2,
+		Reps:       1,
+		Seed:       7,
+		RealScale:  0.01,
+	}
+}
+
+// Every experiment must run end-to-end and produce a non-empty table.
+func TestAllExperimentsProduceOutput(t *testing.T) {
+	cfg := tiny()
+	for _, exp := range Experiments() {
+		var buf bytes.Buffer
+		exp.Run(cfg, &buf)
+		out := buf.String()
+		if !strings.Contains(out, "===") {
+			t.Errorf("%s: missing banner:\n%s", exp.Name, out)
+		}
+		if len(strings.Split(out, "\n")) < 4 {
+			t.Errorf("%s: suspiciously short output:\n%s", exp.Name, out)
+		}
+	}
+}
+
+func TestExperimentRegistryNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, exp := range Experiments() {
+		if seen[exp.Name] {
+			t.Errorf("duplicate experiment %q", exp.Name)
+		}
+		seen[exp.Name] = true
+		if exp.Desc == "" {
+			t.Errorf("experiment %q lacks a description", exp.Name)
+		}
+	}
+	for _, want := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "table1", "table2", "table3"} {
+		if !seen[want] {
+			t.Errorf("missing experiment %q (every paper table/figure must be covered)", want)
+		}
+	}
+}
+
+func TestRunAveragesReps(t *testing.T) {
+	cfg := tiny()
+	cfg.Reps = 3
+	m := dataset.Generate(dataset.Independent, 500, 4, 1)
+	meas := cfg.Run(skybench.Hybrid, m, 2, nil)
+	if meas.Elapsed <= 0 {
+		t.Error("no elapsed time")
+	}
+	if meas.Stats.SkylineSize == 0 {
+		t.Error("no skyline")
+	}
+}
+
+func TestDefaultAndPaperScaleSane(t *testing.T) {
+	d := Default()
+	p := PaperScale()
+	if d.N <= 0 || d.MaxThreads <= 0 || len(d.Dims) == 0 || len(d.NSweep) == 0 {
+		t.Errorf("Default misconfigured: %+v", d)
+	}
+	if p.N != 1000000 || p.D != 12 {
+		t.Errorf("PaperScale should match the paper: %+v", p)
+	}
+}
+
+func TestMsFormatting(t *testing.T) {
+	if got := ms(1500 * time.Microsecond); got != "1.50" {
+		t.Errorf("ms = %q", got)
+	}
+}

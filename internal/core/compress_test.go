@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"skybench/internal/point"
+)
+
+func TestCompressBasics(t *testing.T) {
+	work := point.FromRows([][]float64{
+		{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4},
+	})
+	wl1 := []float64{0, 2, 4, 6, 8}
+	worig := []int{10, 11, 12, 13, 14}
+	wmask := []point.Mask{0, 1, 2, 3, 0}
+	flags := []uint32{0, 1, 0, 1, 0} // drop rows 1 and 3
+
+	n := compress(work, wl1, worig, wmask, 0, 5, flags)
+	if n != 3 {
+		t.Fatalf("survivors = %d, want 3", n)
+	}
+	wantOrig := []int{10, 12, 14}
+	wantMask := []point.Mask{0, 2, 0}
+	for i := 0; i < n; i++ {
+		if worig[i] != wantOrig[i] || wmask[i] != wantMask[i] {
+			t.Fatalf("pos %d: orig=%d mask=%d", i, worig[i], wmask[i])
+		}
+		if work.Row(i)[0] != float64(wantOrig[i]-10) {
+			t.Fatalf("pos %d: row=%v", i, work.Row(i))
+		}
+		if flags[i] != 0 {
+			t.Fatalf("pos %d: stale flag", i)
+		}
+	}
+}
+
+func TestCompressAllSurviveAndAllPruned(t *testing.T) {
+	work := point.FromRows([][]float64{{1}, {2}, {3}})
+	wl1 := []float64{1, 2, 3}
+	worig := []int{0, 1, 2}
+	none := []uint32{0, 0, 0}
+	if n := compress(work, wl1, worig, nil, 0, 3, none); n != 3 {
+		t.Fatalf("all-survive: %d", n)
+	}
+	all := []uint32{1, 1, 1}
+	if n := compress(work, wl1, worig, nil, 0, 3, all); n != 0 {
+		t.Fatalf("all-pruned: %d", n)
+	}
+}
+
+func TestCompressWithOffset(t *testing.T) {
+	// The block starts mid-array; earlier rows must be untouched.
+	work := point.FromRows([][]float64{{9}, {8}, {1}, {2}, {3}})
+	wl1 := []float64{9, 8, 1, 2, 3}
+	worig := []int{0, 1, 2, 3, 4}
+	flags := []uint32{1, 0, 0} // block rows 2..4; drop block-local 0
+	n := compress(work, wl1, worig, nil, 2, 3, flags)
+	if n != 2 {
+		t.Fatalf("survivors = %d", n)
+	}
+	if work.Row(0)[0] != 9 || work.Row(1)[0] != 8 {
+		t.Fatal("rows before the block were touched")
+	}
+	if work.Row(2)[0] != 2 || work.Row(3)[0] != 3 {
+		t.Fatalf("block not compressed: %v %v", work.Row(2), work.Row(3))
+	}
+}
+
+// Compression must preserve relative order — the sort-order invariants
+// of Phase II depend on it.
+func TestCompressPreservesOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		work := point.NewMatrix(n, 1)
+		wl1 := make([]float64, n)
+		worig := make([]int, n)
+		flags := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			work.Row(i)[0] = float64(i)
+			wl1[i] = float64(i)
+			worig[i] = i
+			if rng.Intn(2) == 0 {
+				flags[i] = 1
+			}
+		}
+		surv := compress(work, wl1, worig, nil, 0, n, flags)
+		for i := 1; i < surv; i++ {
+			if worig[i] <= worig[i-1] {
+				t.Fatalf("order violated at %d: %v", i, worig[:surv])
+			}
+		}
+	}
+}

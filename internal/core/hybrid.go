@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"skybench/internal/par"
+	"skybench/internal/pivot"
+	"skybench/internal/point"
+	"skybench/internal/prefilter"
+	"skybench/internal/stats"
+)
+
+// DefaultAlphaHybrid is the α-block size for Hybrid. The paper finds
+// α = 2^10 optimal (Section VII-C1, Figure 8).
+const DefaultAlphaHybrid = 1 << 10
+
+// HybridOptions configures a Hybrid run. The zero value selects
+// GOMAXPROCS threads, the paper's default α, β, and the Median pivot.
+type HybridOptions struct {
+	// Threads is the number of worker goroutines (≤ 0 means GOMAXPROCS).
+	Threads int
+	// Alpha is the block size α (≤ 0 selects DefaultAlphaHybrid).
+	Alpha int
+	// Pivot selects the level-1 pivot strategy (default Median).
+	Pivot pivot.Strategy
+	// Beta is the pre-filter queue size (≤ 0 selects the paper's β = 8).
+	Beta int
+	// Seed drives the Random pivot strategy deterministically.
+	Seed int64
+	// NoPrefilter disables the β-queue pre-filter (ablation).
+	NoPrefilter bool
+	// NoMS disables the M(S) structure: Phase I scans the skyline
+	// linearly with level-1 mask filtering only (ablation).
+	NoMS bool
+	// NoLevel2 disables level-2 re-partitioning inside M(S) (ablation).
+	NoLevel2 bool
+	// NoPhase2Split disables the three-loop decomposition of Phase II:
+	// every preceding peer gets a full dominance test (ablation).
+	NoPhase2Split bool
+	// Stats, when non-nil, receives phase timings and DT counts.
+	Stats *stats.Stats
+	// Progressive, when non-nil, is invoked after each α-block with the
+	// original indices of the skyline points that block confirmed.
+	Progressive func(confirmed []int)
+}
+
+// Hybrid computes SKY(m) with the paper's full Hybrid algorithm and
+// returns original row indices in confirmation order.
+//
+// Hybrid is Q-Flow plus point-based partitioning: after a cheap parallel
+// pre-filter, the data is partitioned into 2^d regions around a pivot,
+// sorted by (level, mask, L1), and processed in α-blocks against the
+// global skyline indexed by the two-level M(S) structure, which lets
+// Phase I skip entire incomparable regions and Phase II decompose its
+// peer scan into three loops with different invariants.
+func Hybrid(m point.Matrix, opt HybridOptions) []int {
+	n := m.N()
+	if n == 0 {
+		return nil
+	}
+	d := m.D()
+	if d > point.MaxDims {
+		panic(fmt.Sprintf("core: Hybrid supports at most %d dimensions, got %d", point.MaxDims, d))
+	}
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = par.DefaultThreads()
+	}
+	alpha := opt.Alpha
+	if alpha <= 0 {
+		alpha = DefaultAlphaHybrid
+	}
+	st := opt.Stats
+	if st == nil {
+		st = &stats.Stats{}
+	}
+	st.InputSize = n
+	st.Threads = threads
+	dts := stats.NewDTCounters(threads)
+	timer := stats.NewTimer(st)
+
+	// Initialization: L1 norms in parallel.
+	l1 := make([]float64, n)
+	par.ForRanges(threads, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			l1[i] = point.L1(m.Row(i))
+		}
+	})
+	timer.Stop(stats.PhaseInit)
+
+	// Pre-filter: discard points dominated by the β-queues (VI-A1).
+	var surv []int
+	if opt.NoPrefilter {
+		surv = make([]int, n)
+		for i := range surv {
+			surv[i] = i
+		}
+	} else {
+		surv = prefilter.Filter(m, l1, opt.Beta, threads, dts)
+	}
+	timer.Stop(stats.PhasePrefilt)
+
+	// Materialize survivors, select the pivot, partition (VI-A2).
+	work := m.Gather(surv)
+	ns := work.N()
+	wl1 := make([]float64, ns)
+	for i, j := range surv {
+		wl1[i] = l1[j]
+	}
+	pv := pivot.Select(opt.Pivot, work, wl1, opt.Seed)
+	wmask := make([]point.Mask, ns)
+	keys := make([]uint64, ns)
+	par.ForRanges(threads, ns, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			wmask[i] = point.ComputeMask(work.Row(i), pv)
+			keys[i] = wmask[i].CompoundKey(d)
+		}
+	})
+	timer.Stop(stats.PhasePivot)
+
+	// Three-key sort: level, mask (via the compound key), then L1 (VI-A3).
+	idx := make([]int, ns)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if keys[ia] != keys[ib] {
+			return keys[ia] < keys[ib]
+		}
+		return wl1[ia] < wl1[ib]
+	})
+	sorted := work.Gather(idx)
+	sl1 := make([]float64, ns)
+	smask := make([]point.Mask, ns)
+	sorig := make([]int, ns)
+	for i, j := range idx {
+		sl1[i] = wl1[j]
+		smask[i] = wmask[j]
+		sorig[i] = surv[j]
+	}
+	work, wl1, wmask = sorted, sl1, smask
+	timer.Stop(stats.PhaseInit)
+
+	sky := newSkylineStore(d)
+	flags := make([]uint32, alpha)
+	level2 := !opt.NoLevel2
+
+	for lo := 0; lo < ns; lo += alpha {
+		hi := lo + alpha
+		if hi > ns {
+			hi = ns
+		}
+		block := hi - lo
+		f := flags[:block]
+		for i := range f {
+			f[i] = 0
+		}
+
+		// Phase I (parallel, Algorithm 3): test block points against the
+		// global skyline through M(S).
+		par.ForRanges(threads, block, func(tid, blo, bhi int) {
+			var local uint64
+			for i := blo; i < bhi; i++ {
+				q := work.Row(lo + i)
+				var dominated bool
+				if opt.NoMS {
+					dominated = sky.dominatedFlat(q, wmask[lo+i], &local)
+				} else {
+					dominated = sky.dominatedHybrid(q, wmask[lo+i], level2, &local)
+				}
+				if dominated {
+					f[i] = 1
+				}
+			}
+			dts.Inc(tid, local)
+		})
+		timer.Stop(stats.PhaseOne)
+
+		surv1 := compress(work, wl1, sorig, wmask, lo, block, f)
+		timer.Stop(stats.PhaseCompress)
+
+		// Phase II (parallel, Algorithm 4): three-loop peer comparison.
+		f = f[:surv1]
+		par.ForRanges(threads, surv1, func(tid, blo, bhi int) {
+			var local uint64
+			for i := blo; i < bhi; i++ {
+				var dominated bool
+				if opt.NoPhase2Split {
+					dominated = comparedToPeersNaive(work, wl1, lo, i, f, d, &local)
+				} else {
+					dominated = comparedToPeers(work, wl1, wmask, lo, i, f, d, &local)
+				}
+				if dominated {
+					atomic.StoreUint32(&f[i], 1)
+				}
+			}
+			dts.Inc(tid, local)
+		})
+		timer.Stop(stats.PhaseTwo)
+
+		final := compress(work, wl1, sorig, wmask, lo, surv1, f)
+		timer.Stop(stats.PhaseCompress)
+
+		// Update S and M(S) (Algorithm 2) — sequential O(α) work.
+		firstNew := sky.size()
+		sky.update(work, wl1, sorig, wmask, lo, final, level2)
+		if opt.Progressive != nil && final > 0 {
+			opt.Progressive(sky.orig[firstNew:])
+		}
+		timer.Stop(stats.PhaseOther)
+	}
+
+	st.SkylineSize = sky.size()
+	st.DominanceTests = dts.Sum()
+	return sky.orig
+}
+
+// comparedToPeersNaive is the no-decomposition ablation of Phase II:
+// every unpruned preceding peer is tested with a full dominance test.
+func comparedToPeersNaive(work point.Matrix, wl1 []float64, lo, me int, f []uint32, dim int, dts *uint64) bool {
+	q := work.Row(lo + me)
+	myL1 := wl1[lo+me]
+	for i := 0; i < me; i++ {
+		if atomic.LoadUint32(&f[i]) != 0 {
+			continue
+		}
+		if wl1[lo+i] == myL1 {
+			continue
+		}
+		*dts++
+		if point.DominatesD(work.Row(lo+i), q, dim) {
+			return true
+		}
+	}
+	return false
+}
+
+// comparedToPeers implements Algorithm 4 (compareToPeers): test block
+// point me against the surviving peers that precede it, in three loops.
+// Loop 1 covers peers in strictly lower levels, where the mask subset
+// test filters region-wise incomparability. Loop 2 skips peers of the
+// same level but a different mask — necessarily incomparable. Loop 3
+// covers peers in me's own partition, where a full DT is required.
+// Pruned peers are skipped via their atomic flags (sound by
+// transitivity: a pruned peer's dominator also precedes me).
+func comparedToPeers(work point.Matrix, wl1 []float64, wmask []point.Mask, lo, me int, f []uint32, dim int, dts *uint64) bool {
+	q := work.Row(lo + me)
+	myMask := wmask[lo+me]
+	myLevel := myMask.Level()
+	myL1 := wl1[lo+me]
+	i := 0
+	// Loop 1: lower levels — cheap filter, then DT.
+	for ; i < me && wmask[lo+i].Level() < myLevel; i++ {
+		if atomic.LoadUint32(&f[i]) != 0 {
+			continue
+		}
+		if !wmask[lo+i].Subset(myMask) {
+			continue
+		}
+		if wl1[lo+i] == myL1 {
+			continue
+		}
+		*dts++
+		if point.DominatesD(work.Row(lo+i), q, dim) {
+			return true
+		}
+	}
+	// Loop 2: same level, different mask — incomparable, skip outright.
+	for ; i < me && wmask[lo+i] != myMask; i++ {
+	}
+	// Loop 3: same partition — full DTs.
+	for ; i < me; i++ {
+		if atomic.LoadUint32(&f[i]) != 0 {
+			continue
+		}
+		if wl1[lo+i] == myL1 {
+			continue
+		}
+		*dts++
+		if point.DominatesD(work.Row(lo+i), q, dim) {
+			return true
+		}
+	}
+	return false
+}

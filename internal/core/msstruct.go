@@ -1,0 +1,150 @@
+package core
+
+import (
+	"skybench/internal/point"
+)
+
+// msEntry is one element of the M(S) vector: a level-1 partition mask and
+// the index of the first skyline point carrying it (Figure 3b). The final
+// entry is a sentinel whose start is |S|, so a partition's extent is
+// [entry.start, next.start).
+type msEntry struct {
+	mask  point.Mask
+	start int
+}
+
+// skylineStore holds the global, shared skyline and the M(S) structure
+// over it. Rows are contiguous (row-major in data) because blocks are
+// appended already compressed; partitions are contiguous because the
+// sort order groups masks and compression preserves order.
+type skylineStore struct {
+	d     int
+	data  []float64    // len = n*d, row-major skyline points
+	mask1 []point.Mask // level-1 mask of every skyline point
+	mask2 []point.Mask // level-2 mask (Algorithm 2); pivots retain level-1
+	orig  []int        // original input indices
+	ms    []msEntry    // M(S): partition directory + trailing sentinel
+}
+
+func newSkylineStore(d int) *skylineStore {
+	return &skylineStore{d: d}
+}
+
+// size returns |S|.
+func (s *skylineStore) size() int { return len(s.orig) }
+
+// row returns skyline point j's coordinates.
+func (s *skylineStore) row(j int) []float64 {
+	return s.data[j*s.d : (j+1)*s.d]
+}
+
+// update implements Algorithm 2 (updateS&M): append the compressed block
+// Q to S and extend M(S). Points falling into the partition that is
+// currently last in M(S) are re-partitioned at level 2 around that
+// partition's pivot (its first point, the one with smallest L1); each new
+// partition's first point becomes its level-2 pivot and retains its
+// level-1 mask.
+//
+// When level2 is false (ablation), points keep their level-1 masks and no
+// re-partitioning happens, but the partition directory is still extended.
+func (s *skylineStore) update(work point.Matrix, wl1 []float64, worig []int, wmask []point.Mask, lo, count int, level2 bool) {
+	if count == 0 {
+		return
+	}
+	// Pop the sentinel; remember the current top partition, if any.
+	curMask := point.Mask(0)
+	curPivot := -1
+	if len(s.ms) > 0 {
+		s.ms = s.ms[:len(s.ms)-1] // pop sentinel
+		top := s.ms[len(s.ms)-1]
+		curMask, curPivot = top.mask, top.start
+	}
+	for i := 0; i < count; i++ {
+		j := len(s.orig) // index this point will take in S
+		m1 := wmask[lo+i]
+		s.data = append(s.data, work.Row(lo+i)...)
+		s.orig = append(s.orig, worig[lo+i])
+		s.mask1 = append(s.mask1, m1)
+		if curPivot >= 0 && m1 == curMask {
+			// Same partition as the current top: assign level-2 mask
+			// relative to the partition's pivot.
+			m2 := m1
+			if level2 {
+				m2 = point.ComputeMask(work.Row(lo+i), s.row(curPivot))
+			}
+			s.mask2 = append(s.mask2, m2)
+		} else {
+			// First point of a new partition: it becomes the level-2
+			// pivot and retains its level-1 mask.
+			s.ms = append(s.ms, msEntry{mask: m1, start: j})
+			curMask, curPivot = m1, j
+			s.mask2 = append(s.mask2, m1)
+		}
+	}
+	// Push the sentinel (the paper uses mask 2^d, any out-of-band value).
+	s.ms = append(s.ms, msEntry{mask: point.FullMask(s.d) + 1, start: len(s.orig)})
+}
+
+// dominatedHybrid implements Algorithm 3 (compareToSky): test q against
+// the skyline using both partition levels. qMask is q's level-1 mask.
+// Returns true iff some skyline point dominates q. dts accumulates the
+// dominance tests performed (mask computations against level-2 pivots
+// count as one DT each — they inspect all d dimensions).
+func (s *skylineStore) dominatedHybrid(q []float64, qMask point.Mask, level2 bool, dts *uint64) bool {
+	full := point.FullMask(s.d)
+	for e := 0; e+1 < len(s.ms); e++ {
+		pm := s.ms[e].mask
+		if !pm.Subset(qMask) {
+			continue // whole region incomparable with q — skip all DTs
+		}
+		lo, hi := s.ms[e].start, s.ms[e+1].start
+		pivotRow := s.row(lo)
+		if !level2 {
+			for j := lo; j < hi; j++ {
+				*dts++
+				if point.DominatesD(s.row(j), q, s.d) {
+					return true
+				}
+			}
+			continue
+		}
+		// Compare q to the partition's level-2 pivot, producing q's
+		// level-2 mask m′ (one full-width comparison).
+		*dts++
+		m2 := point.ComputeMask(q, pivotRow)
+		if m2 == full {
+			if point.Equals(q, pivotRow) {
+				// q coincides with a skyline point: nothing can dominate
+				// it (a dominator would dominate the pivot too).
+				return false
+			}
+			return true // the pivot dominates q
+		}
+		for j := lo + 1; j < hi; j++ {
+			if !s.mask2[j].Subset(m2) {
+				continue // level-2 incomparability — skip the DT
+			}
+			*dts++
+			if point.DominatesD(s.row(j), q, s.d) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// dominatedFlat is the no-M(S) ablation of Phase I: scan the skyline
+// linearly, filtering by level-1 masks only.
+func (s *skylineStore) dominatedFlat(q []float64, qMask point.Mask, dts *uint64) bool {
+	n := s.size()
+	for j := 0; j < n; j++ {
+		if !s.mask1[j].Subset(qMask) {
+			continue
+		}
+		*dts++
+		if point.DominatesD(s.row(j), q, s.d) {
+			return true
+		}
+	}
+	return false
+}

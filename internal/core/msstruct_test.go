@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"skybench/internal/point"
+)
+
+// buildStore feeds rows into a skylineStore the way Hybrid does: sorted
+// by (level, mask, L1) relative to pivot, appended in one batch per
+// block. Rows must already be mutually non-dominating.
+func buildStore(t *testing.T, rows [][]float64, pivot []float64, blockSize int, level2 bool) *skylineStore {
+	t.Helper()
+	d := len(pivot)
+	m := point.FromRows(rows)
+	n := m.N()
+	masks := make([]point.Mask, n)
+	keys := make([]uint64, n)
+	l1 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		masks[i] = point.ComputeMask(m.Row(i), pivot)
+		keys[i] = masks[i].CompoundKey(d)
+		l1[i] = point.L1(m.Row(i))
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// three-key sort
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			ia, ib := idx[a], idx[b]
+			if keys[ib] < keys[ia] || (keys[ib] == keys[ia] && l1[ib] < l1[ia]) {
+				idx[a], idx[b] = idx[b], idx[a]
+			}
+		}
+	}
+	sorted := m.Gather(idx)
+	sl1 := make([]float64, n)
+	smask := make([]point.Mask, n)
+	sorig := make([]int, n)
+	for i, j := range idx {
+		sl1[i] = l1[j]
+		smask[i] = masks[j]
+		sorig[i] = j
+	}
+	s := newSkylineStore(d)
+	for lo := 0; lo < n; lo += blockSize {
+		hi := lo + blockSize
+		if hi > n {
+			hi = n
+		}
+		s.update(sorted, sl1, sorig, smask, lo, hi-lo, level2)
+	}
+	return s
+}
+
+// mutuallyNonDominating filters a random set down to its skyline so it
+// is a legal skylineStore payload.
+func mutuallyNonDominating(rows [][]float64) [][]float64 {
+	var out [][]float64
+	for i, p := range rows {
+		dominated := false
+		for j, q := range rows {
+			if i != j && point.Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func TestStoreStructuralInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pivot := []float64{2, 2, 2}
+	for trial := 0; trial < 50; trial++ {
+		var rows [][]float64
+		for i := 0; i < 60; i++ {
+			rows = append(rows, []float64{
+				float64(rng.Intn(5)), float64(rng.Intn(5)), float64(rng.Intn(5)),
+			})
+		}
+		rows = mutuallyNonDominating(rows)
+		if len(rows) == 0 {
+			continue
+		}
+		s := buildStore(t, rows, pivot, 7, true)
+
+		if s.size() != len(rows) {
+			t.Fatalf("store size %d, want %d", s.size(), len(rows))
+		}
+		// Sentinel terminates M(S) and points one past the end.
+		if s.ms[len(s.ms)-1].start != s.size() {
+			t.Fatalf("sentinel start = %d, want %d", s.ms[len(s.ms)-1].start, s.size())
+		}
+		// Entries have strictly increasing starts and strictly
+		// increasing compound keys (partitions arrive in sort order).
+		for e := 1; e < len(s.ms); e++ {
+			if s.ms[e].start <= s.ms[e-1].start {
+				t.Fatalf("entry %d start %d not increasing", e, s.ms[e].start)
+			}
+		}
+		for e := 1; e+1 < len(s.ms); e++ {
+			if s.ms[e].mask.CompoundKey(3) <= s.ms[e-1].mask.CompoundKey(3) {
+				t.Fatalf("entry %d mask %b out of order", e, s.ms[e].mask)
+			}
+		}
+		// Every point's level-1 mask matches its partition's mask.
+		for e := 0; e+1 < len(s.ms); e++ {
+			for j := s.ms[e].start; j < s.ms[e+1].start; j++ {
+				if s.mask1[j] != s.ms[e].mask {
+					t.Fatalf("point %d mask1 %b ≠ partition %b", j, s.mask1[j], s.ms[e].mask)
+				}
+			}
+			// The partition pivot retains its level-1 mask in mask2.
+			lo := s.ms[e].start
+			if s.mask2[lo] != s.mask1[lo] {
+				t.Fatalf("partition pivot %d level-2 mask altered", lo)
+			}
+			// Members' level-2 masks are relative to the pivot.
+			for j := lo + 1; j < s.ms[e+1].start; j++ {
+				want := point.ComputeMask(s.row(j), s.row(lo))
+				if s.mask2[j] != want {
+					t.Fatalf("point %d level-2 mask %b, want %b", j, s.mask2[j], want)
+				}
+			}
+		}
+	}
+}
+
+// dominatedHybrid must agree with a brute-force scan of the stored
+// skyline for arbitrary query points, with and without level-2.
+func TestDominatedHybridMatchesBruteScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pivot := []float64{3, 3, 3, 3}
+	for trial := 0; trial < 40; trial++ {
+		var rows [][]float64
+		for i := 0; i < 80; i++ {
+			rows = append(rows, []float64{
+				float64(rng.Intn(7)), float64(rng.Intn(7)),
+				float64(rng.Intn(7)), float64(rng.Intn(7)),
+			})
+		}
+		rows = mutuallyNonDominating(rows)
+		if len(rows) == 0 {
+			continue
+		}
+		for _, level2 := range []bool{true, false} {
+			s := buildStore(t, rows, pivot, 9, level2)
+			for probe := 0; probe < 200; probe++ {
+				q := []float64{
+					float64(rng.Intn(7)), float64(rng.Intn(7)),
+					float64(rng.Intn(7)), float64(rng.Intn(7)),
+				}
+				want := false
+				for _, r := range rows {
+					if point.Dominates(r, q) {
+						want = true
+						break
+					}
+				}
+				var dts uint64
+				got := s.dominatedHybrid(q, point.ComputeMask(q, pivot), level2, &dts)
+				if got != want {
+					t.Fatalf("level2=%v: dominatedHybrid(%v) = %v, want %v", level2, q, got, want)
+				}
+				gotFlat := s.dominatedFlat(q, point.ComputeMask(q, pivot), &dts)
+				if gotFlat != want {
+					t.Fatalf("dominatedFlat(%v) = %v, want %v", q, gotFlat, want)
+				}
+			}
+		}
+	}
+}
+
+func TestStoreUpdateEmptyBlockIsNoop(t *testing.T) {
+	s := newSkylineStore(2)
+	s.update(point.NewMatrix(0, 2), nil, nil, nil, 0, 0, true)
+	if s.size() != 0 || len(s.ms) != 0 {
+		t.Fatal("empty update must not create entries")
+	}
+}

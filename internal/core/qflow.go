@@ -1,0 +1,208 @@
+// Package core implements the paper's contribution: the Q-Flow flow of
+// control (Algorithm 1, Section V) and the full Hybrid multicore skyline
+// algorithm (Algorithms 2–4, Section VI) with its two-level partition
+// data structure M(S) over the shared global skyline.
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"skybench/internal/par"
+	"skybench/internal/point"
+	"skybench/internal/stats"
+)
+
+// DefaultAlphaQFlow is the α-block size for Q-Flow. The paper finds
+// α = 2^13 optimal across all three distributions (Section VII-C1).
+const DefaultAlphaQFlow = 1 << 13
+
+// QFlowOptions configures a Q-Flow run. The zero value selects
+// GOMAXPROCS threads and the paper's default α.
+type QFlowOptions struct {
+	// Threads is the number of worker goroutines (≤ 0 means GOMAXPROCS).
+	Threads int
+	// Alpha is the block size α (≤ 0 selects DefaultAlphaQFlow).
+	Alpha int
+	// Stats, when non-nil, receives phase timings and DT counts.
+	Stats *stats.Stats
+	// Progressive, when non-nil, is invoked after each α-block with the
+	// original indices of the skyline points confirmed by that block —
+	// the progressive reporting the global-skyline paradigm enables.
+	Progressive func(confirmed []int)
+}
+
+// QFlow computes SKY(m) with the Q-Flow algorithm (Algorithm 1) and
+// returns original row indices in confirmation (L1) order.
+//
+// The input is sorted by L1 norm so dominance can only point backwards,
+// then processed in α-blocks: Phase I compares each block point to the
+// global skyline in parallel; survivors are compressed; Phase II compares
+// each survivor to the surviving peers that precede it in the block;
+// after a final compression the survivors are appended to the global
+// skyline, which is therefore always exact to within one block.
+func QFlow(m point.Matrix, opt QFlowOptions) []int {
+	n := m.N()
+	if n == 0 {
+		return nil
+	}
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = par.DefaultThreads()
+	}
+	alpha := opt.Alpha
+	if alpha <= 0 {
+		alpha = DefaultAlphaQFlow
+	}
+	st := opt.Stats
+	if st == nil {
+		st = &stats.Stats{}
+	}
+	st.InputSize = n
+	st.Threads = threads
+	dts := stats.NewDTCounters(threads)
+	timer := stats.NewTimer(st)
+	d := m.D()
+
+	// Initialization: compute L1 norms in parallel, sort by them.
+	l1 := make([]float64, n)
+	par.ForRanges(threads, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			l1[i] = point.L1(m.Row(i))
+		}
+	})
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return l1[order[a]] < l1[order[b]] })
+
+	// Materialize the sorted working set for contiguous block processing.
+	work := m.Gather(order)
+	wl1 := make([]float64, n)
+	worig := make([]int, n)
+	for i, j := range order {
+		wl1[i] = l1[j]
+		worig[i] = j
+	}
+	timer.Stop(stats.PhaseInit)
+
+	// Global skyline storage: contiguous rows + matching metadata.
+	skyData := make([]float64, 0, 1024*d)
+	skyL1 := make([]float64, 0, 1024)
+	skyOrig := make([]int, 0, 1024)
+
+	flags := make([]uint32, alpha)
+
+	for lo := 0; lo < n; lo += alpha {
+		hi := lo + alpha
+		if hi > n {
+			hi = n
+		}
+		block := hi - lo
+		f := flags[:block]
+		for i := range f {
+			f[i] = 0
+		}
+
+		// Phase I (parallel): compare each block point to the global
+		// skyline in L1 order, aborting on the first dominator.
+		nSky := len(skyL1)
+		par.ForRanges(threads, block, func(tid, blo, bhi int) {
+			var local uint64
+			for i := blo; i < bhi; i++ {
+				p := work.Row(lo + i)
+				myL1 := wl1[lo+i]
+				for j := 0; j < nSky; j++ {
+					if skyL1[j] == myL1 {
+						continue // equal L1 ⇒ cannot dominate
+					}
+					local++
+					if point.DominatesD(skyData[j*d:(j+1)*d], p, d) {
+						f[i] = 1
+						break
+					}
+				}
+			}
+			dts.Inc(tid, local)
+		})
+		timer.Stop(stats.PhaseOne)
+
+		// Compression: shift survivors left, re-establishing contiguity.
+		surv := compress(work, wl1, worig, nil, lo, block, f)
+		timer.Stop(stats.PhaseCompress)
+
+		// Phase II (parallel): compare each survivor to preceding
+		// survivors in the block. Flags are atomic so threads can skip
+		// peers already known to be dominated (sound by transitivity).
+		f = f[:surv]
+		par.ForRanges(threads, surv, func(tid, blo, bhi int) {
+			var local uint64
+			for i := blo; i < bhi; i++ {
+				p := work.Row(lo + i)
+				myL1 := wl1[lo+i]
+				for j := 0; j < i; j++ {
+					if atomic.LoadUint32(&f[j]) != 0 {
+						continue
+					}
+					if wl1[lo+j] == myL1 {
+						continue
+					}
+					local++
+					if point.DominatesD(work.Row(lo+j), p, d) {
+						atomic.StoreUint32(&f[i], 1)
+						break
+					}
+				}
+			}
+			dts.Inc(tid, local)
+		})
+		timer.Stop(stats.PhaseTwo)
+
+		final := compress(work, wl1, worig, nil, lo, surv, f)
+		timer.Stop(stats.PhaseCompress)
+
+		// Append the block's confirmed skyline points to the global
+		// skyline (sequential O(α) work).
+		firstNew := len(skyOrig)
+		for i := 0; i < final; i++ {
+			skyData = append(skyData, work.Row(lo+i)...)
+			skyL1 = append(skyL1, wl1[lo+i])
+			skyOrig = append(skyOrig, worig[lo+i])
+		}
+		if opt.Progressive != nil && final > 0 {
+			opt.Progressive(skyOrig[firstNew:])
+		}
+		timer.Stop(stats.PhaseOther)
+	}
+
+	st.SkylineSize = len(skyOrig)
+	st.DominanceTests = dts.Sum()
+	return skyOrig
+}
+
+// compress shifts the unflagged rows of the block starting at row lo with
+// the given length to the front of the block, moving the parallel
+// metadata arrays (l1, orig, and mask when non-nil) along with the point
+// data. It returns the number of survivors. This is the synchronization-
+// point compression of Section V-D: it removes branches and restores the
+// contiguous layout Phase II and the skyline append depend on.
+func compress(work point.Matrix, wl1 []float64, worig []int, wmask []point.Mask, lo, length int, flags []uint32) int {
+	w := 0
+	for i := 0; i < length; i++ {
+		if flags[i] != 0 {
+			continue
+		}
+		if w != i {
+			copy(work.Row(lo+w), work.Row(lo+i))
+			wl1[lo+w] = wl1[lo+i]
+			worig[lo+w] = worig[lo+i]
+			if wmask != nil {
+				wmask[lo+w] = wmask[lo+i]
+			}
+			flags[w] = 0
+		}
+		w++
+	}
+	return w
+}

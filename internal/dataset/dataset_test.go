@@ -1,0 +1,219 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"skybench/internal/point"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	for _, dist := range AllDistributions {
+		m := Generate(dist, 500, 6, 1)
+		if m.N() != 500 || m.D() != 6 {
+			t.Fatalf("%v: shape %d×%d", dist, m.N(), m.D())
+		}
+		for i := 0; i < m.N(); i++ {
+			for _, v := range m.Row(i) {
+				if v < 0 || v >= 1.0000001 {
+					t.Fatalf("%v: value %v out of [0,1]", dist, v)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Anticorrelated, 100, 8, 42)
+	b := Generate(Anticorrelated, 100, 8, 42)
+	for i := range a.Flat() {
+		if a.Flat()[i] != b.Flat()[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c := Generate(Anticorrelated, 100, 8, 43)
+	same := true
+	for i := range a.Flat() {
+		if a.Flat()[i] != c.Flat()[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGenerateBadDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(Independent, 10, 0, 1)
+}
+
+// Correlation structure: correlated data should have strongly positively
+// correlated dimension pairs; anticorrelated strongly negative;
+// independent near zero.
+func TestDistributionCorrelationSign(t *testing.T) {
+	const n, d = 4000, 4
+	pearson := func(m point.Matrix) float64 {
+		// average pairwise correlation over dimension pairs
+		var sum float64
+		var cnt int
+		for a := 0; a < d; a++ {
+			for b := a + 1; b < d; b++ {
+				var ma, mb float64
+				for i := 0; i < n; i++ {
+					ma += m.Row(i)[a]
+					mb += m.Row(i)[b]
+				}
+				ma /= n
+				mb /= n
+				var cov, va, vb float64
+				for i := 0; i < n; i++ {
+					xa, xb := m.Row(i)[a]-ma, m.Row(i)[b]-mb
+					cov += xa * xb
+					va += xa * xa
+					vb += xb * xb
+				}
+				sum += cov / math.Sqrt(va*vb)
+				cnt++
+			}
+		}
+		return sum / float64(cnt)
+	}
+	if r := pearson(Generate(Correlated, n, d, 5)); r < 0.3 {
+		t.Errorf("correlated data has mean pairwise r=%.3f, want > 0.3", r)
+	}
+	if r := pearson(Generate(Anticorrelated, n, d, 5)); r > -0.1 {
+		t.Errorf("anticorrelated data has mean pairwise r=%.3f, want < -0.1", r)
+	}
+	if r := pearson(Generate(Independent, n, d, 5)); math.Abs(r) > 0.1 {
+		t.Errorf("independent data has mean pairwise r=%.3f, want ≈ 0", r)
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Distribution
+	}{
+		{"correlated", Correlated}, {"c", Correlated},
+		{"independent", Independent}, {"i", Independent},
+		{"anticorrelated", Anticorrelated}, {"anti", Anticorrelated},
+	} {
+		got, err := ParseDistribution(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseDistribution(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParseDistribution("bogus"); err == nil {
+		t.Error("expected error for bogus distribution")
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Correlated.String() != "correlated" || Distribution(9).String() != "distribution(9)" {
+		t.Error("Distribution.String broken")
+	}
+}
+
+func TestQuantizeCreatesDuplicates(t *testing.T) {
+	m := Generate(Independent, 1000, 2, 7)
+	Quantize(m, 4)
+	distinct := map[float64]bool{}
+	for _, v := range m.Flat() {
+		distinct[v] = true
+		if v < 0 || v >= 1 {
+			t.Fatalf("quantized value %v out of range", v)
+		}
+	}
+	if len(distinct) > 4 {
+		t.Fatalf("quantize(4) produced %d distinct values", len(distinct))
+	}
+}
+
+func TestQuantizeBadLevelsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Quantize(point.NewMatrix(1, 1), 1)
+}
+
+func TestRealSpecs(t *testing.T) {
+	for _, r := range AllRealDatasets {
+		spec := r.Spec()
+		if spec.Cardinality <= 0 || spec.Dimensionality <= 0 {
+			t.Fatalf("%v: bad spec %+v", r, spec)
+		}
+	}
+	if NBA.String() != "NBA" {
+		t.Errorf("NBA name = %q", NBA.String())
+	}
+}
+
+func TestRealLoadShapesAndDuplicates(t *testing.T) {
+	for _, r := range AllRealDatasets {
+		spec := r.Spec()
+		m := r.Load(0.05)
+		wantN := int(float64(spec.Cardinality) * 0.05)
+		if m.N() != wantN || m.D() != spec.Dimensionality {
+			t.Fatalf("%v: shape %d×%d, want %d×%d", r, m.N(), m.D(), wantN, spec.Dimensionality)
+		}
+		// The stand-ins must violate the distinct-value condition.
+		col := map[float64]int{}
+		for i := 0; i < m.N(); i++ {
+			col[m.Row(i)[0]]++
+		}
+		if len(col) == m.N() {
+			t.Errorf("%v: first column has all-distinct values; stand-in must contain duplicates", r)
+		}
+	}
+}
+
+func TestRealLoadBadScalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NBA.Load(0)
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	m := Generate(Independent, 50, 3, 11)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != m.N() || back.D() != m.D() {
+		t.Fatalf("round-trip shape %d×%d", back.N(), back.D())
+	}
+	for i := range m.Flat() {
+		if m.Flat()[i] != back.Flat()[i] {
+			t.Fatalf("value %d changed: %v -> %v", i, m.Flat()[i], back.Flat()[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("1,2\n3\n")); err == nil {
+		t.Error("expected error for ragged CSV")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("1,abc\n")); err == nil {
+		t.Error("expected error for non-numeric CSV")
+	}
+	m, err := ReadCSV(bytes.NewBufferString(""))
+	if err != nil || m.N() != 0 {
+		t.Errorf("empty CSV: %v, n=%d", err, m.N())
+	}
+}

@@ -1,0 +1,90 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"skybench/internal/point"
+)
+
+// WriteCSV writes the matrix as headerless CSV, one point per row, with
+// full float64 round-trip precision.
+func WriteCSV(w io.Writer, m point.Matrix) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	rec := make([]string, m.D())
+	for i := 0; i < m.N(); i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a headerless CSV of floats into a matrix. All rows must
+// have the same number of fields.
+func ReadCSV(r io.Reader) (point.Matrix, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.ReuseRecord = true
+	var rows [][]float64
+	d := -1
+	for lineNo := 1; ; lineNo++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return point.Matrix{}, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+		}
+		if d == -1 {
+			d = len(rec)
+		} else if len(rec) != d {
+			return point.Matrix{}, fmt.Errorf("dataset: line %d has %d fields, want %d", lineNo, len(rec), d)
+		}
+		row := make([]float64, d)
+		for j, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return point.Matrix{}, fmt.Errorf("dataset: line %d field %d: %w", lineNo, j+1, err)
+			}
+			row[j] = v
+		}
+		rows = append(rows, row)
+	}
+	return point.FromRows(rows), nil
+}
+
+// WriteFile writes the matrix to path as CSV.
+func WriteFile(path string, m point.Matrix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a CSV dataset from path.
+func ReadFile(path string) (point.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return point.Matrix{}, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}

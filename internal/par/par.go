@@ -1,0 +1,139 @@
+// Package par is a minimal parallel runtime that mirrors the OpenMP
+// constructs used by the paper's C++ implementation: a chunked parallel
+// for over a fixed thread count, and a static partition of an index range.
+//
+// All algorithms in this repository take an explicit thread count t so the
+// paper's thread-scaling experiments (Figures 10–13) can sweep t
+// regardless of GOMAXPROCS.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultThreads returns the thread count used when the caller passes
+// t <= 0: the number of usable CPUs.
+func DefaultThreads() int { return runtime.GOMAXPROCS(0) }
+
+// normalize clamps a requested thread count to [1, n] for n work items
+// (never more workers than items, never fewer than one).
+func normalize(t, n int) int {
+	if t <= 0 {
+		t = DefaultThreads()
+	}
+	if n < t {
+		t = n
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// For runs body(i) for every i in [0, n) using t goroutines with dynamic
+// chunked scheduling (analogous to OpenMP schedule(dynamic, chunk)).
+// Dynamic scheduling matters for skyline phases because per-point work is
+// highly skewed: a point dominated by the first skyline point costs one
+// dominance test while a skyline point costs |S| of them.
+func For(t, n int, body func(i int)) {
+	ForChunked(t, n, 0, body)
+}
+
+// ForChunked is For with an explicit chunk size (0 picks a heuristic).
+func ForChunked(t, n, chunk int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	t = normalize(t, n)
+	if t == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	if chunk <= 0 {
+		chunk = n / (t * 8)
+		if chunk < 1 {
+			chunk = 1
+		}
+		if chunk > 1024 {
+			chunk = 1024
+		}
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(t)
+	for w := 0; w < t; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					body(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForRanges runs body(tid, lo, hi) over a static partition of [0, n) into
+// t nearly equal contiguous ranges (analogous to OpenMP schedule(static)).
+// It is used where each worker needs private state indexed by tid, e.g.
+// the pre-filter's per-thread priority queues and per-thread DT counters.
+func ForRanges(t, n int, body func(tid, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	t = normalize(t, n)
+	if t == 1 {
+		body(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(t)
+	size := n / t
+	rem := n % t
+	lo := 0
+	for w := 0; w < t; w++ {
+		hi := lo + size
+		if w < rem {
+			hi++
+		}
+		go func(tid, lo, hi int) {
+			defer wg.Done()
+			body(tid, lo, hi)
+		}(w, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// Run launches t goroutines executing body(tid) and waits for all of them.
+func Run(t int, body func(tid int)) {
+	if t <= 0 {
+		t = DefaultThreads()
+	}
+	if t == 1 {
+		body(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(t)
+	for w := 0; w < t; w++ {
+		go func(tid int) {
+			defer wg.Done()
+			body(tid)
+		}(w)
+	}
+	wg.Wait()
+}

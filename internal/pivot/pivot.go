@@ -1,0 +1,238 @@
+// Package pivot implements the five pivot-selection strategies evaluated
+// in Section VII-C2 of the paper. The pivot v partitions the data into 2^d
+// regions via masks; partition quality (balance) determines how much
+// region-wise incomparability the Hybrid algorithm can exploit.
+//
+// Correctness never depends on the pivot choice: the mask properties of
+// Section VI-A2 hold for an arbitrary constant point v. Strategy only
+// affects pruning power.
+package pivot
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"skybench/internal/point"
+)
+
+// Strategy selects how the pivot point is computed.
+type Strategy int
+
+const (
+	// Median: virtual point whose coordinates are the per-dimension
+	// medians of the (pre-filtered) data. The paper's default — produces
+	// partitions of roughly equal size and performs consistently best.
+	Median Strategy = iota
+	// Balanced: the skyline point with minimum range of normalized
+	// coordinates (BSkyTree's pivot criterion, [15]).
+	Balanced
+	// Manhattan: the point with minimum L1 norm, necessarily a skyline
+	// point ([9]).
+	Manhattan
+	// Volume: the point maximizing the dominated hyper-volume
+	// Πᵢ (1 − p[i]) (SaLSa's criterion, [2]); necessarily a skyline point.
+	Volume
+	// Random: a random point refined by one-way dominance tests, as in
+	// OSP [23]: whenever a scanned point dominates the candidate, the
+	// candidate is replaced.
+	Random
+)
+
+// String returns the lowercase flag name for the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Median:
+		return "median"
+	case Balanced:
+		return "balanced"
+	case Manhattan:
+		return "manhattan"
+	case Volume:
+		return "volume"
+	case Random:
+		return "random"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Parse converts a CLI flag value into a Strategy.
+func Parse(s string) (Strategy, error) {
+	switch s {
+	case "median":
+		return Median, nil
+	case "balanced":
+		return Balanced, nil
+	case "manhattan":
+		return Manhattan, nil
+	case "volume":
+		return Volume, nil
+	case "random":
+		return Random, nil
+	}
+	return 0, fmt.Errorf("pivot: unknown strategy %q", s)
+}
+
+// AllStrategies lists the strategies in the order of Figure 9.
+var AllStrategies = []Strategy{Balanced, Volume, Manhattan, Random, Median}
+
+// medianSampleCap bounds the per-dimension sample used to compute medians
+// so pivot selection stays O(n) even at paper-scale inputs.
+const medianSampleCap = 50000
+
+// Select computes the pivot for matrix m using strategy s. l1 must hold
+// per-row L1 norms (it is required by Manhattan and used as a tiebreak
+// elsewhere); seed drives the Random strategy deterministically. The
+// returned slice is freshly allocated and never aliases m.
+func Select(s Strategy, m point.Matrix, l1 []float64, seed int64) []float64 {
+	n, d := m.N(), m.D()
+	if n == 0 {
+		panic("pivot: empty input")
+	}
+	v := make([]float64, d)
+	switch s {
+	case Median:
+		selectMedian(m, v)
+	case Manhattan:
+		copy(v, m.Row(argminL1(l1)))
+	case Volume:
+		copy(v, m.Row(argmaxDominatedVolume(m)))
+	case Random:
+		copy(v, m.Row(selectRandomSkyline(m, seed)))
+	case Balanced:
+		copy(v, m.Row(selectBalanced(m)))
+	default:
+		panic(fmt.Sprintf("pivot: invalid strategy %d", int(s)))
+	}
+	return v
+}
+
+func argminL1(l1 []float64) int {
+	best := 0
+	for i, v := range l1 {
+		if v < l1[best] {
+			best = i
+		}
+	}
+	_ = best
+	return best
+}
+
+// argmaxDominatedVolume returns the index maximizing Πᵢ (1 − p[i]). If q
+// dominates p then every factor of q is ≥ the corresponding factor of p,
+// so the maximizer cannot be dominated (for data in [0,1)).
+func argmaxDominatedVolume(m point.Matrix) int {
+	best, bestVol := 0, -1.0
+	for i := 0; i < m.N(); i++ {
+		vol := 1.0
+		for _, x := range m.Row(i) {
+			vol *= 1 - x
+		}
+		if vol > bestVol {
+			best, bestVol = i, vol
+		}
+	}
+	return best
+}
+
+// selectMedian fills v with per-dimension medians, sampling large inputs.
+func selectMedian(m point.Matrix, v []float64) {
+	n := m.N()
+	step := 1
+	if n > medianSampleCap {
+		step = n / medianSampleCap
+	}
+	col := make([]float64, 0, n/step+1)
+	for j := 0; j < m.D(); j++ {
+		col = col[:0]
+		for i := 0; i < n; i += step {
+			col = append(col, m.Row(i)[j])
+		}
+		sort.Float64s(col)
+		v[j] = col[len(col)/2]
+	}
+}
+
+// selectRandomSkyline implements footnote 8: pick a uniform random point,
+// then iterate the dataset conducting one-way dominance tests, replacing
+// the candidate whenever it is dominated. The result is skyline with high
+// probability (and always a real data point).
+func selectRandomSkyline(m point.Matrix, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	cand := rng.Intn(m.N())
+	d := m.D()
+	for i := 0; i < m.N(); i++ {
+		if point.DominatesD(m.Row(i), m.Row(cand), d) {
+			cand = i
+		}
+	}
+	return cand
+}
+
+// selectBalanced implements BSkyTree's balanced pivot: among points that
+// survive one-way dominance refinement, choose the one minimizing the
+// range (max − min) of min-max normalized coordinates. Balanced pivots
+// yield partitions of similar size, maximizing region-wise
+// incomparability.
+func selectBalanced(m point.Matrix) int {
+	n, d := m.N(), m.D()
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	copy(lo, m.Row(0))
+	copy(hi, m.Row(0))
+	for i := 1; i < n; i++ {
+		for j, x := range m.Row(i) {
+			if x < lo[j] {
+				lo[j] = x
+			}
+			if x > hi[j] {
+				hi[j] = x
+			}
+		}
+	}
+	span := make([]float64, d)
+	for j := range span {
+		span[j] = hi[j] - lo[j]
+		if span[j] == 0 {
+			span[j] = 1 // constant dimension: normalized value 0 everywhere
+		}
+	}
+	rangeOf := func(i int) float64 {
+		mn, mx := 2.0, -1.0
+		for j, x := range m.Row(i) {
+			nv := (x - lo[j]) / span[j]
+			if nv < mn {
+				mn = nv
+			}
+			if nv > mx {
+				mx = nv
+			}
+		}
+		return mx - mn
+	}
+	cand := 0
+	candRange := rangeOf(0)
+	for i := 1; i < n; i++ {
+		switch {
+		case point.DominatesD(m.Row(i), m.Row(cand), d):
+			cand, candRange = i, rangeOf(i)
+		case point.DominatesD(m.Row(cand), m.Row(i), d):
+			// i cannot be the pivot
+		default:
+			if r := rangeOf(i); r < candRange {
+				cand, candRange = i, r
+			}
+		}
+	}
+	// Refinement pass: ensure no point dominates the final candidate.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if point.DominatesD(m.Row(i), m.Row(cand), d) {
+				cand, candRange = i, rangeOf(i)
+				changed = true
+			}
+		}
+	}
+	return cand
+}

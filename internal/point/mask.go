@@ -1,0 +1,52 @@
+package point
+
+import "math/bits"
+
+// Mask is a 2^d-region partition mask relative to a pivot point
+// (Section VI-A2). Bit i is set iff the point is ≥ the pivot on dimension
+// i; a clear bit means the point is strictly better than the pivot there.
+// Dimensionality is limited to 31 so masks (plus the level in the compound
+// sort key) fit comfortably in 32 bits on all platforms.
+type Mask uint32
+
+// MaxDims is the largest dimensionality supported by mask-based
+// partitioning. The paper evaluates up to d = 16.
+const MaxDims = 31
+
+// ComputeMask assigns p to a partition relative to pivot v:
+// bit i = (p[i] < v[i] ? 0 : 1).
+func ComputeMask(p, v []float64) Mask {
+	var m Mask
+	for i, x := range p {
+		if x >= v[i] {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// Level returns |m|, the number of set bits — the "level" of the partition
+// in the paper's three-key sort.
+func (m Mask) Level() int { return bits.OnesCount32(uint32(m)) }
+
+// Subset reports m ⊆ m2, i.e. every bit set in m is also set in m2.
+// A point with mask m can dominate a point with mask m2 only if m ⊆ m2
+// (both cheap-filter properties of Section VI-A2 reduce to this test).
+func (m Mask) Subset(m2 Mask) bool { return m&m2 == m }
+
+// FullMask returns the all-ones mask for dimensionality d (the partition
+// of points weakly dominated by the pivot).
+func FullMask(d int) Mask { return Mask(1<<uint(d)) - 1 }
+
+// CompoundKey packs (level, mask) into one integer so the three-key sort
+// of Section VI-A3 can compare level-then-mask with a single value:
+// K = (|m| << d) | m. It needs d + ⌈lg d⌉ bits, well within 64.
+func (m Mask) CompoundKey(d int) uint64 {
+	return uint64(m.Level())<<uint(d) | uint64(m)
+}
+
+// MaskFromKey recovers the mask from a compound key: m = K & (2^d − 1).
+func MaskFromKey(k uint64, d int) Mask { return Mask(k) & FullMask(d) }
+
+// LevelFromKey recovers the level from a compound key: |m| = K >> d.
+func LevelFromKey(k uint64, d int) int { return int(k >> uint(d)) }

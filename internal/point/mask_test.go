@@ -1,0 +1,110 @@
+package point
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeMask(t *testing.T) {
+	v := []float64{5, 5}
+	cases := []struct {
+		p    []float64
+		want Mask
+	}{
+		{[]float64{1, 1}, 0b00},
+		{[]float64{9, 1}, 0b01},
+		{[]float64{1, 9}, 0b10},
+		{[]float64{9, 9}, 0b11},
+		{[]float64{5, 5}, 0b11}, // equality counts as "not better"
+	}
+	for _, c := range cases {
+		if got := ComputeMask(c.p, v); got != c.want {
+			t.Errorf("ComputeMask(%v) = %04b, want %04b", c.p, got, c.want)
+		}
+	}
+}
+
+func TestLevelAndSubset(t *testing.T) {
+	if Mask(0b1011).Level() != 3 {
+		t.Error("Level(0b1011) != 3")
+	}
+	if !Mask(0b001).Subset(0b011) {
+		t.Error("0b001 should be subset of 0b011")
+	}
+	if Mask(0b100).Subset(0b011) {
+		t.Error("0b100 should not be subset of 0b011")
+	}
+	if !Mask(0).Subset(0) {
+		t.Error("0 ⊆ 0")
+	}
+}
+
+func TestFullMask(t *testing.T) {
+	if FullMask(4) != 0b1111 {
+		t.Errorf("FullMask(4) = %b", FullMask(4))
+	}
+	if FullMask(1) != 0b1 {
+		t.Errorf("FullMask(1) = %b", FullMask(1))
+	}
+}
+
+func TestCompoundKeyRoundTrip(t *testing.T) {
+	for d := 1; d <= 16; d++ {
+		for trial := 0; trial < 100; trial++ {
+			m := Mask(rand.Uint32()) & FullMask(d)
+			k := m.CompoundKey(d)
+			if MaskFromKey(k, d) != m {
+				t.Fatalf("d=%d mask=%b: MaskFromKey(%d) = %b", d, m, k, MaskFromKey(k, d))
+			}
+			if LevelFromKey(k, d) != m.Level() {
+				t.Fatalf("d=%d mask=%b: LevelFromKey = %d, want %d", d, m, LevelFromKey(k, d), m.Level())
+			}
+		}
+	}
+}
+
+// Property (Section VI-A2, both cheap-filter rules): if q dominates p then
+// mask(q) ⊆ mask(p) relative to any pivot. The compound-key sort therefore
+// orders dominators before dominatees.
+func TestDominatorMaskIsSubset(t *testing.T) {
+	f := func(a, b, piv [4]uint8) bool {
+		q, p, v := make([]float64, 4), make([]float64, 4), make([]float64, 4)
+		for i := 0; i < 4; i++ {
+			q[i], p[i], v[i] = float64(a[i]%6), float64(b[i]%6), float64(piv[i]%6)
+		}
+		if Dominates(q, p) {
+			mq, mp := ComputeMask(q, v), ComputeMask(p, v)
+			if !mq.Subset(mp) {
+				return false
+			}
+			if mq.CompoundKey(4) > mp.CompoundKey(4) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: equal-level distinct masks are incomparable regions — no point
+// in one can dominate a point in the other (first property of VI-A2).
+func TestEqualLevelDistinctMasksIncomparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	v := []float64{3, 3, 3, 3}
+	for trial := 0; trial < 20000; trial++ {
+		p, q := make([]float64, 4), make([]float64, 4)
+		for i := range p {
+			p[i] = float64(rng.Intn(6))
+			q[i] = float64(rng.Intn(6))
+		}
+		mp, mq := ComputeMask(p, v), ComputeMask(q, v)
+		if mp.Level() == mq.Level() && mp != mq {
+			if Dominates(p, q) || Dominates(q, p) {
+				t.Fatalf("masks %b/%b same level but %v and %v comparable", mp, mq, p, q)
+			}
+		}
+	}
+}

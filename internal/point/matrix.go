@@ -1,0 +1,149 @@
+// Package point provides the dense point-matrix substrate shared by all
+// skyline algorithms in this repository, together with the dominance-test
+// kernels that are their primary operation.
+//
+// Points live in a flat, row-major []float64 so that a block of points is
+// contiguous in memory; the paper's algorithms (notably the compression
+// step of Q-Flow, Section V-D) depend on contiguous layouts for locality.
+package point
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense n×d collection of points stored row-major. The zero
+// value is an empty matrix. Matrix is cheap to copy (it is a slice header
+// plus two ints); the underlying values are shared.
+type Matrix struct {
+	vals []float64
+	n, d int
+}
+
+// NewMatrix allocates an n×d matrix of zeros.
+func NewMatrix(n, d int) Matrix {
+	if n < 0 || d < 0 {
+		panic(fmt.Sprintf("point: invalid matrix shape %d×%d", n, d))
+	}
+	return Matrix{vals: make([]float64, n*d), n: n, d: d}
+}
+
+// FromRows builds a matrix by copying the given rows. All rows must have
+// the same length. An empty input yields an empty matrix.
+func FromRows(rows [][]float64) Matrix {
+	if len(rows) == 0 {
+		return Matrix{}
+	}
+	d := len(rows[0])
+	m := NewMatrix(len(rows), d)
+	for i, r := range rows {
+		if len(r) != d {
+			panic(fmt.Sprintf("point: row %d has %d values, want %d", i, len(r), d))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// FromFlat wraps an existing row-major slice without copying. The slice
+// length must be exactly n*d.
+func FromFlat(vals []float64, n, d int) Matrix {
+	if len(vals) != n*d {
+		panic(fmt.Sprintf("point: flat slice has %d values, want %d×%d=%d", len(vals), n, d, n*d))
+	}
+	return Matrix{vals: vals, n: n, d: d}
+}
+
+// N returns the number of points.
+func (m Matrix) N() int { return m.n }
+
+// D returns the dimensionality.
+func (m Matrix) D() int { return m.d }
+
+// Row returns point i as a slice aliasing the matrix storage.
+func (m Matrix) Row(i int) []float64 {
+	return m.vals[i*m.d : (i+1)*m.d : (i+1)*m.d]
+}
+
+// Flat returns the underlying row-major storage (aliased, not copied).
+func (m Matrix) Flat() []float64 { return m.vals }
+
+// Clone returns a deep copy of the matrix.
+func (m Matrix) Clone() Matrix {
+	c := NewMatrix(m.n, m.d)
+	copy(c.vals, m.vals)
+	return c
+}
+
+// Gather returns a new matrix containing the rows of m selected by idx, in
+// order. Used to materialize pre-filter survivors and sorted layouts.
+func (m Matrix) Gather(idx []int) Matrix {
+	out := NewMatrix(len(idx), m.d)
+	for i, j := range idx {
+		copy(out.Row(i), m.Row(j))
+	}
+	return out
+}
+
+// Rows returns a [][]float64 view of the matrix (each row aliases storage).
+func (m Matrix) Rows() [][]float64 {
+	rows := make([][]float64, m.n)
+	for i := range rows {
+		rows[i] = m.Row(i)
+	}
+	return rows
+}
+
+// L1 returns the Manhattan norm Σᵢ p[i] of a point. The paper uses the L1
+// norm as its cheap filter: p ≺ q implies L1(p) < L1(q) (footnote 2).
+func L1(p []float64) float64 {
+	s := 0.0
+	for _, v := range p {
+		s += v
+	}
+	return s
+}
+
+// MinCoord returns the smallest coordinate of p. SaLSa sorts by this key
+// to enable early termination.
+func MinCoord(p []float64) float64 {
+	mn := math.Inf(1)
+	for _, v := range p {
+		if v < mn {
+			mn = v
+		}
+	}
+	return mn
+}
+
+// MaxCoord returns the largest coordinate of p.
+func MaxCoord(p []float64) float64 {
+	mx := math.Inf(-1)
+	for _, v := range p {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Volume returns Πᵢ p[i], the hyper-volume pivot criterion ([2] in the
+// paper's pivot study).
+func Volume(p []float64) float64 {
+	v := 1.0
+	for _, x := range p {
+		v *= x
+	}
+	return v
+}
+
+// L1All computes the L1 norm of every row into out (which must have length
+// m.N()).
+func (m Matrix) L1All(out []float64) {
+	if len(out) != m.n {
+		panic("point: L1All output length mismatch")
+	}
+	for i := 0; i < m.n; i++ {
+		out[i] = L1(m.Row(i))
+	}
+}

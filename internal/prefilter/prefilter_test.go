@@ -1,0 +1,110 @@
+package prefilter
+
+import (
+	"testing"
+
+	"skybench/internal/dataset"
+	"skybench/internal/point"
+	"skybench/internal/stats"
+	"skybench/internal/verify"
+)
+
+func l1s(m point.Matrix) []float64 {
+	out := make([]float64, m.N())
+	m.L1All(out)
+	return out
+}
+
+// The fundamental safety property: the pre-filter must never remove a
+// skyline point, for any distribution and thread count.
+func TestFilterPreservesSkyline(t *testing.T) {
+	for _, dist := range dataset.AllDistributions {
+		for _, threads := range []int{1, 2, 4} {
+			m := dataset.Generate(dist, 800, 5, 3)
+			surv := Filter(m, l1s(m), 0, threads, nil)
+			kept := make(map[int]bool, len(surv))
+			for _, i := range surv {
+				kept[i] = true
+			}
+			for _, s := range verify.BruteForce(m) {
+				if !kept[s] {
+					t.Fatalf("%v t=%d: skyline point %d was pruned", dist, threads, s)
+				}
+			}
+		}
+	}
+}
+
+// On correlated data the filter should actually prune a large share of
+// the input — that is its entire purpose.
+func TestFilterPrunesCorrelatedData(t *testing.T) {
+	m := dataset.Generate(dataset.Correlated, 2000, 4, 9)
+	surv := Filter(m, l1s(m), 0, 2, nil)
+	if len(surv) > m.N()/2 {
+		t.Errorf("filter kept %d of %d correlated points; expected heavy pruning", len(surv), m.N())
+	}
+}
+
+func TestFilterKeepsOrder(t *testing.T) {
+	m := dataset.Generate(dataset.Independent, 500, 4, 5)
+	surv := Filter(m, l1s(m), 0, 3, nil)
+	for i := 1; i < len(surv); i++ {
+		if surv[i] <= surv[i-1] {
+			t.Fatal("survivor indices not in ascending input order")
+		}
+	}
+}
+
+func TestFilterEmptyAndTiny(t *testing.T) {
+	if got := Filter(point.Matrix{}, nil, 0, 2, nil); got != nil {
+		t.Errorf("empty input: %v", got)
+	}
+	m := point.FromRows([][]float64{{1, 1}})
+	if got := Filter(m, l1s(m), 0, 2, nil); len(got) != 1 {
+		t.Errorf("single point: %v", got)
+	}
+}
+
+func TestFilterDuplicatesSurvive(t *testing.T) {
+	m := point.FromRows([][]float64{
+		{0, 0}, {0, 0}, {0, 0}, // coincident minimal points
+		{5, 5}, // dominated
+	})
+	surv := Filter(m, l1s(m), 2, 1, nil)
+	kept := map[int]bool{}
+	for _, i := range surv {
+		kept[i] = true
+	}
+	if !kept[0] || !kept[1] || !kept[2] {
+		t.Fatalf("coincident minimal points pruned: %v", surv)
+	}
+	if kept[3] {
+		t.Fatalf("dominated point survived: %v", surv)
+	}
+}
+
+func TestFilterCountsDTs(t *testing.T) {
+	m := dataset.Generate(dataset.Independent, 300, 4, 5)
+	dts := stats.NewDTCounters(2)
+	Filter(m, l1s(m), 0, 2, dts)
+	if dts.Sum() == 0 {
+		t.Error("expected nonzero dominance tests")
+	}
+}
+
+func TestFilterBetaVariants(t *testing.T) {
+	m := dataset.Generate(dataset.Correlated, 1000, 6, 11)
+	norms := l1s(m)
+	for _, beta := range []int{1, 4, 8, 32} {
+		surv := Filter(m, norms, beta, 2, nil)
+		kept := make(map[int]bool, len(surv))
+		for _, i := range surv {
+			kept[i] = true
+		}
+		for _, s := range verify.BruteForce(m) {
+			if !kept[s] {
+				t.Fatalf("beta=%d: skyline point %d pruned", beta, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package verify provides a brute-force skyline oracle and result
+// comparison helpers used by the test suites of every algorithm package.
+package verify
+
+import (
+	"sort"
+	"strconv"
+
+	"skybench/internal/point"
+)
+
+// BruteForce computes SKY(P) by the O(n²) definition: a point is in the
+// skyline iff no other point dominates it (Definition 3). Coincident
+// duplicates of a skyline point are all included, since coincident points
+// never dominate each other (Definition 2). It returns ascending indices
+// into m and is the correctness oracle for all algorithm tests.
+func BruteForce(m point.Matrix) []int {
+	n := m.N()
+	var out []int
+	for i := 0; i < n; i++ {
+		p := m.Row(i)
+		dominated := false
+		for j := 0; j < n && !dominated; j++ {
+			if j != i && point.Dominates(m.Row(j), p) {
+				dominated = true
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SameSkyline reports whether two skyline results over the same matrix
+// select exactly the same set of input positions. Order is ignored.
+func SameSkyline(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int(nil), a...)
+	bs := append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SamePoints reports whether two skyline results over the same matrix
+// contain the same multiset of point values. This is the right comparison
+// when an algorithm reorders its input internally and cannot preserve
+// original indices.
+func SamePoints(m point.Matrix, a []int, mb point.Matrix, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ka := sortedKeys(m, a)
+	kb := sortedKeys(mb, b)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedKeys renders each selected row to a canonical string key and
+// sorts them, giving a canonical multiset representation.
+func sortedKeys(m point.Matrix, idx []int) []string {
+	keys := make([]string, len(idx))
+	for i, j := range idx {
+		row := m.Row(j)
+		buf := make([]byte, 0, len(row)*8)
+		for _, v := range row {
+			buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+			buf = append(buf, ',')
+		}
+		keys[i] = string(buf)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// IsSkyline checks from first principles that idx is exactly SKY(m): it
+// selects precisely the points not dominated by any other input point,
+// with no duplicate or out-of-range indices. O(n²); test-only.
+func IsSkyline(m point.Matrix, idx []int) bool {
+	sel := make([]bool, m.N())
+	for _, i := range idx {
+		if i < 0 || i >= m.N() || sel[i] {
+			return false
+		}
+		sel[i] = true
+	}
+	for i := 0; i < m.N(); i++ {
+		dominated := false
+		for j := 0; j < m.N() && !dominated; j++ {
+			if j != i && point.Dominates(m.Row(j), m.Row(i)) {
+				dominated = true
+			}
+		}
+		if sel[i] == dominated {
+			return false
+		}
+	}
+	return true
+}

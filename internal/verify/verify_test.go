@@ -1,0 +1,96 @@
+package verify
+
+import (
+	"testing"
+
+	"skybench/internal/dataset"
+	"skybench/internal/point"
+)
+
+func TestBruteForcePaperExample(t *testing.T) {
+	// Figure 1a of the paper: p,r,s,t in the skyline, q dominated by p.
+	m := point.FromRows([][]float64{
+		{2, 4}, // p
+		{4, 6}, // q (dominated by p)
+		{1, 7}, // r
+		{5, 2}, // s
+		{8, 1}, // t
+	})
+	got := BruteForce(m)
+	want := []int{0, 2, 3, 4}
+	if !SameSkyline(got, want) {
+		t.Fatalf("BruteForce = %v, want %v", got, want)
+	}
+}
+
+func TestBruteForceDuplicatesBothSurvive(t *testing.T) {
+	m := point.FromRows([][]float64{
+		{1, 1},
+		{1, 1}, // coincident with point 0: both in skyline
+		{2, 2}, // dominated
+	})
+	got := BruteForce(m)
+	if !SameSkyline(got, []int{0, 1}) {
+		t.Fatalf("duplicates: got %v", got)
+	}
+}
+
+func TestBruteForceSinglePointAndEmpty(t *testing.T) {
+	if got := BruteForce(point.FromRows([][]float64{{5}})); len(got) != 1 {
+		t.Fatalf("single point: %v", got)
+	}
+	if got := BruteForce(point.Matrix{}); len(got) != 0 {
+		t.Fatalf("empty: %v", got)
+	}
+}
+
+func TestIsSkyline(t *testing.T) {
+	m := point.FromRows([][]float64{{1, 2}, {2, 1}, {3, 3}})
+	if !IsSkyline(m, []int{0, 1}) {
+		t.Error("correct skyline rejected")
+	}
+	if IsSkyline(m, []int{0}) {
+		t.Error("missing point accepted")
+	}
+	if IsSkyline(m, []int{0, 1, 2}) {
+		t.Error("dominated point accepted")
+	}
+	if IsSkyline(m, []int{0, 0}) {
+		t.Error("duplicate index accepted")
+	}
+	if IsSkyline(m, []int{0, 5}) {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestBruteForceSatisfiesIsSkyline(t *testing.T) {
+	for _, dist := range dataset.AllDistributions {
+		m := dataset.Generate(dist, 300, 4, 17)
+		if !IsSkyline(m, BruteForce(m)) {
+			t.Fatalf("%v: oracle disagrees with itself", dist)
+		}
+	}
+}
+
+func TestSameSkyline(t *testing.T) {
+	if !SameSkyline([]int{3, 1, 2}, []int{1, 2, 3}) {
+		t.Error("order should not matter")
+	}
+	if SameSkyline([]int{1, 2}, []int{1, 3}) {
+		t.Error("different sets accepted")
+	}
+	if SameSkyline([]int{1}, []int{1, 2}) {
+		t.Error("different lengths accepted")
+	}
+}
+
+func TestSamePoints(t *testing.T) {
+	m := point.FromRows([][]float64{{1, 2}, {2, 1}, {1, 2}})
+	// Index sets {0,1} and {2,1} select the same point values.
+	if !SamePoints(m, []int{0, 1}, m, []int{2, 1}) {
+		t.Error("coincident rows should compare equal by value")
+	}
+	if SamePoints(m, []int{0}, m, []int{1}) {
+		t.Error("different values accepted")
+	}
+}

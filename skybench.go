@@ -1,0 +1,358 @@
+// Package skybench is a Go reproduction of SkyBench, the multicore
+// skyline computation suite of Chester, Šidlauskas, Assent and Bøgh
+// ("Scalable Parallelization of Skyline Computation for Multi-core
+// Processors", ICDE 2015).
+//
+// The skyline of a dataset is the subset of points not dominated by any
+// other point: p dominates q when p is no worse than q on every
+// dimension and strictly better on at least one (smaller values are
+// preferred; negate attributes to maximize).
+//
+// The package provides the paper's two contributions — the Q-Flow
+// block-parallel flow of control and the full Hybrid algorithm with its
+// two-level partition index over a shared global skyline — together with
+// every baseline of the paper's evaluation (PSkyline, BSkyTree,
+// PBSkyTree) and the classic sequential algorithms (BNL, SFS, SaLSa,
+// LESS).
+//
+// Quick start:
+//
+//	res, err := skybench.Compute(data, skybench.Options{})
+//	if err != nil { ... }
+//	for _, i := range res.Indices { ... } // skyline rows of data
+package skybench
+
+import (
+	"fmt"
+	"time"
+
+	"skybench/internal/algo/apskyline"
+	"skybench/internal/algo/bnl"
+	"skybench/internal/algo/bskytree"
+	"skybench/internal/algo/dnc"
+	"skybench/internal/algo/less"
+	"skybench/internal/algo/psfs"
+	"skybench/internal/algo/pskyline"
+	"skybench/internal/algo/salsa"
+	"skybench/internal/algo/sfs"
+	"skybench/internal/core"
+	"skybench/internal/dataset"
+	"skybench/internal/pivot"
+	"skybench/internal/point"
+	"skybench/internal/stats"
+)
+
+// Algorithm selects which skyline algorithm Compute runs.
+type Algorithm int
+
+const (
+	// Hybrid is the paper's full algorithm (Section VI): Q-Flow plus
+	// point-based partitioning and the M(S) skyline index. The default
+	// and the best performer on all non-trivial workloads.
+	Hybrid Algorithm = iota
+	// QFlow is the simplified block-parallel algorithm (Section V).
+	QFlow
+	// PSkyline is the divide-and-conquer multicore baseline (Im & Park).
+	PSkyline
+	// BSkyTree is the state-of-the-art sequential algorithm (Lee &
+	// Hwang); Threads is ignored.
+	BSkyTree
+	// PBSkyTree is the paper's parallelization of BSkyTree (Appendix A).
+	PBSkyTree
+	// BNL is Börzsönyi et al.'s block-nested-loops baseline; sequential.
+	BNL
+	// SFS is the sort-filter skyline of Chomicki et al.; sequential.
+	SFS
+	// SaLSa is Bartolini et al.'s sort-and-limit algorithm; sequential.
+	SaLSa
+	// LESS is Godfrey et al.'s linear elimination sort; sequential.
+	LESS
+	// DnC is Börzsönyi et al.'s original divide-and-conquer algorithm;
+	// sequential.
+	DnC
+	// PSFS is Im & Park's parallel SFS, the naive baseline the paper
+	// calls "a weaker version of our Q-Flow".
+	PSFS
+	// APSkyline is Liknes et al.'s angle-based multicore
+	// divide-and-conquer (equi-depth first-angle variant).
+	APSkyline
+)
+
+var algoNames = map[Algorithm]string{
+	Hybrid: "hybrid", QFlow: "qflow", PSkyline: "pskyline",
+	BSkyTree: "bskytree", PBSkyTree: "pbskytree",
+	BNL: "bnl", SFS: "sfs", SaLSa: "salsa", LESS: "less", DnC: "dnc",
+	PSFS: "psfs", APSkyline: "apskyline",
+}
+
+// String returns the algorithm's CLI name.
+func (a Algorithm) String() string {
+	if s, ok := algoNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm converts a CLI name into an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for a, name := range algoNames {
+		if name == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("skybench: unknown algorithm %q", s)
+}
+
+// Algorithms lists every available algorithm, parallel ones first.
+var Algorithms = []Algorithm{
+	Hybrid, QFlow, PSkyline, PBSkyTree, PSFS, APSkyline,
+	BSkyTree, BNL, SFS, SaLSa, LESS, DnC,
+}
+
+// PivotStrategy selects how Hybrid picks its level-1 partitioning pivot
+// (Section VII-C2 of the paper).
+type PivotStrategy int
+
+const (
+	// PivotMedian uses the per-dimension median — the paper's default
+	// and consistently best choice.
+	PivotMedian PivotStrategy = iota
+	// PivotBalanced uses BSkyTree's minimum-range skyline point.
+	PivotBalanced
+	// PivotManhattan uses the minimum-L1 point.
+	PivotManhattan
+	// PivotVolume uses the point with maximal dominated volume.
+	PivotVolume
+	// PivotRandom uses a refined random skyline point.
+	PivotRandom
+)
+
+func (p PivotStrategy) internal() pivot.Strategy {
+	switch p {
+	case PivotBalanced:
+		return pivot.Balanced
+	case PivotManhattan:
+		return pivot.Manhattan
+	case PivotVolume:
+		return pivot.Volume
+	case PivotRandom:
+		return pivot.Random
+	default:
+		return pivot.Median
+	}
+}
+
+// String returns the strategy's CLI name.
+func (p PivotStrategy) String() string { return p.internal().String() }
+
+// Options configures Compute. The zero value runs Hybrid with the
+// paper's defaults on all available CPUs.
+type Options struct {
+	// Algorithm selects the skyline algorithm (default Hybrid).
+	Algorithm Algorithm
+	// Threads is the worker count for parallel algorithms (≤ 0 selects
+	// GOMAXPROCS). Sequential algorithms ignore it.
+	Threads int
+	// Alpha overrides the α-block size of Hybrid and QFlow (≤ 0 keeps
+	// the paper's defaults: 2^10 for Hybrid, 2^13 for QFlow).
+	Alpha int
+	// Pivot selects Hybrid's pivot strategy (default PivotMedian).
+	Pivot PivotStrategy
+	// Beta overrides Hybrid's pre-filter queue size (≤ 0 keeps β = 8).
+	Beta int
+	// Seed drives the PivotRandom strategy deterministically.
+	Seed int64
+	// Progressive, when non-nil and the algorithm supports it (Hybrid,
+	// QFlow), receives batches of confirmed skyline indices as blocks
+	// complete.
+	Progressive func(confirmed []int)
+	// Ablation disables individual Hybrid design components for
+	// experimentation. Production users should leave it zero.
+	Ablation Ablation
+}
+
+// Ablation switches off individual components of the Hybrid algorithm so
+// their contribution can be measured (the ablation benchmarks in
+// DESIGN.md). Every combination still computes the exact skyline.
+type Ablation struct {
+	// NoPrefilter disables the β-queue pre-filter of Section VI-A1.
+	NoPrefilter bool
+	// NoMS disables the M(S) two-level index; Phase I degrades to a
+	// linear scan with level-1 mask filtering.
+	NoMS bool
+	// NoLevel2 keeps M(S) but disables level-2 re-partitioning.
+	NoLevel2 bool
+	// NoPhase2Split disables Phase II's three-loop decomposition;
+	// every preceding block peer gets a full dominance test.
+	NoPhase2Split bool
+}
+
+// PhaseTimings breaks a run's wall-clock time into the phases reported
+// in the paper's Figures 7 and 8.
+type PhaseTimings struct {
+	Init      time.Duration // L1 computation + sorting
+	Prefilter time.Duration // β-queue pre-filter (Hybrid)
+	Pivot     time.Duration // pivot selection + partitioning (Hybrid)
+	PhaseOne  time.Duration // comparisons against the global skyline
+	PhaseTwo  time.Duration // peer comparisons / merge
+	Compress  time.Duration // α-block compression
+	Other     time.Duration // structure updates and bookkeeping
+}
+
+// Stats reports measurements of one Compute run.
+type Stats struct {
+	// DominanceTests is the number of full point-vs-point dominance
+	// tests performed — the machine-independent cost metric.
+	DominanceTests uint64
+	// SkylineSize is the number of skyline points found.
+	SkylineSize int
+	// InputSize is the number of input points.
+	InputSize int
+	// Threads is the effective worker count.
+	Threads int
+	// Timings is the per-phase wall-clock breakdown (parallel
+	// algorithms only; sequential baselines report zero).
+	Timings PhaseTimings
+	// Elapsed is the total wall-clock time of the computation.
+	Elapsed time.Duration
+}
+
+// Result is the outcome of Compute.
+type Result struct {
+	// Indices are the positions of the skyline points in the input, in
+	// the algorithm's natural output order.
+	Indices []int
+	// Stats holds measurements of the run.
+	Stats Stats
+}
+
+// Compute runs the selected skyline algorithm over data, a slice of
+// points with equal dimensionality. It returns the indices of the
+// skyline points. Smaller values are preferred on every dimension.
+func Compute(data [][]float64, opt Options) (Result, error) {
+	if len(data) == 0 {
+		return Result{}, nil
+	}
+	d := len(data[0])
+	if d == 0 {
+		return Result{}, fmt.Errorf("skybench: points must have at least one dimension")
+	}
+	for i, row := range data {
+		if len(row) != d {
+			return Result{}, fmt.Errorf("skybench: point %d has %d dimensions, want %d", i, len(row), d)
+		}
+	}
+	if d > point.MaxDims {
+		return Result{}, fmt.Errorf("skybench: at most %d dimensions supported, got %d", point.MaxDims, d)
+	}
+	return computeMatrix(point.FromRows(data), opt)
+}
+
+// Skyline is a convenience wrapper running Hybrid with defaults and
+// returning just the skyline indices.
+func Skyline(data [][]float64) ([]int, error) {
+	res, err := Compute(data, Options{})
+	return res.Indices, err
+}
+
+func computeMatrix(m point.Matrix, opt Options) (Result, error) {
+	var st stats.Stats
+	start := time.Now()
+	var idx []int
+	switch opt.Algorithm {
+	case Hybrid:
+		idx = core.Hybrid(m, core.HybridOptions{
+			Threads:       opt.Threads,
+			Alpha:         opt.Alpha,
+			Pivot:         opt.Pivot.internal(),
+			Beta:          opt.Beta,
+			Seed:          opt.Seed,
+			NoPrefilter:   opt.Ablation.NoPrefilter,
+			NoMS:          opt.Ablation.NoMS,
+			NoLevel2:      opt.Ablation.NoLevel2,
+			NoPhase2Split: opt.Ablation.NoPhase2Split,
+			Stats:         &st,
+			Progressive:   opt.Progressive,
+		})
+	case QFlow:
+		idx = core.QFlow(m, core.QFlowOptions{
+			Threads:     opt.Threads,
+			Alpha:       opt.Alpha,
+			Stats:       &st,
+			Progressive: opt.Progressive,
+		})
+	case PSkyline:
+		idx = pskyline.SkylineStats(m, opt.Threads, &st)
+	case BSkyTree:
+		var dts uint64
+		idx, dts = bskytree.SkylineDT(m, nil)
+		st.DominanceTests = dts
+	case PBSkyTree:
+		var dts uint64
+		idx, dts = bskytree.ParallelSkylineDT(m, opt.Threads, nil)
+		st.DominanceTests = dts
+	case BNL:
+		idx, st.DominanceTests = bnl.SkylineDT(m)
+	case SFS:
+		idx, st.DominanceTests = sfs.SkylineDT(m)
+	case SaLSa:
+		idx, st.DominanceTests, _ = salsa.SkylineDT(m)
+	case LESS:
+		idx, st.DominanceTests = less.SkylineDT(m, opt.Beta)
+	case DnC:
+		idx, st.DominanceTests = dnc.SkylineDT(m)
+	case PSFS:
+		idx, st.DominanceTests = psfs.SkylineDT(m, opt.Threads)
+	case APSkyline:
+		idx, st.DominanceTests = apskyline.SkylineDT(m, opt.Threads)
+	default:
+		return Result{}, fmt.Errorf("skybench: unknown algorithm %d", int(opt.Algorithm))
+	}
+	elapsed := time.Since(start)
+	st.InputSize = m.N()
+	st.SkylineSize = len(idx)
+	return Result{
+		Indices: idx,
+		Stats: Stats{
+			DominanceTests: st.DominanceTests,
+			SkylineSize:    len(idx),
+			InputSize:      m.N(),
+			Threads:        st.Threads,
+			Elapsed:        elapsed,
+			Timings: PhaseTimings{
+				Init:      st.Phases[stats.PhaseInit],
+				Prefilter: st.Phases[stats.PhasePrefilt],
+				Pivot:     st.Phases[stats.PhasePivot],
+				PhaseOne:  st.Phases[stats.PhaseOne],
+				PhaseTwo:  st.Phases[stats.PhaseTwo],
+				Compress:  st.Phases[stats.PhaseCompress],
+				Other:     st.Phases[stats.PhaseOther],
+			},
+		},
+	}, nil
+}
+
+// GenerateDataset produces one of the paper's synthetic workloads:
+// dist is "correlated", "independent", or "anticorrelated"; the result
+// is n points of d dimensions in [0,1), deterministic in seed. It exists
+// so examples and downstream users can exercise realistic workloads
+// without reimplementing the Börzsönyi generator.
+func GenerateDataset(dist string, n, d int, seed int64) ([][]float64, error) {
+	dd, err := dataset.ParseDistribution(dist)
+	if err != nil {
+		return nil, err
+	}
+	m := dataset.Generate(dd, n, d, seed)
+	rows := make([][]float64, m.N())
+	for i := range rows {
+		row := make([]float64, d)
+		copy(row, m.Row(i))
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// Dominates reports whether point p dominates point q under the
+// minimization convention (Definition 2 of the paper). Exposed for
+// downstream code that needs to reason about individual pairs.
+func Dominates(p, q []float64) bool { return point.Dominates(p, q) }
