@@ -287,6 +287,44 @@ func BenchmarkExtensionMulticore(b *testing.B) {
 	}
 }
 
+// defaultWorkload is the issue's acceptance workload: the paper's default
+// independent distribution at n=100k, d=8, 8 threads.
+const (
+	defaultN       = 100000
+	defaultD       = 8
+	defaultThreads = 8
+)
+
+// benchDefault times one hot-path algorithm on the acceptance workload
+// through a reused Context (the serving configuration): steady-state
+// zero-allocation runs on a persistent worker pool.
+func benchDefault(b *testing.B, alg skybench.Algorithm) {
+	m := benchData(dataset.Independent, defaultN, defaultD)
+	ctx := skybench.NewContext()
+	defer ctx.Close()
+	opt := skybench.Options{Algorithm: alg, Threads: defaultThreads}
+	var last skybench.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ctx.ComputeFlat(m.Flat(), m.N(), m.D(), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(last.Stats.DominanceTests), "DTs/op")
+	b.ReportMetric(float64(last.Stats.SkylineSize), "skypoints")
+}
+
+// BenchmarkHybridDefault is the acceptance benchmark of the
+// zero-allocation-hot-paths issue: Hybrid on independent n=100k, d=8,
+// t=8. Compare against the pre-PR tree (see BENCH_*.json).
+func BenchmarkHybridDefault(b *testing.B) { benchDefault(b, skybench.Hybrid) }
+
+// BenchmarkQFlowDefault is BenchmarkHybridDefault for Q-Flow.
+func BenchmarkQFlowDefault(b *testing.B) { benchDefault(b, skybench.QFlow) }
+
 // BenchmarkDominanceKernel measures the raw dominance-test kernels the
 // whole suite is built on (the analogue of the paper's SIMD study).
 func BenchmarkDominanceKernel(b *testing.B) {

@@ -1,0 +1,127 @@
+// Command benchsnap measures the hot-path algorithms on a fixed workload
+// grid and writes a BENCH_<date>.json snapshot, so the repository records
+// a performance trajectory PR over PR. Commit the emitted file; compare
+// two snapshots by eye or with jq.
+//
+// Usage:
+//
+//	benchsnap                       # default grid, BENCH_<date>.json
+//	benchsnap -out BENCH_x.json -reps 5 -note "after kernel rework"
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"skybench"
+
+	"skybench/internal/dataset"
+)
+
+// entry is one measured cell of the snapshot grid.
+type entry struct {
+	Algorithm string  `json:"algorithm"`
+	Dist      string  `json:"dist"`
+	N         int     `json:"n"`
+	D         int     `json:"d"`
+	Threads   int     `json:"threads"`
+	Reps      int     `json:"reps"`
+	BestMs    float64 `json:"best_ms"`
+	AvgMs     float64 `json:"avg_ms"`
+	DTs       uint64  `json:"dominance_tests"`
+	Skyline   int     `json:"skyline_size"`
+}
+
+type snapshot struct {
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	NumCPU     int     `json:"num_cpu"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Note       string  `json:"note,omitempty"`
+	Entries    []entry `json:"entries"`
+}
+
+func main() {
+	var (
+		out  = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		n    = flag.Int("n", 100000, "cardinality of the default workload")
+		d    = flag.Int("d", 8, "dimensionality of the default workload")
+		t    = flag.Int("t", 8, "threads for the parallel algorithms")
+		reps = flag.Int("reps", 3, "repetitions per cell (best and average reported)")
+		seed = flag.Int64("seed", 42, "dataset generator seed")
+		note = flag.String("note", "", "freeform note stored in the snapshot")
+		full = flag.Bool("full", false, "also measure the parallel baselines (slower)")
+	)
+	flag.Parse()
+
+	algos := []skybench.Algorithm{skybench.Hybrid, skybench.QFlow}
+	if *full {
+		algos = append(algos, skybench.PSkyline, skybench.PBSkyTree, skybench.PSFS, skybench.APSkyline)
+	}
+
+	snap := snapshot{
+		Date:       time.Now().UTC().Format("2006-01-02T15:04:05Z"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note:       *note,
+	}
+
+	ctx := skybench.NewContext()
+	defer ctx.Close()
+	for _, dist := range dataset.AllDistributions {
+		m := dataset.Generate(dist, *n, *d, *seed)
+		for _, alg := range algos {
+			e := entry{
+				Algorithm: alg.String(), Dist: dist.String(),
+				N: *n, D: *d, Threads: *t, Reps: *reps,
+			}
+			var total time.Duration
+			best := time.Duration(0)
+			for r := 0; r < *reps; r++ {
+				res, err := ctx.ComputeFlat(m.Flat(), m.N(), m.D(),
+					skybench.Options{Algorithm: alg, Threads: *t})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "benchsnap: %s/%s: %v\n", alg, dist, err)
+					os.Exit(1)
+				}
+				el := res.Stats.Elapsed
+				total += el
+				if best == 0 || el < best {
+					best = el
+				}
+				e.DTs = res.Stats.DominanceTests
+				e.Skyline = res.Stats.SkylineSize
+			}
+			e.BestMs = float64(best.Nanoseconds()) / 1e6
+			e.AvgMs = float64(total.Nanoseconds()) / float64(*reps) / 1e6
+			snap.Entries = append(snap.Entries, e)
+			fmt.Printf("%-10s %-14s n=%d d=%d t=%d  best=%.2fms avg=%.2fms |SKY|=%d\n",
+				e.Algorithm, e.Dist, e.N, e.D, e.Threads, e.BestMs, e.AvgMs, e.Skyline)
+		}
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("2006-01-02"))
+	}
+	blob, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
+}

@@ -1,0 +1,123 @@
+package skybench
+
+import (
+	"fmt"
+	"time"
+
+	"skybench/internal/core"
+	"skybench/internal/point"
+	"skybench/internal/stats"
+)
+
+// Context is a reusable computation context for services that answer many
+// skyline queries: it holds a persistent worker pool and every scratch
+// buffer the Hybrid and Q-Flow hot paths need, so repeated Compute calls
+// reach steady state with zero allocations and no goroutine spawns.
+//
+// A Context is not safe for concurrent use; create one per worker
+// goroutine. Result.Indices returned by a Context aliases its internal
+// storage and is valid until the next Compute call on the same Context.
+// Close releases the worker pool; forgotten Contexts are also cleaned up
+// by the garbage collector.
+//
+// Algorithms other than Hybrid and QFlow fall back to the regular
+// allocating path (they are baselines, not the serving hot path).
+type Context struct {
+	core *core.Context
+	st   stats.Stats
+	buf  []float64 // staging copy of Compute's [][]float64 input
+}
+
+// NewContext creates an empty Context. Buffers and the worker pool are
+// sized lazily by the first Compute call.
+func NewContext() *Context {
+	return &Context{core: core.NewContext()}
+}
+
+// Close releases the Context's worker pool. The Context must not be used
+// afterwards.
+func (c *Context) Close() { c.core.Close() }
+
+// Compute is Context-reusing Compute: identical semantics to the package
+// function, but scratch state persists across calls. The input rows are
+// staged into an internal flat buffer (reused, not retained); callers
+// that already hold row-major data should use ComputeFlat to skip the
+// copy.
+func (c *Context) Compute(data [][]float64, opt Options) (Result, error) {
+	if len(data) == 0 {
+		return Result{}, nil
+	}
+	d := len(data[0])
+	if d == 0 {
+		return Result{}, fmt.Errorf("skybench: points must have at least one dimension")
+	}
+	for i, row := range data {
+		if len(row) != d {
+			return Result{}, fmt.Errorf("skybench: point %d has %d dimensions, want %d", i, len(row), d)
+		}
+	}
+	if d > point.MaxDims {
+		return Result{}, fmt.Errorf("skybench: at most %d dimensions supported, got %d", point.MaxDims, d)
+	}
+	n := len(data)
+	if cap(c.buf) < n*d {
+		c.buf = make([]float64, n*d)
+	}
+	c.buf = c.buf[:n*d]
+	for i, row := range data {
+		copy(c.buf[i*d:(i+1)*d], row)
+	}
+	return c.ComputeFlat(c.buf, n, d, opt)
+}
+
+// ComputeFlat runs the selected algorithm over n points of d dimensions
+// stored row-major in vals (len(vals) must be n*d), avoiding any input
+// copy. Smaller values are preferred on every dimension. For Hybrid and
+// QFlow the call performs zero steady-state allocations once the Context
+// is warm.
+func (c *Context) ComputeFlat(vals []float64, n, d int, opt Options) (Result, error) {
+	if n == 0 {
+		return Result{}, nil
+	}
+	if d <= 0 {
+		return Result{}, fmt.Errorf("skybench: points must have at least one dimension")
+	}
+	if len(vals) != n*d {
+		return Result{}, fmt.Errorf("skybench: flat input has %d values, want n*d = %d", len(vals), n*d)
+	}
+	if d > point.MaxDims {
+		return Result{}, fmt.Errorf("skybench: at most %d dimensions supported, got %d", point.MaxDims, d)
+	}
+	m := point.FromFlat(vals, n, d)
+	switch opt.Algorithm {
+	case Hybrid:
+		c.st = stats.Stats{}
+		start := time.Now()
+		idx := c.core.Hybrid(m, core.HybridOptions{
+			Threads:       opt.Threads,
+			Alpha:         opt.Alpha,
+			Pivot:         opt.Pivot.internal(),
+			Beta:          opt.Beta,
+			Seed:          opt.Seed,
+			NoPrefilter:   opt.Ablation.NoPrefilter,
+			NoMS:          opt.Ablation.NoMS,
+			NoLevel2:      opt.Ablation.NoLevel2,
+			NoPhase2Split: opt.Ablation.NoPhase2Split,
+			Stats:         &c.st,
+			Progressive:   opt.Progressive,
+		})
+		return assembleResult(idx, &c.st, n, time.Since(start)), nil
+	case QFlow:
+		c.st = stats.Stats{}
+		start := time.Now()
+		idx := c.core.QFlow(m, core.QFlowOptions{
+			Threads:     opt.Threads,
+			Alpha:       opt.Alpha,
+			Stats:       &c.st,
+			Progressive: opt.Progressive,
+		})
+		return assembleResult(idx, &c.st, n, time.Since(start)), nil
+	default:
+		return computeMatrix(m, opt)
+	}
+}

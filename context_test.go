@@ -1,0 +1,110 @@
+package skybench_test
+
+import (
+	"testing"
+
+	"skybench"
+)
+
+func contextTestData(t testing.TB, n, d int) [][]float64 {
+	t.Helper()
+	data, err := skybench.GenerateDataset("independent", n, d, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestContextMatchesCompute cross-checks the reusable Context against the
+// one-shot Compute path for both hot-path algorithms and a baseline
+// (which takes the fallback path).
+func TestContextMatchesCompute(t *testing.T) {
+	ctx := skybench.NewContext()
+	defer ctx.Close()
+	for _, alg := range []skybench.Algorithm{skybench.Hybrid, skybench.QFlow, skybench.SFS} {
+		for _, n := range []int{1, 100, 5000} {
+			data := contextTestData(t, n, 6)
+			opt := skybench.Options{Algorithm: alg, Threads: 4}
+			want, err := skybench.Compute(data, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ctx.Compute(data, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameIndexSet(got.Indices, want.Indices) {
+				t.Fatalf("alg=%s n=%d: context selects %d points, one-shot selects %d",
+					alg, n, len(got.Indices), len(want.Indices))
+			}
+		}
+	}
+}
+
+// TestContextComputeFlat checks the zero-copy entry point and its input
+// validation.
+func TestContextComputeFlat(t *testing.T) {
+	ctx := skybench.NewContext()
+	defer ctx.Close()
+	data := contextTestData(t, 1000, 5)
+	flat := make([]float64, 0, 5000)
+	for _, row := range data {
+		flat = append(flat, row...)
+	}
+	want, err := skybench.Compute(data, skybench.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ctx.ComputeFlat(flat, 1000, 5, skybench.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIndexSet(got.Indices, want.Indices) {
+		t.Fatal("ComputeFlat disagrees with Compute")
+	}
+	if _, err := ctx.ComputeFlat(flat, 999, 5, skybench.Options{}); err == nil {
+		t.Error("ComputeFlat accepted a mismatched n*d")
+	}
+	if _, err := ctx.ComputeFlat(flat[:0], 0, 5, skybench.Options{}); err != nil {
+		t.Errorf("ComputeFlat rejected an empty input: %v", err)
+	}
+}
+
+// TestContextComputeZeroAlloc is the issue's acceptance guard at the
+// public API: a warm Context serving repeated queries must not allocate,
+// for either hot-path algorithm, including the [][]float64 staging copy.
+func TestContextComputeZeroAlloc(t *testing.T) {
+	ctx := skybench.NewContext()
+	defer ctx.Close()
+	data := contextTestData(t, 20000, 8)
+	for _, alg := range []skybench.Algorithm{skybench.Hybrid, skybench.QFlow} {
+		opt := skybench.Options{Algorithm: alg, Threads: 4}
+		if _, err := ctx.Compute(data, opt); err != nil { // warm scratch
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, err := ctx.Compute(data, opt); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("alg=%s: Context.Compute allocates %.1f per call, want 0", alg, allocs)
+		}
+	}
+}
+
+func sameIndexSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[int]bool, len(a))
+	for _, v := range a {
+		seen[v] = true
+	}
+	for _, v := range b {
+		if !seen[v] {
+			return false
+		}
+	}
+	return true
+}

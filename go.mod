@@ -1,0 +1,3 @@
+module skybench
+
+go 1.24

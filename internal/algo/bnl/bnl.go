@@ -29,14 +29,15 @@ func SkylineDT(m point.Matrix) ([]int, uint64) {
 		return nil, 0
 	}
 	var dts uint64
+	d := m.D()
+	flat := m.Flat()
 	window := make([]int, 0, 64)
 	for i := 0; i < n; i++ {
-		p := m.Row(i)
 		dominated := false
 		w := 0
 		for k, j := range window {
 			dts++
-			rel := point.Compare(m.Row(j), p)
+			rel := point.CompareFlat(flat, j*d, i*d, d)
 			if rel == point.LeftDominates {
 				// p is dominated: keep j and every remaining candidate.
 				w += copy(window[w:], window[k:])

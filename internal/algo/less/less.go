@@ -35,6 +35,7 @@ func SkylineDT(m point.Matrix, ef int) ([]int, uint64) {
 	l1 := make([]float64, n)
 	m.L1All(l1)
 	d := m.D()
+	flat := m.Flat()
 	var dts uint64
 
 	// Pass 1 (during "sort"): maintain the EF window of the ef points
@@ -63,14 +64,13 @@ func SkylineDT(m point.Matrix, ef int) ([]int, uint64) {
 			survivors = append(survivors, i)
 			continue
 		}
-		p := m.Row(i)
 		dominated := false
 		for _, j := range filter {
 			if l1[j] == l1[i] {
 				continue
 			}
 			dts++
-			if point.DominatesD(m.Row(j), p, d) {
+			if point.DominatesFlat(flat, j*d, i*d, d) {
 				dominated = true
 				break
 			}
@@ -84,14 +84,13 @@ func SkylineDT(m point.Matrix, ef int) ([]int, uint64) {
 	sort.Slice(survivors, func(a, b int) bool { return l1[survivors[a]] < l1[survivors[b]] })
 	sky := make([]int, 0, 64)
 	for _, i := range survivors {
-		p := m.Row(i)
 		dominated := false
 		for _, j := range sky {
 			if l1[j] == l1[i] {
 				continue
 			}
 			dts++
-			if point.DominatesD(m.Row(j), p, d) {
+			if point.DominatesFlat(flat, j*d, i*d, d) {
 				dominated = true
 				break
 			}

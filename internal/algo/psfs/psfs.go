@@ -35,6 +35,7 @@ func SkylineDT(m point.Matrix, threads int) ([]int, uint64) {
 		threads = par.DefaultThreads()
 	}
 	d := m.D()
+	flat := m.Flat()
 	l1 := make([]float64, n)
 	m.L1All(l1)
 	order := make([]int, n)
@@ -56,15 +57,15 @@ func SkylineDT(m point.Matrix, threads int) ([]int, uint64) {
 		batch := order[lo:hi]
 		// Parallel: each batch point against the confirmed skyline.
 		par.Run(len(batch), func(tid int) {
-			p := m.Row(batch[tid])
+			i := batch[tid]
 			dominated[tid] = false
 			var local uint64
 			for _, j := range sky {
-				if l1[j] == l1[batch[tid]] {
+				if l1[j] == l1[i] {
 					continue
 				}
 				local++
-				if point.DominatesD(m.Row(j), p, d) {
+				if point.DominatesFlat(flat, j*d, i*d, d) {
 					dominated[tid] = true
 					break
 				}
@@ -77,14 +78,13 @@ func SkylineDT(m point.Matrix, threads int) ([]int, uint64) {
 			if dominated[k] {
 				continue
 			}
-			p := m.Row(i)
 			skip := false
 			for _, j := range batch[:k] {
 				if l1[j] == l1[i] {
 					continue
 				}
 				dts++
-				if point.DominatesD(m.Row(j), p, d) {
+				if point.DominatesFlat(flat, j*d, i*d, d) {
 					skip = true
 					break
 				}

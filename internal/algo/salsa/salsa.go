@@ -47,6 +47,7 @@ func SkylineDT(m point.Matrix) (sky []int, dts uint64, skipped int) {
 	})
 
 	d := m.D()
+	flat := m.Flat()
 	stop := math.Inf(1) // smallest max-coordinate among skyline points so far
 	sky = make([]int, 0, 64)
 	for pos, i := range order {
@@ -57,21 +58,20 @@ func SkylineDT(m point.Matrix) (sky []int, dts uint64, skipped int) {
 			skipped = n - pos
 			break
 		}
-		p := m.Row(i)
 		dominated := false
 		for _, j := range sky {
 			if l1[j] == l1[i] {
 				continue // equal L1 ⇒ no dominance possible
 			}
 			dts++
-			if point.DominatesD(m.Row(j), p, d) {
+			if point.DominatesFlat(flat, j*d, i*d, d) {
 				dominated = true
 				break
 			}
 		}
 		if !dominated {
 			sky = append(sky, i)
-			if mx := point.MaxCoord(p); mx < stop {
+			if mx := point.MaxCoord(m.Row(i)); mx < stop {
 				stop = mx
 			}
 		}

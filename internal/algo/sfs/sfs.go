@@ -34,9 +34,9 @@ func SkylineDT(m point.Matrix) ([]int, uint64) {
 
 	var dts uint64
 	d := m.D()
+	flat := m.Flat()
 	sky := make([]int, 0, 64)
 	for _, i := range order {
-		p := m.Row(i)
 		dominated := false
 		for _, j := range sky {
 			// Cheap filter: a window point with equal L1 cannot dominate
@@ -45,7 +45,7 @@ func SkylineDT(m point.Matrix) ([]int, uint64) {
 				continue
 			}
 			dts++
-			if point.DominatesD(m.Row(j), p, d) {
+			if point.DominatesFlat(flat, j*d, i*d, d) {
 				dominated = true
 				break
 			}

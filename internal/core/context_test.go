@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"skybench/internal/dataset"
+	"skybench/internal/point"
+	"skybench/internal/verify"
+)
+
+// TestContextHybridMatchesFresh runs one Context across many workloads
+// and checks every result against a fresh throwaway run — scratch reuse
+// must never leak state between runs.
+func TestContextHybridMatchesFresh(t *testing.T) {
+	c := NewContext()
+	defer c.Close()
+	for _, dist := range dataset.AllDistributions {
+		for _, n := range []int{50, 1000, 3000} {
+			for _, d := range []int{2, 5, 8, 12} {
+				m := dataset.Generate(dist, n, d, int64(n+d))
+				got := c.Hybrid(m, HybridOptions{Threads: 4})
+				want := Hybrid(m, HybridOptions{Threads: 4})
+				if !verify.SameSkyline(got, want) {
+					t.Fatalf("%s n=%d d=%d: context result diverges from fresh run", dist, n, d)
+				}
+				if !verify.IsSkyline(m, got) {
+					t.Fatalf("%s n=%d d=%d: context result is not the skyline", dist, n, d)
+				}
+			}
+		}
+	}
+}
+
+// TestContextQFlowMatchesFresh is the same check for Q-Flow, including
+// the L1 output-order contract.
+func TestContextQFlowMatchesFresh(t *testing.T) {
+	c := NewContext()
+	defer c.Close()
+	for _, dist := range dataset.AllDistributions {
+		for _, n := range []int{50, 1000, 3000} {
+			m := dataset.Generate(dist, n, 6, int64(n))
+			got := c.QFlow(m, QFlowOptions{Threads: 4, Alpha: 256})
+			if !verify.IsSkyline(m, got) {
+				t.Fatalf("%s n=%d: context Q-Flow result is not the skyline", dist, n)
+			}
+			last := -1.0
+			for _, i := range got {
+				l1 := point.L1(m.Row(i))
+				if l1 < last {
+					t.Fatalf("%s n=%d: context Q-Flow output not in L1 order", dist, n)
+				}
+				last = l1
+			}
+		}
+	}
+}
+
+// TestContextThreadResize checks that a Context survives thread-count
+// changes between runs (the pool is rebuilt transparently).
+func TestContextThreadResize(t *testing.T) {
+	c := NewContext()
+	defer c.Close()
+	m := dataset.Generate(dataset.Anticorrelated, 2000, 7, 3)
+	want := Hybrid(m, HybridOptions{Threads: 1})
+	for _, threads := range []int{1, 4, 2, 8, 3} {
+		got := c.Hybrid(m, HybridOptions{Threads: threads})
+		if !verify.SameSkyline(got, want) {
+			t.Fatalf("threads=%d: result diverges after pool resize", threads)
+		}
+	}
+}
+
+// TestContextZeroAlloc is the steady-state guard of the issue: after a
+// warm-up call, repeated Hybrid and QFlow runs on a reused Context must
+// perform zero allocations.
+func TestContextZeroAlloc(t *testing.T) {
+	m := dataset.Generate(dataset.Independent, 20000, 8, 42)
+	c := NewContext()
+	defer c.Close()
+
+	opt := HybridOptions{Threads: 4}
+	c.Hybrid(m, opt) // warm scratch
+	if allocs := testing.AllocsPerRun(10, func() { c.Hybrid(m, opt) }); allocs != 0 {
+		t.Errorf("Context.Hybrid allocates %.1f per run, want 0", allocs)
+	}
+
+	qopt := QFlowOptions{Threads: 4}
+	c.QFlow(m, qopt) // warm scratch
+	if allocs := testing.AllocsPerRun(10, func() { c.QFlow(m, qopt) }); allocs != 0 {
+		t.Errorf("Context.QFlow allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestRadixSortIdx cross-checks the parallel radix sort against the
+// expected stable order on random keys.
+func TestRadixSortIdx(t *testing.T) {
+	c := NewContext()
+	defer c.Close()
+	c.ensure(4)
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 2, 17, 1000, 10000} {
+		for _, keyBits := range []int{4, 13, 21, 64} {
+			c.keys = grow(c.keys, n)
+			limit := uint64(1)<<uint(keyBits%64) - 1
+			if keyBits == 64 {
+				limit = ^uint64(0)
+			}
+			for i := range c.keys {
+				c.keys[i] = rng.Uint64() & limit
+			}
+			idx := c.radixSortIdx(n, keyBits)
+			if len(idx) != n {
+				t.Fatalf("n=%d bits=%d: got %d indices", n, keyBits, len(idx))
+			}
+			seen := make([]bool, n)
+			for i, v := range idx {
+				if seen[v] {
+					t.Fatalf("n=%d bits=%d: duplicate index %d", n, keyBits, v)
+				}
+				seen[v] = true
+				if i > 0 {
+					ka, kb := c.keys[idx[i-1]], c.keys[v]
+					if ka > kb {
+						t.Fatalf("n=%d bits=%d: keys out of order at %d", n, keyBits, i)
+					}
+					if ka == kb && idx[i-1] > v {
+						t.Fatalf("n=%d bits=%d: sort not stable at %d", n, keyBits, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFloatKeyMonotone checks the order-preserving float transform on
+// representative values including negatives and zeros.
+func TestFloatKeyMonotone(t *testing.T) {
+	vals := []float64{-1e300, -5, -1, -0.25, 0, 0.25, 1, 5, 1e300}
+	for i := 1; i < len(vals); i++ {
+		if floatKey(vals[i-1]) >= floatKey(vals[i]) {
+			t.Fatalf("floatKey not monotone between %g and %g", vals[i-1], vals[i])
+		}
+	}
+}
+
+// TestApplyPerm checks the in-place cycle-following permutation apply
+// against a reference gather on random permutations.
+func TestApplyPerm(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(50)
+		d := 1 + rng.Intn(8)
+		flat := make([]float64, n*d)
+		wl1 := make([]float64, n)
+		worig := make([]int, n)
+		wmask := make([]point.Mask, n)
+		for i := 0; i < n; i++ {
+			for k := 0; k < d; k++ {
+				flat[i*d+k] = rng.Float64()
+			}
+			wl1[i] = rng.Float64()
+			worig[i] = rng.Int()
+			wmask[i] = point.Mask(rng.Intn(256))
+		}
+		perm := rng.Perm(n)
+
+		wantFlat := make([]float64, n*d)
+		wantL1 := make([]float64, n)
+		wantOrig := make([]int, n)
+		wantMask := make([]point.Mask, n)
+		for i, j := range perm {
+			copy(wantFlat[i*d:(i+1)*d], flat[j*d:(j+1)*d])
+			wantL1[i] = wl1[j]
+			wantOrig[i] = worig[j]
+			wantMask[i] = wmask[j]
+		}
+
+		maskArg := wmask
+		if trial%3 == 0 {
+			maskArg = nil
+			wantMask = wmask
+		}
+		applyPerm(perm, flat, d, wl1, maskArg, worig)
+		for i := 0; i < n*d; i++ {
+			if flat[i] != wantFlat[i] {
+				t.Fatalf("trial %d: row data mismatch at %d", trial, i)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if wl1[i] != wantL1[i] || worig[i] != wantOrig[i] || wmask[i] != wantMask[i] {
+				t.Fatalf("trial %d: metadata mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestSortIdxByFloat exercises the allocation-free quicksort on adversarial
+// patterns (sorted, reversed, constant, random).
+func TestSortIdxByFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	patterns := []func(i, n int) float64{
+		func(i, n int) float64 { return float64(i) },
+		func(i, n int) float64 { return float64(n - i) },
+		func(i, n int) float64 { return 1.0 },
+		func(i, n int) float64 { return rng.Float64() },
+		func(i, n int) float64 { return float64(i % 7) },
+	}
+	for _, n := range []int{0, 1, 2, 15, 16, 17, 100, 5000} {
+		for pi, pat := range patterns {
+			key := make([]float64, n)
+			for i := range key {
+				key[i] = pat(i, n)
+			}
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = i
+			}
+			sortIdxByFloat(idx, key)
+			seen := make([]bool, n)
+			for i, v := range idx {
+				if seen[v] {
+					t.Fatalf("n=%d pat=%d: duplicate index", n, pi)
+				}
+				seen[v] = true
+				if i > 0 && key[idx[i-1]] > key[v] {
+					t.Fatalf("n=%d pat=%d: out of order at %d", n, pi, i)
+				}
+			}
+		}
+	}
+}

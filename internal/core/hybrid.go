@@ -2,13 +2,12 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 	"sync/atomic"
 
 	"skybench/internal/par"
 	"skybench/internal/pivot"
 	"skybench/internal/point"
-	"skybench/internal/prefilter"
 	"skybench/internal/stats"
 )
 
@@ -47,7 +46,19 @@ type HybridOptions struct {
 }
 
 // Hybrid computes SKY(m) with the paper's full Hybrid algorithm and
-// returns original row indices in confirmation order.
+// returns original row indices in confirmation order. It is a convenience
+// wrapper that runs a throwaway Context; services answering repeated
+// queries should hold a Context and call its Hybrid method, which reuses
+// all scratch state.
+func Hybrid(m point.Matrix, opt HybridOptions) []int {
+	c := NewContext()
+	defer c.Close()
+	return c.Hybrid(m, opt)
+}
+
+// Hybrid computes SKY(m) with the paper's full Hybrid algorithm and
+// returns original row indices in confirmation order. The result aliases
+// Context storage and is valid until the next call on c.
 //
 // Hybrid is Q-Flow plus point-based partitioning: after a cheap parallel
 // pre-filter, the data is partitioned into 2^d regions around a pivot,
@@ -55,7 +66,7 @@ type HybridOptions struct {
 // global skyline indexed by the two-level M(S) structure, which lets
 // Phase I skip entire incomparable regions and Phase II decompose its
 // peer scan into three loops with different invariants.
-func Hybrid(m point.Matrix, opt HybridOptions) []int {
+func (c *Context) Hybrid(m point.Matrix, opt HybridOptions) []int {
 	n := m.N()
 	if n == 0 {
 		return nil
@@ -74,79 +85,67 @@ func Hybrid(m point.Matrix, opt HybridOptions) []int {
 	}
 	st := opt.Stats
 	if st == nil {
-		st = &stats.Stats{}
+		c.st = stats.Stats{}
+		st = &c.st
 	}
 	st.InputSize = n
 	st.Threads = threads
-	dts := stats.NewDTCounters(threads)
-	timer := stats.NewTimer(st)
+	c.ensure(threads)
+	timer := stats.StartTimer(st)
 
 	// Initialization: L1 norms in parallel.
-	l1 := make([]float64, n)
-	par.ForRanges(threads, n, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			l1[i] = point.L1(m.Row(i))
-		}
-	})
+	c.l1 = grow(c.l1, n)
+	c.curM = m
+	c.d = d
+	c.pool.ForRanges(n, c.l1Body)
 	timer.Stop(stats.PhaseInit)
 
 	// Pre-filter: discard points dominated by the β-queues (VI-A1).
 	var surv []int
 	if opt.NoPrefilter {
-		surv = make([]int, n)
-		for i := range surv {
-			surv[i] = i
+		c.seq = grow(c.seq, n)
+		for i := range c.seq {
+			c.seq[i] = i
 		}
+		surv = c.seq
 	} else {
-		surv = prefilter.Filter(m, l1, opt.Beta, threads, dts)
+		surv = c.pf.Filter(m, c.l1, opt.Beta, c.pool, c.dts)
 	}
 	timer.Stop(stats.PhasePrefilt)
 
-	// Materialize survivors, select the pivot, partition (VI-A2).
-	work := m.Gather(surv)
-	ns := work.N()
-	wl1 := make([]float64, ns)
-	for i, j := range surv {
-		wl1[i] = l1[j]
-	}
-	pv := pivot.Select(opt.Pivot, work, wl1, opt.Seed)
-	wmask := make([]point.Mask, ns)
-	keys := make([]uint64, ns)
-	par.ForRanges(threads, ns, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			wmask[i] = point.ComputeMask(work.Row(i), pv)
-			keys[i] = wmask[i].CompoundKey(d)
-		}
-	})
+	// Materialize survivors into the reusable working set, select the
+	// pivot, partition (VI-A2).
+	ns := len(surv)
+	c.work = grow(c.work, ns*d)
+	c.wl1 = grow(c.wl1, ns)
+	c.worig = grow(c.worig, ns)
+	c.wmask = grow(c.wmask, ns)
+	c.keys = grow(c.keys, ns)
+	wk := point.FromFlat(c.work, ns, d)
+	c.curWork = wk
+	c.curSurv = surv
+	c.pool.ForRanges(ns, c.gatherBody)
+
+	c.pivotV = grow(c.pivotV, d)
+	c.pivotC = grow(c.pivotC, pivot.MedianScratchLen(ns))
+	c.pv = pivot.SelectInto(c.pivotV, c.pivotC, opt.Pivot, wk, c.wl1, opt.Seed)
+	c.pool.ForRanges(ns, c.maskBody)
 	timer.Stop(stats.PhasePivot)
 
-	// Three-key sort: level, mask (via the compound key), then L1 (VI-A3).
-	idx := make([]int, ns)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool {
-		ia, ib := idx[a], idx[b]
-		if keys[ia] != keys[ib] {
-			return keys[ia] < keys[ib]
-		}
-		return wl1[ia] < wl1[ib]
-	})
-	sorted := work.Gather(idx)
-	sl1 := make([]float64, ns)
-	smask := make([]point.Mask, ns)
-	sorig := make([]int, ns)
-	for i, j := range idx {
-		sl1[i] = wl1[j]
-		smask[i] = wmask[j]
-		sorig[i] = surv[j]
-	}
-	work, wl1, wmask = sorted, sl1, smask
+	// Three-key sort (VI-A3): parallel radix on the compound
+	// (level, mask) key, per-run L1 sorts, then one in-place permutation
+	// apply over the working set.
+	keyBits := d + bits.Len(uint(d))
+	idx := c.radixSortIdx(ns, keyBits)
+	c.sortRunsByL1(idx)
+	applyPerm(idx, c.work, d, c.wl1, c.wmask, c.worig)
 	timer.Stop(stats.PhaseInit)
 
-	sky := newSkylineStore(d)
-	flags := make([]uint32, alpha)
-	level2 := !opt.NoLevel2
+	c.sky.reset(d)
+	c.flags = grow(c.flags, alpha)
+	c.level2 = !opt.NoLevel2
+	c.noMS = opt.NoMS
+	c.noSplit = opt.NoPhase2Split
 
 	for lo := 0; lo < ns; lo += alpha {
 		hi := lo + alpha
@@ -154,88 +153,52 @@ func Hybrid(m point.Matrix, opt HybridOptions) []int {
 			hi = ns
 		}
 		block := hi - lo
-		f := flags[:block]
+		f := c.flags[:block]
 		for i := range f {
 			f[i] = 0
 		}
+		c.blockLo = lo
+		c.blockF = f
 
 		// Phase I (parallel, Algorithm 3): test block points against the
 		// global skyline through M(S).
-		par.ForRanges(threads, block, func(tid, blo, bhi int) {
-			var local uint64
-			for i := blo; i < bhi; i++ {
-				q := work.Row(lo + i)
-				var dominated bool
-				if opt.NoMS {
-					dominated = sky.dominatedFlat(q, wmask[lo+i], &local)
-				} else {
-					dominated = sky.dominatedHybrid(q, wmask[lo+i], level2, &local)
-				}
-				if dominated {
-					f[i] = 1
-				}
-			}
-			dts.Inc(tid, local)
-		})
+		c.pool.ForRanges(block, c.p1Body)
 		timer.Stop(stats.PhaseOne)
 
-		surv1 := compress(work, wl1, sorig, wmask, lo, block, f)
+		surv1 := compress(wk, c.wl1, c.worig, c.wmask, lo, block, f)
 		timer.Stop(stats.PhaseCompress)
 
 		// Phase II (parallel, Algorithm 4): three-loop peer comparison.
-		f = f[:surv1]
-		par.ForRanges(threads, surv1, func(tid, blo, bhi int) {
-			var local uint64
-			for i := blo; i < bhi; i++ {
-				var dominated bool
-				if opt.NoPhase2Split {
-					dominated = comparedToPeersNaive(work, wl1, lo, i, f, d, &local)
-				} else {
-					dominated = comparedToPeers(work, wl1, wmask, lo, i, f, d, &local)
-				}
-				if dominated {
-					atomic.StoreUint32(&f[i], 1)
-				}
-			}
-			dts.Inc(tid, local)
-		})
+		c.blockF = f[:surv1]
+		c.pool.ForRanges(surv1, c.p2Body)
 		timer.Stop(stats.PhaseTwo)
 
-		final := compress(work, wl1, sorig, wmask, lo, surv1, f)
+		final := compress(wk, c.wl1, c.worig, c.wmask, lo, surv1, f)
 		timer.Stop(stats.PhaseCompress)
 
 		// Update S and M(S) (Algorithm 2) — sequential O(α) work.
-		firstNew := sky.size()
-		sky.update(work, wl1, sorig, wmask, lo, final, level2)
+		firstNew := c.sky.size()
+		c.sky.update(wk, c.wl1, c.worig, c.wmask, lo, final, c.level2)
 		if opt.Progressive != nil && final > 0 {
-			opt.Progressive(sky.orig[firstNew:])
+			opt.Progressive(c.sky.orig[firstNew:])
 		}
 		timer.Stop(stats.PhaseOther)
 	}
 
-	st.SkylineSize = sky.size()
-	st.DominanceTests = dts.Sum()
-	return sky.orig
+	st.SkylineSize = c.sky.size()
+	st.DominanceTests = c.dts.Sum()
+	return c.sky.orig
 }
 
 // comparedToPeersNaive is the no-decomposition ablation of Phase II:
-// every unpruned preceding peer is tested with a full dominance test.
-func comparedToPeersNaive(work point.Matrix, wl1 []float64, lo, me int, f []uint32, dim int, dts *uint64) bool {
-	q := work.Row(lo + me)
-	myL1 := wl1[lo+me]
-	for i := 0; i < me; i++ {
-		if atomic.LoadUint32(&f[i]) != 0 {
-			continue
-		}
-		if wl1[lo+i] == myL1 {
-			continue
-		}
-		*dts++
-		if point.DominatesD(work.Row(lo+i), q, dim) {
-			return true
-		}
-	}
-	return false
+// every unpruned preceding peer is tested with a full dominance test
+// (through the flat run kernel, which applies the same flag and L1
+// skips).
+func comparedToPeersNaive(wf []float64, wl1 []float64, lo, me int, f []uint32, dim int, dts *uint64) bool {
+	rows := wf[lo*dim:]
+	off := me * dim
+	q := rows[off : off+dim : off+dim]
+	return point.DominatedInFlatRun(rows, dim, 0, me, q, wl1[lo+me], wl1[lo:], f, dts)
 }
 
 // comparedToPeers implements Algorithm 4 (compareToPeers): test block
@@ -243,11 +206,13 @@ func comparedToPeersNaive(work point.Matrix, wl1 []float64, lo, me int, f []uint
 // Loop 1 covers peers in strictly lower levels, where the mask subset
 // test filters region-wise incomparability. Loop 2 skips peers of the
 // same level but a different mask — necessarily incomparable. Loop 3
-// covers peers in me's own partition, where a full DT is required.
-// Pruned peers are skipped via their atomic flags (sound by
-// transitivity: a pruned peer's dominator also precedes me).
-func comparedToPeers(work point.Matrix, wl1 []float64, wmask []point.Mask, lo, me int, f []uint32, dim int, dts *uint64) bool {
-	q := work.Row(lo + me)
+// covers peers in me's own partition — a contiguous run handed to the
+// flat run kernel with full dominance tests. Pruned peers are skipped via
+// their atomic flags (sound by transitivity: a pruned peer's dominator
+// also precedes me).
+func comparedToPeers(wf []float64, wl1 []float64, wmask []point.Mask, lo, me int, f []uint32, dim int, dts *uint64) bool {
+	qOff := (lo + me) * dim
+	q := wf[qOff : qOff+dim : qOff+dim]
 	myMask := wmask[lo+me]
 	myLevel := myMask.Level()
 	myL1 := wl1[lo+me]
@@ -264,25 +229,19 @@ func comparedToPeers(work point.Matrix, wl1 []float64, wmask []point.Mask, lo, m
 			continue
 		}
 		*dts++
-		if point.DominatesD(work.Row(lo+i), q, dim) {
+		if point.DominatesFlat(wf, (lo+i)*dim, qOff, dim) {
 			return true
 		}
 	}
 	// Loop 2: same level, different mask — incomparable, skip outright.
 	for ; i < me && wmask[lo+i] != myMask; i++ {
 	}
-	// Loop 3: same partition — full DTs.
-	for ; i < me; i++ {
-		if atomic.LoadUint32(&f[i]) != 0 {
-			continue
-		}
-		if wl1[lo+i] == myL1 {
-			continue
-		}
-		*dts++
-		if point.DominatesD(work.Row(lo+i), q, dim) {
-			return true
-		}
+	// Loop 3: same partition — a contiguous run of full DTs. The equal-L1
+	// filter stays on here: unlike Q-Flow's global scans, ties cluster
+	// inside a partition (coincident points share a mask), and the block's
+	// L1 slice is already cache-resident.
+	if i < me {
+		return point.DominatedInFlatRun(wf[lo*dim:], dim, i, me, q, myL1, wl1[lo:], f, dts)
 	}
 	return false
 }

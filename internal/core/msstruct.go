@@ -16,7 +16,9 @@ type msEntry struct {
 // skylineStore holds the global, shared skyline and the M(S) structure
 // over it. Rows are contiguous (row-major in data) because blocks are
 // appended already compressed; partitions are contiguous because the
-// sort order groups masks and compression preserves order.
+// sort order groups masks and compression preserves order. The store is
+// embedded in a Context and reused across runs: reset keeps the
+// underlying capacity so steady-state runs allocate nothing.
 type skylineStore struct {
 	d     int
 	data  []float64    // len = n*d, row-major skyline points
@@ -28,6 +30,17 @@ type skylineStore struct {
 
 func newSkylineStore(d int) *skylineStore {
 	return &skylineStore{d: d}
+}
+
+// reset prepares the store for a fresh run of dimensionality d, keeping
+// the capacity accumulated by previous runs.
+func (s *skylineStore) reset(d int) {
+	s.d = d
+	s.data = s.data[:0]
+	s.mask1 = s.mask1[:0]
+	s.mask2 = s.mask2[:0]
+	s.orig = s.orig[:0]
+	s.ms = s.ms[:0]
 }
 
 // size returns |S|.
@@ -89,45 +102,42 @@ func (s *skylineStore) update(work point.Matrix, wl1 []float64, worig []int, wma
 // the skyline using both partition levels. qMask is q's level-1 mask.
 // Returns true iff some skyline point dominates q. dts accumulates the
 // dominance tests performed (mask computations against level-2 pivots
-// count as one DT each — they inspect all d dimensions).
+// count as one DT each — they inspect all d dimensions). All point
+// accesses index the store's flat row-major data directly; the
+// no-level-2 partition scan is a contiguous run handed to the flat run
+// kernel.
 func (s *skylineStore) dominatedHybrid(q []float64, qMask point.Mask, level2 bool, dts *uint64) bool {
 	full := point.FullMask(s.d)
+	d := s.d
+	data := s.data
 	for e := 0; e+1 < len(s.ms); e++ {
 		pm := s.ms[e].mask
 		if !pm.Subset(qMask) {
 			continue // whole region incomparable with q — skip all DTs
 		}
 		lo, hi := s.ms[e].start, s.ms[e+1].start
-		pivotRow := s.row(lo)
 		if !level2 {
-			for j := lo; j < hi; j++ {
-				*dts++
-				if point.DominatesD(s.row(j), q, s.d) {
-					return true
-				}
+			if point.DominatedInFlatRun(data, d, lo, hi, q, 0, nil, nil, dts) {
+				return true
 			}
 			continue
 		}
 		// Compare q to the partition's level-2 pivot, producing q's
 		// level-2 mask m′ (one full-width comparison).
 		*dts++
-		m2 := point.ComputeMask(q, pivotRow)
+		m2 := point.ComputeMask(q, data[lo*d:(lo+1)*d:(lo+1)*d])
 		if m2 == full {
-			if point.Equals(q, pivotRow) {
+			if point.EqualsFlat2(data, lo*d, q, 0, d) {
 				// q coincides with a skyline point: nothing can dominate
 				// it (a dominator would dominate the pivot too).
 				return false
 			}
 			return true // the pivot dominates q
 		}
-		for j := lo + 1; j < hi; j++ {
-			if !s.mask2[j].Subset(m2) {
-				continue // level-2 incomparability — skip the DT
-			}
-			*dts++
-			if point.DominatesD(s.row(j), q, s.d) {
-				return true
-			}
+		// Scan the rest of the partition with level-2 incomparability
+		// filtering fused into the masked run kernel.
+		if point.DominatedInFlatRunMasked(data, d, lo+1, hi, q, s.mask2, m2, dts) {
+			return true
 		}
 	}
 	return false
@@ -136,15 +146,5 @@ func (s *skylineStore) dominatedHybrid(q []float64, qMask point.Mask, level2 boo
 // dominatedFlat is the no-M(S) ablation of Phase I: scan the skyline
 // linearly, filtering by level-1 masks only.
 func (s *skylineStore) dominatedFlat(q []float64, qMask point.Mask, dts *uint64) bool {
-	n := s.size()
-	for j := 0; j < n; j++ {
-		if !s.mask1[j].Subset(qMask) {
-			continue
-		}
-		*dts++
-		if point.DominatesD(s.row(j), q, s.d) {
-			return true
-		}
-	}
-	return false
+	return point.DominatedInFlatRunMasked(s.data, s.d, 0, s.size(), q, s.mask1, qMask, dts)
 }

@@ -5,9 +5,6 @@
 package core
 
 import (
-	"sort"
-	"sync/atomic"
-
 	"skybench/internal/par"
 	"skybench/internal/point"
 	"skybench/internal/stats"
@@ -33,7 +30,18 @@ type QFlowOptions struct {
 }
 
 // QFlow computes SKY(m) with the Q-Flow algorithm (Algorithm 1) and
-// returns original row indices in confirmation (L1) order.
+// returns original row indices in confirmation (L1) order. It runs a
+// throwaway Context; services answering repeated queries should hold a
+// Context and call its QFlow method, which reuses all scratch state.
+func QFlow(m point.Matrix, opt QFlowOptions) []int {
+	c := NewContext()
+	defer c.Close()
+	return c.QFlow(m, opt)
+}
+
+// QFlow computes SKY(m) with the Q-Flow algorithm (Algorithm 1) and
+// returns original row indices in confirmation (L1) order. The result
+// aliases Context storage and is valid until the next call on c.
 //
 // The input is sorted by L1 norm so dominance can only point backwards,
 // then processed in α-blocks: Phase I compares each block point to the
@@ -41,7 +49,7 @@ type QFlowOptions struct {
 // each survivor to the surviving peers that precede it in the block;
 // after a final compression the survivors are appended to the global
 // skyline, which is therefore always exact to within one block.
-func QFlow(m point.Matrix, opt QFlowOptions) []int {
+func (c *Context) QFlow(m point.Matrix, opt QFlowOptions) []int {
 	n := m.N()
 	if n == 0 {
 		return nil
@@ -56,43 +64,42 @@ func QFlow(m point.Matrix, opt QFlowOptions) []int {
 	}
 	st := opt.Stats
 	if st == nil {
-		st = &stats.Stats{}
+		c.st = stats.Stats{}
+		st = &c.st
 	}
 	st.InputSize = n
 	st.Threads = threads
-	dts := stats.NewDTCounters(threads)
-	timer := stats.NewTimer(st)
+	c.ensure(threads)
+	timer := stats.StartTimer(st)
 	d := m.D()
+	c.d = d
 
-	// Initialization: compute L1 norms in parallel, sort by them.
-	l1 := make([]float64, n)
-	par.ForRanges(threads, n, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			l1[i] = point.L1(m.Row(i))
-		}
-	})
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return l1[order[a]] < l1[order[b]] })
+	// Initialization: L1 norms in parallel, then a parallel radix sort of
+	// the order-preserving L1 bit keys (replacing the seed's sequential
+	// sort.Slice), then one gather into the reusable working set.
+	c.l1 = grow(c.l1, n)
+	c.curM = m
+	c.pool.ForRanges(n, c.l1Body)
+	c.keys = grow(c.keys, n)
+	c.pool.ForRanges(n, c.keyBody)
+	order := c.radixSortIdx(n, 64)
 
-	// Materialize the sorted working set for contiguous block processing.
-	work := m.Gather(order)
-	wl1 := make([]float64, n)
-	worig := make([]int, n)
-	for i, j := range order {
-		wl1[i] = l1[j]
-		worig[i] = j
-	}
+	c.work = grow(c.work, n*d)
+	c.wl1 = grow(c.wl1, n)
+	c.worig = grow(c.worig, n)
+	wk := point.FromFlat(c.work, n, d)
+	c.curWork = wk
+	c.curSurv = order
+	c.pool.ForRanges(n, c.gatherBody)
 	timer.Stop(stats.PhaseInit)
 
-	// Global skyline storage: contiguous rows + matching metadata.
-	skyData := make([]float64, 0, 1024*d)
-	skyL1 := make([]float64, 0, 1024)
-	skyOrig := make([]int, 0, 1024)
+	// Global skyline storage: contiguous rows + matching metadata,
+	// reused across runs (capacity survives, length resets).
+	skyData := c.qskyData[:0]
+	skyL1 := c.qskyL1[:0]
+	skyOrig := c.qskyOrig[:0]
 
-	flags := make([]uint32, alpha)
+	c.flags = grow(c.flags, alpha)
 
 	for lo := 0; lo < n; lo += alpha {
 		hi := lo + alpha
@@ -100,75 +107,40 @@ func QFlow(m point.Matrix, opt QFlowOptions) []int {
 			hi = n
 		}
 		block := hi - lo
-		f := flags[:block]
+		f := c.flags[:block]
 		for i := range f {
 			f[i] = 0
 		}
+		c.blockLo = lo
+		c.blockF = f
+		c.qskyData, c.qskyL1 = skyData, skyL1
 
 		// Phase I (parallel): compare each block point to the global
 		// skyline in L1 order, aborting on the first dominator.
-		nSky := len(skyL1)
-		par.ForRanges(threads, block, func(tid, blo, bhi int) {
-			var local uint64
-			for i := blo; i < bhi; i++ {
-				p := work.Row(lo + i)
-				myL1 := wl1[lo+i]
-				for j := 0; j < nSky; j++ {
-					if skyL1[j] == myL1 {
-						continue // equal L1 ⇒ cannot dominate
-					}
-					local++
-					if point.DominatesD(skyData[j*d:(j+1)*d], p, d) {
-						f[i] = 1
-						break
-					}
-				}
-			}
-			dts.Inc(tid, local)
-		})
+		c.pool.ForRanges(block, c.qp1Body)
 		timer.Stop(stats.PhaseOne)
 
 		// Compression: shift survivors left, re-establishing contiguity.
-		surv := compress(work, wl1, worig, nil, lo, block, f)
+		surv := compress(wk, c.wl1, c.worig, nil, lo, block, f)
 		timer.Stop(stats.PhaseCompress)
 
 		// Phase II (parallel): compare each survivor to preceding
 		// survivors in the block. Flags are atomic so threads can skip
 		// peers already known to be dominated (sound by transitivity).
-		f = f[:surv]
-		par.ForRanges(threads, surv, func(tid, blo, bhi int) {
-			var local uint64
-			for i := blo; i < bhi; i++ {
-				p := work.Row(lo + i)
-				myL1 := wl1[lo+i]
-				for j := 0; j < i; j++ {
-					if atomic.LoadUint32(&f[j]) != 0 {
-						continue
-					}
-					if wl1[lo+j] == myL1 {
-						continue
-					}
-					local++
-					if point.DominatesD(work.Row(lo+j), p, d) {
-						atomic.StoreUint32(&f[i], 1)
-						break
-					}
-				}
-			}
-			dts.Inc(tid, local)
-		})
+		c.blockF = f[:surv]
+		c.pool.ForRanges(surv, c.qp2Body)
 		timer.Stop(stats.PhaseTwo)
 
-		final := compress(work, wl1, worig, nil, lo, surv, f)
+		final := compress(wk, c.wl1, c.worig, nil, lo, surv, f)
 		timer.Stop(stats.PhaseCompress)
 
 		// Append the block's confirmed skyline points to the global
 		// skyline (sequential O(α) work).
 		firstNew := len(skyOrig)
 		for i := 0; i < final; i++ {
-			skyData = append(skyData, work.Row(lo+i)...)
-			skyL1 = append(skyL1, wl1[lo+i])
-			skyOrig = append(skyOrig, worig[lo+i])
+			skyData = append(skyData, wk.Row(lo+i)...)
+			skyL1 = append(skyL1, c.wl1[lo+i])
+			skyOrig = append(skyOrig, c.worig[lo+i])
 		}
 		if opt.Progressive != nil && final > 0 {
 			opt.Progressive(skyOrig[firstNew:])
@@ -176,8 +148,9 @@ func QFlow(m point.Matrix, opt QFlowOptions) []int {
 		timer.Stop(stats.PhaseOther)
 	}
 
+	c.qskyData, c.qskyL1, c.qskyOrig = skyData, skyL1, skyOrig
 	st.SkylineSize = len(skyOrig)
-	st.DominanceTests = dts.Sum()
+	st.DominanceTests = c.dts.Sum()
 	return skyOrig
 }
 

@@ -1,0 +1,209 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent team of worker goroutines with a reusable barrier —
+// the analogue of OpenMP's thread team, which the paper's C++
+// implementation creates once and reuses for every parallel region.
+// Hybrid and Q-Flow issue one ForRanges fan-out per phase per α-block;
+// with the free functions each fan-out pays goroutine creation and
+// WaitGroup churn, while a Pool pays two channel operations per worker.
+//
+// The calling goroutine participates as worker 0, so a Pool of t threads
+// owns t−1 goroutines and a single-threaded Pool runs everything inline.
+// A Pool's dispatch methods must not be called concurrently with each
+// other, and must not be called from inside a body running on the same
+// Pool. Close releases the workers; a finalizer releases them anyway if a
+// Pool is garbage-collected while still open, so an un-Closed Pool does
+// not leak goroutines permanently.
+type Pool struct {
+	*pool
+}
+
+// pool is the inner state shared with the worker goroutines. Keeping it
+// behind a wrapper lets the cleanup run when the caller drops the Pool:
+// the workers only reference the inner struct, so the wrapper can become
+// unreachable while they are parked.
+type pool struct {
+	t int
+
+	// Current parallel region, written by the dispatcher before waking
+	// workers (the channel send orders these writes before the reads).
+	mode   int
+	bodyR  func(tid, lo, hi int)
+	bodyI  func(i int)
+	n      int
+	tEff   int
+	chunk  int64
+	cursor atomic.Int64
+
+	start []chan struct{} // one per worker goroutine, wakes it for a region
+	done  chan struct{}   // workers report region completion
+	quit  chan struct{}   // closed to release the workers
+	once  sync.Once
+}
+
+const (
+	modeRanges = iota
+	modeFor
+)
+
+// NewPool creates a pool of t workers (t ≤ 0 selects DefaultThreads).
+func NewPool(t int) *Pool {
+	if t <= 0 {
+		t = DefaultThreads()
+	}
+	p := &pool{
+		t:     t,
+		start: make([]chan struct{}, t-1),
+		done:  make(chan struct{}, t-1),
+		quit:  make(chan struct{}),
+	}
+	for w := range p.start {
+		p.start[w] = make(chan struct{})
+		go p.worker(w + 1)
+	}
+	wrapper := &Pool{pool: p}
+	runtime.AddCleanup(wrapper, func(inner *pool) { inner.close() }, p)
+	return wrapper
+}
+
+// Threads returns the pool's worker count.
+func (p *pool) Threads() int { return p.t }
+
+// Close releases the worker goroutines. The pool must not be used after.
+func (p *pool) Close() { p.close() }
+
+func (p *pool) close() {
+	p.once.Do(func() { close(p.quit) })
+}
+
+func (p *pool) worker(tid int) {
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-p.start[tid-1]:
+		}
+		switch p.mode {
+		case modeRanges:
+			lo, hi := staticRange(tid, p.n, p.tEff)
+			p.bodyR(tid, lo, hi)
+		case modeFor:
+			p.runChunks()
+		}
+		p.done <- struct{}{}
+	}
+}
+
+// staticRange returns worker tid's contiguous share of [0, n) split into t
+// nearly equal ranges (OpenMP schedule(static)).
+func staticRange(tid, n, t int) (lo, hi int) {
+	size := n / t
+	rem := n % t
+	lo = tid*size + min(tid, rem)
+	hi = lo + size
+	if tid < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// dispatch wakes t−1 workers, runs the caller's own share via self, and
+// waits on the barrier. t is the effective worker count for this region.
+func (p *pool) dispatch(t int, self func()) {
+	for w := 1; w < t; w++ {
+		p.start[w-1] <- struct{}{}
+	}
+	self()
+	for w := 1; w < t; w++ {
+		<-p.done
+	}
+}
+
+// ForRanges runs body(tid, lo, hi) over a static partition of [0, n) into
+// min(t, n) contiguous ranges, reusing the pool's workers. It is the
+// persistent-team replacement for the free function ForRanges.
+func (p *pool) ForRanges(n int, body func(tid, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	t := p.t
+	if t > n {
+		t = n
+	}
+	if t == 1 {
+		body(0, 0, n)
+		return
+	}
+	p.mode = modeRanges
+	p.bodyR = body
+	p.n = n
+	p.tEff = t
+	p.dispatch(t, func() {
+		lo, hi := staticRange(0, n, t)
+		body(0, lo, hi)
+	})
+	p.bodyR = nil
+}
+
+// For runs body(i) for every i in [0, n) with dynamic chunked scheduling
+// over the pool's workers (OpenMP schedule(dynamic)).
+func (p *pool) For(n int, body func(i int)) {
+	p.ForChunked(n, 0, body)
+}
+
+// ForChunked is For with an explicit chunk size (0 picks a heuristic).
+func (p *pool) ForChunked(n, chunk int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	t := p.t
+	if t > n {
+		t = n
+	}
+	if t == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	if chunk <= 0 {
+		chunk = n / (t * 8)
+		if chunk < 1 {
+			chunk = 1
+		}
+		if chunk > 1024 {
+			chunk = 1024
+		}
+	}
+	p.mode = modeFor
+	p.bodyI = body
+	p.n = n
+	p.chunk = int64(chunk)
+	p.cursor.Store(0)
+	p.dispatch(t, p.runChunks)
+	p.bodyI = nil
+}
+
+// runChunks claims dynamic chunks until the shared cursor passes n.
+func (p *pool) runChunks() {
+	n, chunk, body := p.n, p.chunk, p.bodyI
+	for {
+		lo := int(p.cursor.Add(chunk)) - int(chunk)
+		if lo >= n {
+			return
+		}
+		hi := lo + int(chunk)
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolForRangesCoversRange checks that repeated fan-outs over one pool
+// partition the index space exactly (every index once, correct tids).
+func TestPoolForRangesCoversRange(t *testing.T) {
+	for _, threads := range []int{1, 2, 3, 8} {
+		p := NewPool(threads)
+		for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+			seen := make([]int32, n)
+			p.ForRanges(n, func(tid, lo, hi int) {
+				if tid < 0 || tid >= threads {
+					t.Errorf("threads=%d: bad tid %d", threads, tid)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("threads=%d n=%d: index %d visited %d times", threads, n, i, c)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestPoolForCoversRange checks the dynamic scheduler the same way.
+func TestPoolForCoversRange(t *testing.T) {
+	for _, threads := range []int{1, 2, 4} {
+		p := NewPool(threads)
+		for _, n := range []int{0, 1, 13, 500} {
+			seen := make([]int32, n)
+			p.For(n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("threads=%d n=%d: index %d visited %d times", threads, n, i, c)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestPoolReuse hammers one pool with many regions back to back — the
+// reuse pattern Hybrid's per-block fan-outs produce — and validates a sum
+// each round. Run with -race this also proves the barrier establishes
+// happens-before between regions.
+func TestPoolReuse(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 257
+	data := make([]int, n)
+	for round := 0; round < 500; round++ {
+		p.ForRanges(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				data[i] = round + i
+			}
+		})
+		// Read on the dispatcher side without synchronization other than
+		// the pool barrier.
+		sum := 0
+		for _, v := range data {
+			sum += v
+		}
+		want := round*n + n*(n-1)/2
+		if sum != want {
+			t.Fatalf("round %d: sum=%d want %d", round, sum, want)
+		}
+	}
+}
+
+// TestPoolAllocFree asserts the steady-state dispatch path performs no
+// allocations when the body closure is pre-bound (as the core Context
+// does).
+func TestPoolAllocFree(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sink atomic.Int64
+	body := func(tid, lo, hi int) { sink.Add(int64(hi - lo)) }
+	p.ForRanges(100, body) // warm up
+	allocs := testing.AllocsPerRun(100, func() {
+		p.ForRanges(100, body)
+	})
+	if allocs != 0 {
+		t.Errorf("pool dispatch allocates %.1f per region, want 0", allocs)
+	}
+}
+
+func TestStaticRange(t *testing.T) {
+	for _, tc := range []struct{ n, t int }{{10, 3}, {7, 7}, {100, 8}, {5, 1}} {
+		prev := 0
+		for tid := 0; tid < tc.t; tid++ {
+			lo, hi := staticRange(tid, tc.n, tc.t)
+			if lo != prev {
+				t.Fatalf("n=%d t=%d tid=%d: lo=%d want %d", tc.n, tc.t, tid, lo, prev)
+			}
+			if hi < lo {
+				t.Fatalf("n=%d t=%d tid=%d: hi=%d < lo=%d", tc.n, tc.t, tid, hi, lo)
+			}
+			prev = hi
+		}
+		if prev != tc.n {
+			t.Fatalf("n=%d t=%d: ranges end at %d", tc.n, tc.t, prev)
+		}
+	}
+}

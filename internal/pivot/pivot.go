@@ -11,7 +11,7 @@ package pivot
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"skybench/internal/point"
 )
@@ -85,14 +85,23 @@ const medianSampleCap = 50000
 // elsewhere); seed drives the Random strategy deterministically. The
 // returned slice is freshly allocated and never aliases m.
 func Select(s Strategy, m point.Matrix, l1 []float64, seed int64) []float64 {
-	n, d := m.N(), m.D()
+	return SelectInto(make([]float64, m.D()), nil, s, m, l1, seed)
+}
+
+// SelectInto is Select writing the pivot into dst (length m.D()) so
+// reusable contexts avoid the per-run allocation. col is optional scratch
+// for the Median strategy; passing a slice with capacity ≥
+// MedianScratchLen(m.N()) makes Median allocation-free. The Random
+// strategy seeds a fresh generator and is therefore not allocation-free.
+func SelectInto(dst, col []float64, s Strategy, m point.Matrix, l1 []float64, seed int64) []float64 {
+	n := m.N()
 	if n == 0 {
 		panic("pivot: empty input")
 	}
-	v := make([]float64, d)
+	v := dst
 	switch s {
 	case Median:
-		selectMedian(m, v)
+		selectMedian(m, v, col)
 	case Manhattan:
 		copy(v, m.Row(argminL1(l1)))
 	case Volume:
@@ -135,22 +144,83 @@ func argmaxDominatedVolume(m point.Matrix) int {
 	return best
 }
 
+// MedianScratchLen returns the scratch capacity SelectInto's Median
+// strategy needs for an n-point input.
+func MedianScratchLen(n int) int {
+	step := 1
+	if n > medianSampleCap {
+		step = n / medianSampleCap
+	}
+	return n/step + 1
+}
+
 // selectMedian fills v with per-dimension medians, sampling large inputs.
-func selectMedian(m point.Matrix, v []float64) {
+// col is optional scratch (allocated here when too small). The median is
+// found with an O(n) quickselect rather than a full sort — pivot
+// selection is on the critical path of every Hybrid run.
+func selectMedian(m point.Matrix, v []float64, col []float64) {
 	n := m.N()
 	step := 1
 	if n > medianSampleCap {
 		step = n / medianSampleCap
 	}
-	col := make([]float64, 0, n/step+1)
-	for j := 0; j < m.D(); j++ {
-		col = col[:0]
-		for i := 0; i < n; i += step {
-			col = append(col, m.Row(i)[j])
-		}
-		sort.Float64s(col)
-		v[j] = col[len(col)/2]
+	if cap(col) < n/step+1 {
+		col = make([]float64, 0, n/step+1)
 	}
+	d := m.D()
+	flat := m.Flat()
+	for j := 0; j < d; j++ {
+		col = col[:0]
+		for i := j; i < n*d; i += step * d {
+			col = append(col, flat[i])
+		}
+		v[j] = quickselect(col, len(col)/2)
+	}
+}
+
+// quickselect returns the k-th smallest element of col (0-based),
+// partially reordering col in place. Median-of-three pivots with an
+// insertion-sort finish keep it robust on constant and sorted columns.
+func quickselect(col []float64, k int) float64 {
+	a, b := 0, len(col)
+	for b-a > 12 {
+		mid := int(uint(a+b) >> 1)
+		if col[mid] < col[a] {
+			col[mid], col[a] = col[a], col[mid]
+		}
+		if col[b-1] < col[mid] {
+			col[b-1], col[mid] = col[mid], col[b-1]
+			if col[mid] < col[a] {
+				col[mid], col[a] = col[a], col[mid]
+			}
+		}
+		p := col[mid]
+		i, j := a, b-1
+		for i <= j {
+			for col[i] < p {
+				i++
+			}
+			for col[j] > p {
+				j--
+			}
+			if i <= j {
+				col[i], col[j] = col[j], col[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			b = j + 1
+		case k >= i:
+			a = i
+		default:
+			return col[k] // k landed between the partitions: done
+		}
+	}
+	sub := col[a:b]
+	slices.Sort(sub)
+	return col[k]
 }
 
 // selectRandomSkyline implements footnote 8: pick a uniform random point,

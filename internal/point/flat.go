@@ -1,0 +1,283 @@
+package point
+
+import "sync/atomic"
+
+// Flat dominance kernels: offset-based entry points that index row-major
+// matrix storage directly instead of materializing per-row slice headers,
+// plus loop-level "run" kernels that test one probe point against a
+// contiguous run of rows with the probe's coordinates hoisted out of the
+// loop. The paper's C++ implementation gets its constant factors from AVX
+// kernels over contiguous blocks (Section IV); these kernels are the Go
+// analogue and are what the hot paths of Hybrid and Q-Flow call.
+
+// DominatesFlat reports strict dominance between two rows of the same flat
+// row-major storage: vals[pOff:pOff+d] ≺ vals[qOff:qOff+d].
+func DominatesFlat(vals []float64, pOff, qOff, d int) bool {
+	return DominatesD(vals[pOff:pOff+d:pOff+d], vals[qOff:qOff+d:qOff+d], d)
+}
+
+// DominatesFlat2 is DominatesFlat across two different flat storages:
+// p[pOff:pOff+d] ≺ q[qOff:qOff+d].
+func DominatesFlat2(p []float64, pOff int, q []float64, qOff, d int) bool {
+	return DominatesD(p[pOff:pOff+d:pOff+d], q[qOff:qOff+d:qOff+d], d)
+}
+
+// WeakDominatesFlat reports vals[pOff:] ⪯ vals[qOff:] over d dimensions.
+func WeakDominatesFlat(vals []float64, pOff, qOff, d int) bool {
+	return WeakDominates(vals[pOff:pOff+d:pOff+d], vals[qOff:qOff+d:qOff+d])
+}
+
+// WeakDominatesFlat2 is WeakDominatesFlat across two flat storages.
+func WeakDominatesFlat2(p []float64, pOff int, q []float64, qOff, d int) bool {
+	return WeakDominates(p[pOff:pOff+d:pOff+d], q[qOff:qOff+d:qOff+d])
+}
+
+// CompareFlat classifies two rows of the same flat storage in one pass.
+func CompareFlat(vals []float64, pOff, qOff, d int) Relation {
+	return Compare(vals[pOff:pOff+d:pOff+d], vals[qOff:qOff+d:qOff+d])
+}
+
+// CompareFlat2 is CompareFlat across two flat storages.
+func CompareFlat2(p []float64, pOff int, q []float64, qOff, d int) Relation {
+	return Compare(p[pOff:pOff+d:pOff+d], q[qOff:qOff+d:qOff+d])
+}
+
+// EqualsFlat2 reports coincidence of p[pOff:pOff+d] and q[qOff:qOff+d].
+func EqualsFlat2(p []float64, pOff int, q []float64, qOff, d int) bool {
+	return Equals(p[pOff:pOff+d:pOff+d], q[qOff:qOff+d:qOff+d])
+}
+
+// ComputeMaskFlat assigns row pOff of the flat storage to a partition
+// relative to pivot v: bit i = (vals[pOff+i] < v[i] ? 0 : 1).
+func ComputeMaskFlat(vals []float64, pOff int, v []float64) Mask {
+	return ComputeMask(vals[pOff:pOff+len(v):pOff+len(v)], v)
+}
+
+// DominatedInFlatRun reports whether any row j ∈ [lo, hi) of the row-major
+// flat matrix rows (d columns per row) strictly dominates the probe q
+// (length d). Two optional per-row filters are applied before a dominance
+// test: when l1 is non-nil, rows with l1[j] == qL1 are skipped (equal L1
+// norms preclude dominance, footnote 2 of the paper); when skip is
+// non-nil, rows with a nonzero skip[j] are passed over — skip is read with
+// atomic loads so Phase II workers may concurrently set flags. *dts is
+// advanced by the number of dominance tests actually performed.
+//
+// The specialized variants hoist q's coordinates into locals so the inner
+// loop re-reads only the candidate row — the analogue of keeping the probe
+// point in vector registers in the paper's AVX kernels.
+func DominatedInFlatRun(rows []float64, d, lo, hi int, q []float64, qL1 float64, l1 []float64, skip []uint32, dts *uint64) bool {
+	switch d {
+	case 4:
+		return domRun4(rows, lo, hi, q, qL1, l1, skip, dts)
+	case 6:
+		return domRun6(rows, lo, hi, q, qL1, l1, skip, dts)
+	case 8:
+		return domRun8(rows, lo, hi, q, qL1, l1, skip, dts)
+	case 10:
+		return domRun10(rows, lo, hi, q, qL1, l1, skip, dts)
+	case 12:
+		return domRun12(rows, lo, hi, q, qL1, l1, skip, dts)
+	case 16:
+		return domRun16(rows, lo, hi, q, qL1, l1, skip, dts)
+	default:
+		return domRunGeneric(rows, d, lo, hi, q, qL1, l1, skip, dts)
+	}
+}
+
+func domRunGeneric(rows []float64, d, lo, hi int, q []float64, qL1 float64, l1 []float64, skip []uint32, dts *uint64) bool {
+	n := *dts
+	off := lo * d
+	for j := lo; j < hi; j, off = j+1, off+d {
+		if skip != nil && atomic.LoadUint32(&skip[j]) != 0 {
+			continue
+		}
+		if l1 != nil && l1[j] == qL1 {
+			continue
+		}
+		n++
+		r := rows[off : off+d : off+d]
+		strict := false
+		dominates := true
+		for k, v := range r {
+			w := q[k]
+			if v > w {
+				dominates = false
+				break
+			}
+			if v < w {
+				strict = true
+			}
+		}
+		if dominates && strict {
+			*dts = n
+			return true
+		}
+	}
+	*dts = n
+	return false
+}
+
+func domRun4(rows []float64, lo, hi int, q []float64, qL1 float64, l1 []float64, skip []uint32, dts *uint64) bool {
+	q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
+	n := *dts
+	off := lo * 4
+	for j := lo; j < hi; j, off = j+1, off+4 {
+		if skip != nil && atomic.LoadUint32(&skip[j]) != 0 {
+			continue
+		}
+		if l1 != nil && l1[j] == qL1 {
+			continue
+		}
+		n++
+		r := rows[off : off+4 : off+4]
+		if r[0] > q0 || r[1] > q1 || r[2] > q2 || r[3] > q3 {
+			continue
+		}
+		if r[0] < q0 || r[1] < q1 || r[2] < q2 || r[3] < q3 {
+			*dts = n
+			return true
+		}
+	}
+	*dts = n
+	return false
+}
+
+func domRun6(rows []float64, lo, hi int, q []float64, qL1 float64, l1 []float64, skip []uint32, dts *uint64) bool {
+	q0, q1, q2, q3, q4, q5 := q[0], q[1], q[2], q[3], q[4], q[5]
+	n := *dts
+	off := lo * 6
+	for j := lo; j < hi; j, off = j+1, off+6 {
+		if skip != nil && atomic.LoadUint32(&skip[j]) != 0 {
+			continue
+		}
+		if l1 != nil && l1[j] == qL1 {
+			continue
+		}
+		n++
+		r := rows[off : off+6 : off+6]
+		if r[0] > q0 || r[1] > q1 || r[2] > q2 || r[3] > q3 || r[4] > q4 || r[5] > q5 {
+			continue
+		}
+		if r[0] < q0 || r[1] < q1 || r[2] < q2 || r[3] < q3 || r[4] < q4 || r[5] < q5 {
+			*dts = n
+			return true
+		}
+	}
+	*dts = n
+	return false
+}
+
+func domRun8(rows []float64, lo, hi int, q []float64, qL1 float64, l1 []float64, skip []uint32, dts *uint64) bool {
+	q0, q1, q2, q3, q4, q5, q6, q7 := q[0], q[1], q[2], q[3], q[4], q[5], q[6], q[7]
+	n := *dts
+	off := lo * 8
+	for j := lo; j < hi; j, off = j+1, off+8 {
+		if skip != nil && atomic.LoadUint32(&skip[j]) != 0 {
+			continue
+		}
+		if l1 != nil && l1[j] == qL1 {
+			continue
+		}
+		n++
+		r := rows[off : off+8 : off+8]
+		if r[0] > q0 || r[1] > q1 || r[2] > q2 || r[3] > q3 ||
+			r[4] > q4 || r[5] > q5 || r[6] > q6 || r[7] > q7 {
+			continue
+		}
+		if r[0] < q0 || r[1] < q1 || r[2] < q2 || r[3] < q3 ||
+			r[4] < q4 || r[5] < q5 || r[6] < q6 || r[7] < q7 {
+			*dts = n
+			return true
+		}
+	}
+	*dts = n
+	return false
+}
+
+func domRun10(rows []float64, lo, hi int, q []float64, qL1 float64, l1 []float64, skip []uint32, dts *uint64) bool {
+	q0, q1, q2, q3, q4 := q[0], q[1], q[2], q[3], q[4]
+	q5, q6, q7, q8, q9 := q[5], q[6], q[7], q[8], q[9]
+	n := *dts
+	off := lo * 10
+	for j := lo; j < hi; j, off = j+1, off+10 {
+		if skip != nil && atomic.LoadUint32(&skip[j]) != 0 {
+			continue
+		}
+		if l1 != nil && l1[j] == qL1 {
+			continue
+		}
+		n++
+		r := rows[off : off+10 : off+10]
+		if r[0] > q0 || r[1] > q1 || r[2] > q2 || r[3] > q3 || r[4] > q4 ||
+			r[5] > q5 || r[6] > q6 || r[7] > q7 || r[8] > q8 || r[9] > q9 {
+			continue
+		}
+		if r[0] < q0 || r[1] < q1 || r[2] < q2 || r[3] < q3 || r[4] < q4 ||
+			r[5] < q5 || r[6] < q6 || r[7] < q7 || r[8] < q8 || r[9] < q9 {
+			*dts = n
+			return true
+		}
+	}
+	*dts = n
+	return false
+}
+
+func domRun12(rows []float64, lo, hi int, q []float64, qL1 float64, l1 []float64, skip []uint32, dts *uint64) bool {
+	q0, q1, q2, q3, q4, q5 := q[0], q[1], q[2], q[3], q[4], q[5]
+	q6, q7, q8, q9, q10, q11 := q[6], q[7], q[8], q[9], q[10], q[11]
+	n := *dts
+	off := lo * 12
+	for j := lo; j < hi; j, off = j+1, off+12 {
+		if skip != nil && atomic.LoadUint32(&skip[j]) != 0 {
+			continue
+		}
+		if l1 != nil && l1[j] == qL1 {
+			continue
+		}
+		n++
+		r := rows[off : off+12 : off+12]
+		if r[0] > q0 || r[1] > q1 || r[2] > q2 || r[3] > q3 || r[4] > q4 || r[5] > q5 ||
+			r[6] > q6 || r[7] > q7 || r[8] > q8 || r[9] > q9 || r[10] > q10 || r[11] > q11 {
+			continue
+		}
+		if r[0] < q0 || r[1] < q1 || r[2] < q2 || r[3] < q3 || r[4] < q4 || r[5] < q5 ||
+			r[6] < q6 || r[7] < q7 || r[8] < q8 || r[9] < q9 || r[10] < q10 || r[11] < q11 {
+			*dts = n
+			return true
+		}
+	}
+	*dts = n
+	return false
+}
+
+func domRun16(rows []float64, lo, hi int, q []float64, qL1 float64, l1 []float64, skip []uint32, dts *uint64) bool {
+	q0, q1, q2, q3, q4, q5, q6, q7 := q[0], q[1], q[2], q[3], q[4], q[5], q[6], q[7]
+	q8, q9, q10, q11, q12, q13, q14, q15 := q[8], q[9], q[10], q[11], q[12], q[13], q[14], q[15]
+	n := *dts
+	off := lo * 16
+	for j := lo; j < hi; j, off = j+1, off+16 {
+		if skip != nil && atomic.LoadUint32(&skip[j]) != 0 {
+			continue
+		}
+		if l1 != nil && l1[j] == qL1 {
+			continue
+		}
+		n++
+		r := rows[off : off+16 : off+16]
+		if r[0] > q0 || r[1] > q1 || r[2] > q2 || r[3] > q3 ||
+			r[4] > q4 || r[5] > q5 || r[6] > q6 || r[7] > q7 ||
+			r[8] > q8 || r[9] > q9 || r[10] > q10 || r[11] > q11 ||
+			r[12] > q12 || r[13] > q13 || r[14] > q14 || r[15] > q15 {
+			continue
+		}
+		if r[0] < q0 || r[1] < q1 || r[2] < q2 || r[3] < q3 ||
+			r[4] < q4 || r[5] < q5 || r[6] < q6 || r[7] < q7 ||
+			r[8] < q8 || r[9] < q9 || r[10] < q10 || r[11] < q11 ||
+			r[12] < q12 || r[13] < q13 || r[14] < q14 || r[15] < q15 {
+			*dts = n
+			return true
+		}
+	}
+	*dts = n
+	return false
+}

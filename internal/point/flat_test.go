@@ -1,0 +1,158 @@
+package point
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randPair produces a (p, q) pair embedded at random row offsets of two
+// flat matrices, exercising the interesting relations: random pairs,
+// forced weak-dominance pairs, and coincident pairs.
+func randPair(rng *rand.Rand, d int) (p, q []float64) {
+	p = make([]float64, d)
+	q = make([]float64, d)
+	for i := range p {
+		p[i] = float64(rng.Intn(5)) / 4 // coarse grid → frequent ties
+		q[i] = float64(rng.Intn(5)) / 4
+	}
+	switch rng.Intn(4) {
+	case 0: // force p ⪯ q
+		for i := range p {
+			if p[i] > q[i] {
+				p[i] = q[i]
+			}
+		}
+	case 1: // force coincidence
+		copy(q, p)
+	}
+	return p, q
+}
+
+// flatten embeds row into a larger flat array at row index ri so offset
+// arithmetic (not slice identity) is what's being tested.
+func flatten(rng *rand.Rand, row []float64, ri, rows int) []float64 {
+	d := len(row)
+	vals := make([]float64, rows*d)
+	for i := range vals {
+		vals[i] = rng.Float64() * 10
+	}
+	copy(vals[ri*d:], row)
+	return vals
+}
+
+func TestFlatKernelsMatchGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for d := 2; d <= 16; d++ {
+		for trial := 0; trial < 500; trial++ {
+			p, q := randPair(rng, d)
+			pi, qi := rng.Intn(4), rng.Intn(4)
+			pv := flatten(rng, p, pi, 4)
+			qv := flatten(rng, q, qi, 4)
+
+			if got, want := DominatesFlat2(pv, pi*d, qv, qi*d, d), Dominates(p, q); got != want {
+				t.Fatalf("d=%d DominatesFlat2=%v want %v (p=%v q=%v)", d, got, want, p, q)
+			}
+			if got, want := WeakDominatesFlat2(pv, pi*d, qv, qi*d, d), WeakDominates(p, q); got != want {
+				t.Fatalf("d=%d WeakDominatesFlat2=%v want %v", d, got, want)
+			}
+			if got, want := CompareFlat2(pv, pi*d, qv, qi*d, d), Compare(p, q); got != want {
+				t.Fatalf("d=%d CompareFlat2=%v want %v", d, got, want)
+			}
+			if got, want := EqualsFlat2(pv, pi*d, qv, qi*d, d), Equals(p, q); got != want {
+				t.Fatalf("d=%d EqualsFlat2=%v want %v", d, got, want)
+			}
+
+			// Same-array variants.
+			both := make([]float64, 2*d)
+			copy(both, p)
+			copy(both[d:], q)
+			if got, want := DominatesFlat(both, 0, d, d), Dominates(p, q); got != want {
+				t.Fatalf("d=%d DominatesFlat=%v want %v", d, got, want)
+			}
+			if got, want := WeakDominatesFlat(both, 0, d, d), WeakDominates(p, q); got != want {
+				t.Fatalf("d=%d WeakDominatesFlat=%v want %v", d, got, want)
+			}
+			if got, want := CompareFlat(both, 0, d, d), Compare(p, q); got != want {
+				t.Fatalf("d=%d CompareFlat=%v want %v", d, got, want)
+			}
+
+			// Unrolled DominatesD must agree with the generic loop too.
+			if got, want := DominatesD(p, q, d), Dominates(p, q); got != want {
+				t.Fatalf("d=%d DominatesD=%v want %v", d, got, want)
+			}
+
+			piv := make([]float64, d)
+			for i := range piv {
+				piv[i] = float64(rng.Intn(5)) / 4
+			}
+			if got, want := ComputeMaskFlat(pv, pi*d, piv), ComputeMask(p, piv); got != want {
+				t.Fatalf("d=%d ComputeMaskFlat=%v want %v", d, got, want)
+			}
+		}
+	}
+}
+
+// TestDominatedInFlatRun cross-checks the run kernels (including the
+// specialized dimensionalities) against a reference scan for every
+// d ∈ [2,16], with and without the L1 and skip filters.
+func TestDominatedInFlatRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for d := 2; d <= 16; d++ {
+		for trial := 0; trial < 200; trial++ {
+			n := 1 + rng.Intn(20)
+			rows := make([]float64, n*d)
+			l1 := make([]float64, n)
+			skip := make([]uint32, n)
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < d; k++ {
+					v := float64(rng.Intn(4)) / 4
+					rows[j*d+k] = v
+					s += v
+				}
+				l1[j] = s
+				if rng.Intn(3) == 0 {
+					skip[j] = 1
+				}
+			}
+			q, _ := randPair(rng, d)
+			if trial%5 == 0 { // sometimes copy a row so coincidence occurs
+				copy(q, rows[rng.Intn(n)*d:][:d])
+			}
+			qL1 := L1(q)
+			lo := rng.Intn(n)
+			hi := lo + rng.Intn(n-lo+1)
+
+			for variant := 0; variant < 4; variant++ {
+				var useL1 []float64
+				var useSkip []uint32
+				if variant&1 != 0 {
+					useL1 = l1
+				}
+				if variant&2 != 0 {
+					useSkip = skip
+				}
+				want := false
+				wantDTs := uint64(0)
+				for j := lo; j < hi && !want; j++ {
+					if useSkip != nil && useSkip[j] != 0 {
+						continue
+					}
+					if useL1 != nil && useL1[j] == qL1 {
+						continue
+					}
+					wantDTs++
+					if Dominates(rows[j*d:(j+1)*d], q) {
+						want = true
+					}
+				}
+				var dts uint64
+				got := DominatedInFlatRun(rows, d, lo, hi, q, qL1, useL1, useSkip, &dts)
+				if got != want || dts != wantDTs {
+					t.Fatalf("d=%d variant=%d run=[%d,%d): got (%v,%d) want (%v,%d)",
+						d, variant, lo, hi, got, dts, want, wantDTs)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package point
+
+// DominatedInFlatRunMasked is DominatedInFlatRun with the partition-mask
+// filter fused into the loop: row j is dominance-tested only when
+// masks[j] ⊆ qm (the region-compatibility condition of Section VI-A2).
+// It is the kernel behind M(S) partition scans, where most rows fail the
+// subset filter and the probe's coordinates must stay hoisted across the
+// whole run for the scan to be cheap. *dts is advanced by the number of
+// dominance tests actually performed (filtered rows cost none).
+func DominatedInFlatRunMasked(rows []float64, d, lo, hi int, q []float64, masks []Mask, qm Mask, dts *uint64) bool {
+	switch d {
+	case 4:
+		return domRunM4(rows, lo, hi, q, masks, qm, dts)
+	case 6:
+		return domRunM6(rows, lo, hi, q, masks, qm, dts)
+	case 8:
+		return domRunM8(rows, lo, hi, q, masks, qm, dts)
+	case 10:
+		return domRunM10(rows, lo, hi, q, masks, qm, dts)
+	case 12:
+		return domRunM12(rows, lo, hi, q, masks, qm, dts)
+	case 16:
+		return domRunM16(rows, lo, hi, q, masks, qm, dts)
+	default:
+		return domRunMGeneric(rows, d, lo, hi, q, masks, qm, dts)
+	}
+}
+
+func domRunMGeneric(rows []float64, d, lo, hi int, q []float64, masks []Mask, qm Mask, dts *uint64) bool {
+	n := *dts
+	off := lo * d
+	for j := lo; j < hi; j, off = j+1, off+d {
+		if masks[j]&qm != masks[j] {
+			continue
+		}
+		n++
+		r := rows[off : off+d : off+d]
+		strict := false
+		dominates := true
+		for k, v := range r {
+			w := q[k]
+			if v > w {
+				dominates = false
+				break
+			}
+			if v < w {
+				strict = true
+			}
+		}
+		if dominates && strict {
+			*dts = n
+			return true
+		}
+	}
+	*dts = n
+	return false
+}
+
+func domRunM4(rows []float64, lo, hi int, q []float64, masks []Mask, qm Mask, dts *uint64) bool {
+	q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
+	n := *dts
+	off := lo * 4
+	for j := lo; j < hi; j, off = j+1, off+4 {
+		if masks[j]&qm != masks[j] {
+			continue
+		}
+		n++
+		r := rows[off : off+4 : off+4]
+		if r[0] > q0 || r[1] > q1 || r[2] > q2 || r[3] > q3 {
+			continue
+		}
+		if r[0] < q0 || r[1] < q1 || r[2] < q2 || r[3] < q3 {
+			*dts = n
+			return true
+		}
+	}
+	*dts = n
+	return false
+}
+
+func domRunM6(rows []float64, lo, hi int, q []float64, masks []Mask, qm Mask, dts *uint64) bool {
+	q0, q1, q2, q3, q4, q5 := q[0], q[1], q[2], q[3], q[4], q[5]
+	n := *dts
+	off := lo * 6
+	for j := lo; j < hi; j, off = j+1, off+6 {
+		if masks[j]&qm != masks[j] {
+			continue
+		}
+		n++
+		r := rows[off : off+6 : off+6]
+		if r[0] > q0 || r[1] > q1 || r[2] > q2 || r[3] > q3 || r[4] > q4 || r[5] > q5 {
+			continue
+		}
+		if r[0] < q0 || r[1] < q1 || r[2] < q2 || r[3] < q3 || r[4] < q4 || r[5] < q5 {
+			*dts = n
+			return true
+		}
+	}
+	*dts = n
+	return false
+}
+
+func domRunM8(rows []float64, lo, hi int, q []float64, masks []Mask, qm Mask, dts *uint64) bool {
+	q0, q1, q2, q3, q4, q5, q6, q7 := q[0], q[1], q[2], q[3], q[4], q[5], q[6], q[7]
+	n := *dts
+	off := lo * 8
+	for j := lo; j < hi; j, off = j+1, off+8 {
+		if masks[j]&qm != masks[j] {
+			continue
+		}
+		n++
+		r := rows[off : off+8 : off+8]
+		if r[0] > q0 || r[1] > q1 || r[2] > q2 || r[3] > q3 ||
+			r[4] > q4 || r[5] > q5 || r[6] > q6 || r[7] > q7 {
+			continue
+		}
+		if r[0] < q0 || r[1] < q1 || r[2] < q2 || r[3] < q3 ||
+			r[4] < q4 || r[5] < q5 || r[6] < q6 || r[7] < q7 {
+			*dts = n
+			return true
+		}
+	}
+	*dts = n
+	return false
+}
+
+func domRunM10(rows []float64, lo, hi int, q []float64, masks []Mask, qm Mask, dts *uint64) bool {
+	q0, q1, q2, q3, q4 := q[0], q[1], q[2], q[3], q[4]
+	q5, q6, q7, q8, q9 := q[5], q[6], q[7], q[8], q[9]
+	n := *dts
+	off := lo * 10
+	for j := lo; j < hi; j, off = j+1, off+10 {
+		if masks[j]&qm != masks[j] {
+			continue
+		}
+		n++
+		r := rows[off : off+10 : off+10]
+		if r[0] > q0 || r[1] > q1 || r[2] > q2 || r[3] > q3 || r[4] > q4 ||
+			r[5] > q5 || r[6] > q6 || r[7] > q7 || r[8] > q8 || r[9] > q9 {
+			continue
+		}
+		if r[0] < q0 || r[1] < q1 || r[2] < q2 || r[3] < q3 || r[4] < q4 ||
+			r[5] < q5 || r[6] < q6 || r[7] < q7 || r[8] < q8 || r[9] < q9 {
+			*dts = n
+			return true
+		}
+	}
+	*dts = n
+	return false
+}
+
+func domRunM12(rows []float64, lo, hi int, q []float64, masks []Mask, qm Mask, dts *uint64) bool {
+	q0, q1, q2, q3, q4, q5 := q[0], q[1], q[2], q[3], q[4], q[5]
+	q6, q7, q8, q9, q10, q11 := q[6], q[7], q[8], q[9], q[10], q[11]
+	n := *dts
+	off := lo * 12
+	for j := lo; j < hi; j, off = j+1, off+12 {
+		if masks[j]&qm != masks[j] {
+			continue
+		}
+		n++
+		r := rows[off : off+12 : off+12]
+		if r[0] > q0 || r[1] > q1 || r[2] > q2 || r[3] > q3 || r[4] > q4 || r[5] > q5 ||
+			r[6] > q6 || r[7] > q7 || r[8] > q8 || r[9] > q9 || r[10] > q10 || r[11] > q11 {
+			continue
+		}
+		if r[0] < q0 || r[1] < q1 || r[2] < q2 || r[3] < q3 || r[4] < q4 || r[5] < q5 ||
+			r[6] < q6 || r[7] < q7 || r[8] < q8 || r[9] < q9 || r[10] < q10 || r[11] < q11 {
+			*dts = n
+			return true
+		}
+	}
+	*dts = n
+	return false
+}
+
+func domRunM16(rows []float64, lo, hi int, q []float64, masks []Mask, qm Mask, dts *uint64) bool {
+	q0, q1, q2, q3, q4, q5, q6, q7 := q[0], q[1], q[2], q[3], q[4], q[5], q[6], q[7]
+	q8, q9, q10, q11, q12, q13, q14, q15 := q[8], q[9], q[10], q[11], q[12], q[13], q[14], q[15]
+	n := *dts
+	off := lo * 16
+	for j := lo; j < hi; j, off = j+1, off+16 {
+		if masks[j]&qm != masks[j] {
+			continue
+		}
+		n++
+		r := rows[off : off+16 : off+16]
+		if r[0] > q0 || r[1] > q1 || r[2] > q2 || r[3] > q3 ||
+			r[4] > q4 || r[5] > q5 || r[6] > q6 || r[7] > q7 ||
+			r[8] > q8 || r[9] > q9 || r[10] > q10 || r[11] > q11 ||
+			r[12] > q12 || r[13] > q13 || r[14] > q14 || r[15] > q15 {
+			continue
+		}
+		if r[0] < q0 || r[1] < q1 || r[2] < q2 || r[3] < q3 ||
+			r[4] < q4 || r[5] < q5 || r[6] < q6 || r[7] < q7 ||
+			r[8] < q8 || r[9] < q9 || r[10] < q10 || r[11] < q11 ||
+			r[12] < q12 || r[13] < q13 || r[14] < q14 || r[15] < q15 {
+			*dts = n
+			return true
+		}
+	}
+	*dts = n
+	return false
+}

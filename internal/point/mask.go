@@ -1,6 +1,9 @@
 package point
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // Mask is a 2^d-region partition mask relative to a pivot point
 // (Section VI-A2). Bit i is set iff the point is ≥ the pivot on dimension
@@ -14,15 +17,31 @@ type Mask uint32
 const MaxDims = 31
 
 // ComputeMask assigns p to a partition relative to pivot v:
-// bit i = (p[i] < v[i] ? 0 : 1).
+// bit i = (p[i] < v[i] ? 0 : 1). The bit is derived branchlessly —
+// partition bits are close to uniform on real data, so a per-dimension
+// compare-and-branch mispredicts half the time. Each operand is
+// normalized with +0.0 (sending -0 to +0), mapped through the
+// order-preserving bit transform, and compared via the borrow flag of an
+// unsigned subtract, which matches x ≥ v exactly for every non-NaN input
+// including ±Inf.
 func ComputeMask(p, v []float64) Mask {
-	var m Mask
+	var m uint32
 	for i, x := range p {
-		if x >= v[i] {
-			m |= 1 << uint(i)
-		}
+		_, borrow := bits.Sub64(OrderBits(x+0.0), OrderBits(v[i]+0.0), 0)
+		m |= uint32(1-borrow) << uint(i)
 	}
-	return m
+	return Mask(m)
+}
+
+// OrderBits maps a float64 to a uint64 whose unsigned order matches the
+// float total order (negatives reversed, sign flipped), without branches.
+// It is the standard radix-sortable transform; Q-Flow's L1 sort keys use
+// it too. Callers that must treat -0 and +0 as equal (as ComputeMask
+// does) should normalize with +0.0 first.
+func OrderBits(f float64) uint64 {
+	b := math.Float64bits(f)
+	sign := uint64(int64(b) >> 63) // all ones iff f is negative
+	return b ^ (sign | 1<<63)
 }
 
 // Level returns |m|, the number of set bits — the "level" of the partition

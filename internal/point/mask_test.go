@@ -1,6 +1,7 @@
 package point
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -104,6 +105,25 @@ func TestEqualLevelDistinctMasksIncomparable(t *testing.T) {
 		if mp.Level() == mq.Level() && mp != mq {
 			if Dominates(p, q) || Dominates(q, p) {
 				t.Fatalf("masks %b/%b same level but %v and %v comparable", mp, mq, p, q)
+			}
+		}
+	}
+}
+
+// TestComputeMaskBranchless pins the branchless sign-trick implementation
+// to the reference predicate (bit i ⇔ p[i] ≥ v[i]), including the signed
+// zeros that the +0.0 normalization exists for and exact ties.
+func TestComputeMaskBranchless(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e300, -2, -1, math.Copysign(0, -1), 0, 1e-300, 1, 2, 1e300, math.Inf(1)}
+	for _, x := range vals {
+		for _, v := range vals {
+			got := ComputeMask([]float64{x}, []float64{v})
+			want := Mask(0)
+			if x >= v {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("ComputeMask(%g vs %g) = %b, want %b", x, v, got, want)
 			}
 		}
 	}

@@ -43,6 +43,9 @@ func (h *maxHeap) Pop() interface{} {
 // indices in their original order. l1 must hold the L1 norm of every row.
 // beta ≤ 0 selects DefaultBeta. dts, when non-nil, accumulates dominance
 // tests per thread.
+//
+// Filter allocates per call; the Hybrid hot path uses a reusable Runner
+// (see runner.go) instead.
 func Filter(m point.Matrix, l1 []float64, beta, threads int, dts *stats.DTCounters) []int {
 	n := m.N()
 	if n == 0 {

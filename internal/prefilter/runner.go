@@ -1,0 +1,279 @@
+package prefilter
+
+import (
+	"skybench/internal/par"
+	"skybench/internal/point"
+	"skybench/internal/stats"
+)
+
+// Runner is a reusable, allocation-free implementation of the two-pass
+// pre-filter. All scratch (per-thread β-queues, the pruned bitmap, the
+// gathered queue matrix, the survivor list) persists across calls, and
+// both passes run on a caller-supplied persistent worker pool, so a
+// steady-state Filter call performs no allocations and no goroutine
+// spawns.
+//
+// Beyond reuse, the Runner improves on the free function in two ways: the
+// union of the per-thread queues is gathered into a dense row-major
+// matrix sorted by L1 norm, so pass 2 scans a contiguous run with the
+// probe point's coordinates hoisted into registers (point.
+// DominatedInFlatRun) and stops at the first queue point whose L1 norm is
+// ≥ the probe's — by footnote 2 of the paper such a point can never
+// dominate the probe. The surviving set is identical to Filter's.
+type Runner struct {
+	pruned []bool
+	qheap  []int     // threads*beta flat queue storage (max-heaps by L1)
+	qdense []float64 // threads*beta*d dense copies of the queue rows
+	qcount []int
+	allq   []int     // union of the queues, sorted by L1
+	qrows  []float64 // gathered queue rows matching allq order
+	ql1    []float64 // queue L1 norms matching allq order
+	out    []int
+
+	// Parallel-region parameters, set by Filter before each fan-out.
+	m    point.Matrix
+	l1   []float64
+	beta int
+	nq   int
+	dts  *stats.DTCounters
+
+	pass1 func(tid, lo, hi int)
+	pass2 func(tid, lo, hi int)
+}
+
+// NewRunner creates a Runner with its parallel bodies pre-bound (so
+// dispatching them allocates nothing).
+func NewRunner() *Runner {
+	r := &Runner{}
+	r.pass1 = r.runPass1
+	r.pass2 = r.runPass2
+	return r
+}
+
+// Filter is the reusable-scratch equivalent of the package-level Filter:
+// same surviving set, same original order. The returned slice aliases the
+// Runner and is valid until the next call.
+func (r *Runner) Filter(m point.Matrix, l1 []float64, beta int, pool *par.Pool, dts *stats.DTCounters) []int {
+	n := m.N()
+	if n == 0 {
+		return nil
+	}
+	if beta <= 0 {
+		beta = DefaultBeta
+	}
+	threads := pool.Threads()
+
+	if cap(r.pruned) < n {
+		r.pruned = make([]bool, n)
+	}
+	r.pruned = r.pruned[:n]
+	if cap(r.qheap) < threads*beta {
+		r.qheap = make([]int, threads*beta)
+		r.allq = make([]int, threads*beta)
+	}
+	r.qheap = r.qheap[:threads*beta]
+	d := m.D()
+	if cap(r.qdense) < threads*beta*d {
+		r.qdense = make([]float64, threads*beta*d)
+	}
+	r.qdense = r.qdense[:threads*beta*d]
+	if cap(r.qcount) < threads {
+		r.qcount = make([]int, threads)
+	}
+	r.qcount = r.qcount[:threads]
+	for i := range r.qcount {
+		r.qcount[i] = 0
+	}
+
+	r.m, r.l1, r.beta, r.dts = m, l1, beta, dts
+
+	// Pass 1: per-thread β-queues; non-queue points tested against the
+	// local queue.
+	pool.ForRanges(n, r.pass1)
+
+	// Gather the queue union, sort it by L1 ascending, materialize the
+	// rows contiguously. The union holds ≤ threads·β points, so an
+	// insertion sort is plenty.
+	nq := 0
+	allq := r.allq[:0]
+	for tid := 0; tid < threads; tid++ {
+		allq = append(allq, r.qheap[tid*beta:tid*beta+r.qcount[tid]]...)
+	}
+	nq = len(allq)
+	for i := 1; i < nq; i++ {
+		v := allq[i]
+		j := i - 1
+		for j >= 0 && l1[allq[j]] > l1[v] {
+			allq[j+1] = allq[j]
+			j--
+		}
+		allq[j+1] = v
+	}
+	// Prune the union to its own skyline: a dominated queue point's
+	// victims are also its dominator's victims (transitivity), so
+	// dropping it leaves the surviving set unchanged while shrinking
+	// every pass-2 scan. With t threads the union holds t·β points whose
+	// mutual redundancy grows with t. L1 order means dominators precede.
+	flat := m.Flat()
+	var unionDTs uint64
+	kept := 0
+	for i := 0; i < nq; i++ {
+		p := allq[i]
+		dominated := false
+		for k := 0; k < kept; k++ {
+			if l1[allq[k]] == l1[p] {
+				continue
+			}
+			unionDTs++
+			if point.DominatesFlat(flat, allq[k]*d, p*d, d) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			allq[kept] = p
+			kept++
+		}
+	}
+	allq = allq[:kept]
+	nq = kept
+	if dts != nil {
+		dts.Inc(0, unionDTs)
+	}
+	if cap(r.qrows) < nq*d {
+		r.qrows = make([]float64, nq*d)
+		r.ql1 = make([]float64, nq)
+	}
+	r.qrows, r.ql1 = r.qrows[:nq*d], r.ql1[:nq]
+	for i, j := range allq {
+		copy(r.qrows[i*d:(i+1)*d], flat[j*d:(j+1)*d])
+		r.ql1[i] = l1[j]
+	}
+	r.nq = nq
+
+	// Pass 2: every surviving point against the queue union.
+	pool.ForRanges(n, r.pass2)
+
+	if cap(r.out) < n {
+		r.out = make([]int, 0, n)
+	}
+	out := r.out[:0]
+	for i := 0; i < n; i++ {
+		if !r.pruned[i] {
+			out = append(out, i)
+		}
+	}
+	r.out = out
+	return out
+}
+
+// runPass1 maintains the thread's β-queue as a max-heap over point
+// indices (for the union gather) with a parallel dense row-major copy of
+// the queued rows, so the per-point queue test scans β·d contiguous,
+// L1-cache-resident floats through the flat run kernel instead of β
+// scattered matrix rows. Heap swaps move the dense rows along.
+func (r *Runner) runPass1(tid, lo, hi int) {
+	m, l1, beta := r.m, r.l1, r.beta
+	d := m.D()
+	flat := m.Flat()
+	heap := r.qheap[tid*beta : (tid+1)*beta]
+	dense := r.qdense[tid*beta*d : (tid+1)*beta*d]
+	cnt := 0
+	var localDTs uint64
+	for i := lo; i < hi; i++ {
+		r.pruned[i] = false
+		if cnt < beta {
+			// Insert and sift up (max-heap by L1).
+			heap[cnt] = i
+			copy(dense[cnt*d:(cnt+1)*d], flat[i*d:(i+1)*d])
+			c := cnt
+			cnt++
+			for c > 0 {
+				p := (c - 1) / 2
+				if l1[heap[p]] >= l1[heap[c]] {
+					break
+				}
+				heapSwap(heap, dense, d, p, c)
+				c = p
+			}
+			continue
+		}
+		top := heap[0]
+		if l1[i] < l1[top] {
+			// i replaces the queue's largest point; the evicted point is
+			// re-tested in pass 2 (it remains unpruned here).
+			heap[0] = i
+			copy(dense[:d], flat[i*d:(i+1)*d])
+			siftDown(heap, dense, d, l1)
+			continue
+		}
+		q := flat[i*d : (i+1)*d : (i+1)*d]
+		if point.DominatedInFlatRun(dense, d, 0, cnt, q, l1[i], nil, nil, &localDTs) {
+			r.pruned[i] = true
+		}
+	}
+	r.qcount[tid] = cnt
+	if r.dts != nil {
+		r.dts.Inc(tid, localDTs)
+	}
+}
+
+func heapSwap(heap []int, dense []float64, d, a, b int) {
+	heap[a], heap[b] = heap[b], heap[a]
+	for k := 0; k < d; k++ {
+		dense[a*d+k], dense[b*d+k] = dense[b*d+k], dense[a*d+k]
+	}
+}
+
+func siftDown(heap []int, dense []float64, d int, l1 []float64) {
+	n := len(heap)
+	c := 0
+	for {
+		l, rt := 2*c+1, 2*c+2
+		big := c
+		if l < n && l1[heap[l]] > l1[heap[big]] {
+			big = l
+		}
+		if rt < n && l1[heap[rt]] > l1[heap[big]] {
+			big = rt
+		}
+		if big == c {
+			return
+		}
+		heapSwap(heap, dense, d, c, big)
+		c = big
+	}
+}
+
+func (r *Runner) runPass2(tid, lo, hi int) {
+	m := r.m
+	d := m.D()
+	flat := m.Flat()
+	nq := r.nq
+	ql1, qrows := r.ql1[:nq], r.qrows
+	var localDTs uint64
+	for i := lo; i < hi; i++ {
+		if r.pruned[i] {
+			continue
+		}
+		myL1 := r.l1[i]
+		// Only queue points with strictly smaller L1 can dominate; ql1 is
+		// ascending, so binary-search the cutoff and scan the prefix.
+		a, b := 0, nq
+		for a < b {
+			mid := int(uint(a+b) >> 1)
+			if ql1[mid] < myL1 {
+				a = mid + 1
+			} else {
+				b = mid
+			}
+		}
+		q := flat[i*d : (i+1)*d : (i+1)*d]
+		if point.DominatedInFlatRun(qrows, d, 0, a, q, myL1, nil, nil, &localDTs) {
+			r.pruned[i] = true
+		}
+	}
+	if r.dts != nil {
+		r.dts.Inc(tid, localDTs)
+	}
+}

@@ -1,0 +1,85 @@
+package prefilter
+
+import (
+	"testing"
+
+	"skybench/internal/dataset"
+	"skybench/internal/par"
+	"skybench/internal/point"
+	"skybench/internal/stats"
+)
+
+// TestRunnerMatchesFilter checks that the reusable Runner selects exactly
+// the same surviving set as the reference Filter, across distributions,
+// thread counts, and repeated (reused) calls.
+func TestRunnerMatchesFilter(t *testing.T) {
+	r := NewRunner()
+	for _, threads := range []int{1, 3, 8} {
+		pool := par.NewPool(threads)
+		for _, dist := range dataset.AllDistributions {
+			for _, n := range []int{1, 17, 1000, 5000} {
+				m := dataset.Generate(dist, n, 6, 99)
+				l1 := make([]float64, n)
+				m.L1All(l1)
+				want := Filter(m, l1, 0, threads, nil)
+				got := r.Filter(m, l1, 0, pool, nil)
+				if len(got) != len(want) {
+					t.Fatalf("%s n=%d t=%d: runner kept %d, filter kept %d",
+						dist, n, threads, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s n=%d t=%d: survivor %d is %d, want %d",
+							dist, n, threads, i, got[i], want[i])
+					}
+				}
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestRunnerZeroAlloc asserts the steady-state Filter call allocates
+// nothing once scratch is warm.
+func TestRunnerZeroAlloc(t *testing.T) {
+	m := dataset.Generate(dataset.Independent, 4000, 8, 5)
+	l1 := make([]float64, m.N())
+	m.L1All(l1)
+	pool := par.NewPool(4)
+	defer pool.Close()
+	dts := stats.NewDTCounters(4)
+	r := NewRunner()
+	r.Filter(m, l1, 0, pool, dts) // warm scratch
+	allocs := testing.AllocsPerRun(20, func() {
+		r.Filter(m, l1, 0, pool, dts)
+	})
+	if allocs != 0 {
+		t.Errorf("Runner.Filter allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestRunnerNeverPrunesSkyline re-checks the safety property on the
+// Runner: no skyline point is ever pruned.
+func TestRunnerNeverPrunesSkyline(t *testing.T) {
+	m := dataset.Generate(dataset.Anticorrelated, 800, 5, 31)
+	l1 := make([]float64, m.N())
+	m.L1All(l1)
+	pool := par.NewPool(3)
+	defer pool.Close()
+	surv := NewRunner().Filter(m, l1, 4, pool, nil)
+	kept := make(map[int]bool, len(surv))
+	for _, i := range surv {
+		kept[i] = true
+	}
+	for i := 0; i < m.N(); i++ {
+		dominated := false
+		for j := 0; j < m.N() && !dominated; j++ {
+			if j != i && point.Dominates(m.Row(j), m.Row(i)) {
+				dominated = true
+			}
+		}
+		if !dominated && !kept[i] {
+			t.Fatalf("skyline point %d was pruned", i)
+		}
+	}
+}

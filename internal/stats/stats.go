@@ -120,6 +120,10 @@ type Timer struct {
 // NewTimer begins timing against s.
 func NewTimer(s *Stats) *Timer { return &Timer{s: s, last: time.Now()} }
 
+// StartTimer is NewTimer returning a value, so hot paths that reuse a
+// Context can time phases without a per-run allocation.
+func StartTimer(s *Stats) Timer { return Timer{s: s, last: time.Now()} }
+
 // Stop attributes the time since the previous boundary to phase and
 // re-arms the timer.
 func (t *Timer) Stop(p Phase) {
@@ -150,6 +154,9 @@ func NewDTCounters(t int) *DTCounters {
 // Inc adds k dominance tests to thread tid's slot. Only tid itself may
 // call Inc for its slot during a parallel region.
 func (c *DTCounters) Inc(tid int, k uint64) { c.slots[tid].n += k }
+
+// Threads returns the number of per-thread slots.
+func (c *DTCounters) Threads() int { return len(c.slots) }
 
 // Sum returns the total across threads. Call only outside parallel
 // regions.

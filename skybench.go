@@ -308,15 +308,19 @@ func computeMatrix(m point.Matrix, opt Options) (Result, error) {
 	default:
 		return Result{}, fmt.Errorf("skybench: unknown algorithm %d", int(opt.Algorithm))
 	}
-	elapsed := time.Since(start)
-	st.InputSize = m.N()
+	return assembleResult(idx, &st, m.N(), time.Since(start)), nil
+}
+
+// assembleResult converts internal stats into the public Result shape.
+func assembleResult(idx []int, st *stats.Stats, n int, elapsed time.Duration) Result {
+	st.InputSize = n
 	st.SkylineSize = len(idx)
 	return Result{
 		Indices: idx,
 		Stats: Stats{
 			DominanceTests: st.DominanceTests,
 			SkylineSize:    len(idx),
-			InputSize:      m.N(),
+			InputSize:      n,
 			Threads:        st.Threads,
 			Elapsed:        elapsed,
 			Timings: PhaseTimings{
@@ -329,7 +333,7 @@ func computeMatrix(m point.Matrix, opt Options) (Result, error) {
 				Other:     st.Phases[stats.PhaseOther],
 			},
 		},
-	}, nil
+	}
 }
 
 // GenerateDataset produces one of the paper's synthetic workloads:
