@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"skybench/internal/bench"
@@ -32,6 +33,8 @@ func main() {
 		seed       = flag.Int64("seed", 42, "dataset seed")
 		realScale  = flag.Float64("realscale", 0, "real-data stand-in scale (0,1]")
 		paperScale = flag.Bool("paperscale", false, "use the paper's original workload sizes")
+		maxList    = flag.String("max", "", "comma-separated dimension indices to maximize in every workload")
+		dimsList   = flag.String("dims", "", "comma-separated dimension indices to keep (subspace workloads)")
 	)
 	flag.Parse()
 
@@ -76,6 +79,15 @@ func main() {
 	if *realScale > 0 {
 		cfg.RealScale = *realScale
 	}
+	var err error
+	if cfg.MaxDims, err = parseDimList(*maxList); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: -max: %v\n", err)
+		os.Exit(1)
+	}
+	if cfg.SubDims, err = parseDimList(*dimsList); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: -dims: %v\n", err)
+		os.Exit(1)
+	}
 
 	ran := false
 	for _, exp := range bench.Experiments() {
@@ -88,4 +100,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", *expName)
 		os.Exit(1)
 	}
+}
+
+// parseDimList parses a comma-separated list of dimension indices (""
+// is nil). Unlike cmd/skybench's strict parseDims, indices are not
+// range-checked here: each experiment picks its own dimensionality, so
+// the harness validates per sweep (and refuses empty subspaces).
+func parseDimList(list string) ([]int, error) {
+	if list == "" {
+		return nil, nil
+	}
+	parts := strings.Split(list, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad dimension index %q", p)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative dimension index %d", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

@@ -5,12 +5,17 @@
 //
 //	skybench -algo hybrid -dist anticorrelated -n 100000 -d 8 -t 4
 //	skybench -algo bskytree -input points.csv -print
+//	skybench -n 100000 -d 6 -max 2,5 -dims 0,2,3,5   # maximize & project
+//	skybench -n 1000000 -d 10 -timeout 500ms         # deadline-bounded
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"skybench"
 
@@ -21,7 +26,7 @@ import (
 
 func main() {
 	var (
-		algoName  = flag.String("algo", "hybrid", "algorithm: hybrid|qflow|pskyline|pbskytree|psfs|apskyline|bskytree|bnl|sfs|salsa|less|dnc")
+		algoName  = flag.String("algo", "hybrid", "algorithm: "+strings.Join(skybench.AlgorithmNames(), "|"))
 		distName  = flag.String("dist", "independent", "synthetic distribution: correlated|independent|anticorrelated")
 		n         = flag.Int("n", 100000, "synthetic cardinality")
 		d         = flag.Int("d", 8, "synthetic dimensionality")
@@ -30,6 +35,9 @@ func main() {
 		threads   = flag.Int("t", 0, "threads (0 = all CPUs)")
 		alpha     = flag.Int("alpha", 0, "alpha block size override (0 = paper default)")
 		pivotName = flag.String("pivot", "median", "hybrid pivot: median|balanced|manhattan|volume|random")
+		maxList   = flag.String("max", "", "comma-separated dimension indices to maximize instead of minimize")
+		dimsList  = flag.String("dims", "", "comma-separated dimension indices to keep (subspace skyline; others are ignored)")
+		timeout   = flag.Duration("timeout", 0, "cancel the query after this duration (0 = no deadline)")
 		printSky  = flag.Bool("print", false, "print skyline points")
 		check     = flag.Bool("check", false, "verify the result against a brute-force oracle (O(n²); small inputs only)")
 	)
@@ -39,7 +47,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pv, err := parsePivot(*pivotName)
+	pv, err := skybench.ParsePivot(*pivotName)
 	if err != nil {
 		fatal(err)
 	}
@@ -58,9 +66,28 @@ func main() {
 		m = dataset.Generate(dist, *n, *d, *seed)
 	}
 
-	res, err := skybench.Compute(m.Rows(), skybench.Options{
+	prefs, err := parsePrefs(*maxList, *dimsList, m.D())
+	if err != nil {
+		fatal(err)
+	}
+
+	ds, err := skybench.DatasetFromFlat(m.Flat(), m.N(), m.D())
+	if err != nil {
+		fatal(err)
+	}
+	eng := skybench.NewEngine(*threads)
+	defer eng.Close()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := eng.Run(ctx, ds, skybench.Query{
 		Algorithm: alg,
-		Threads:   *threads,
+		Prefs:     prefs,
 		Alpha:     *alpha,
 		Pivot:     pv,
 		Seed:      *seed,
@@ -72,6 +99,9 @@ func main() {
 	s := res.Stats
 	fmt.Printf("algorithm   : %s\n", alg)
 	fmt.Printf("input       : %d points × %d dims\n", s.InputSize, m.D())
+	if prefs != nil {
+		fmt.Printf("preferences : %s\n", describePrefs(prefs))
+	}
 	fmt.Printf("skyline     : %d points (%.2f%%)\n", s.SkylineSize, 100*float64(s.SkylineSize)/float64(s.InputSize))
 	fmt.Printf("elapsed     : %v\n", s.Elapsed)
 	fmt.Printf("dom. tests  : %d\n", s.DominanceTests)
@@ -81,7 +111,7 @@ func main() {
 			tm.Init, tm.Prefilter, tm.Pivot, tm.PhaseOne, tm.PhaseTwo, tm.Compress, tm.Other)
 	}
 	if *check {
-		want := verify.BruteForce(m)
+		want := verify.BruteForce(transformed(m, prefs))
 		if verify.SameSkyline(res.Indices, want) {
 			fmt.Println("check       : OK (matches brute-force oracle)")
 		} else {
@@ -96,20 +126,90 @@ func main() {
 	}
 }
 
-func parsePivot(s string) (skybench.PivotStrategy, error) {
-	switch s {
-	case "median":
-		return skybench.PivotMedian, nil
-	case "balanced":
-		return skybench.PivotBalanced, nil
-	case "manhattan":
-		return skybench.PivotManhattan, nil
-	case "volume":
-		return skybench.PivotVolume, nil
-	case "random":
-		return skybench.PivotRandom, nil
+// parsePrefs combines -max and -dims into a per-dimension preference
+// vector, or nil when both flags are empty (minimize everything).
+func parsePrefs(maxList, dimsList string, d int) ([]skybench.Pref, error) {
+	if maxList == "" && dimsList == "" {
+		return nil, nil
 	}
-	return 0, fmt.Errorf("unknown pivot strategy %q", s)
+	prefs := make([]skybench.Pref, d)
+	if dimsList != "" {
+		keep, err := parseDims(dimsList, d)
+		if err != nil {
+			return nil, err
+		}
+		for i := range prefs {
+			prefs[i] = skybench.Ignore
+		}
+		for _, i := range keep {
+			prefs[i] = skybench.Min
+		}
+	}
+	if maxList != "" {
+		maxes, err := parseDims(maxList, d)
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range maxes {
+			if prefs[i] == skybench.Ignore {
+				return nil, fmt.Errorf("dimension %d is both maximized (-max) and dropped (-dims)", i)
+			}
+			prefs[i] = skybench.Max
+		}
+	}
+	return prefs, nil
+}
+
+// parseDims parses a comma-separated list of dimension indices in [0, d).
+func parseDims(list string, d int) ([]int, error) {
+	parts := strings.Split(list, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad dimension index %q: %w", p, err)
+		}
+		if v < 0 || v >= d {
+			return nil, fmt.Errorf("dimension index %d out of range [0, %d)", v, d)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func describePrefs(prefs []skybench.Pref) string {
+	parts := make([]string, len(prefs))
+	for i, p := range prefs {
+		parts[i] = fmt.Sprintf("%d:%s", i, p)
+	}
+	return strings.Join(parts, " ")
+}
+
+// transformed applies the preference rewrite to m so the brute-force
+// oracle sees exactly what the engine computed over.
+func transformed(m point.Matrix, prefs []skybench.Pref) point.Matrix {
+	if prefs == nil {
+		return m
+	}
+	ops := make([]point.PrefOp, len(prefs))
+	for i, p := range prefs {
+		switch p {
+		case skybench.Min:
+			ops[i] = point.PrefKeep
+		case skybench.Max:
+			ops[i] = point.PrefNegate
+		case skybench.Ignore:
+			ops[i] = point.PrefDrop
+		default:
+			// parsePrefs only emits the three values above; a new Pref
+			// must be wired here or the oracle would silently minimize.
+			panic(fmt.Sprintf("unhandled preference %v", p))
+		}
+	}
+	de := point.EffectiveDims(ops)
+	dst := make([]float64, m.N()*de)
+	point.StagePrefs(dst, m.Flat(), m.N(), m.D(), ops)
+	return point.FromFlat(dst, m.N(), de)
 }
 
 func fatal(err error) {

@@ -1,63 +1,62 @@
 package skybench
 
 import (
-	"fmt"
-	"time"
+	"context"
 
-	"skybench/internal/core"
-	"skybench/internal/point"
-	"skybench/internal/stats"
+	"skybench/internal/par"
 )
 
-// Context is a reusable computation context for services that answer many
-// skyline queries: it holds a persistent worker pool and every scratch
-// buffer the Hybrid and Q-Flow hot paths need, so repeated Compute calls
-// reach steady state with zero allocations and no goroutine spawns.
+// Context is the legacy reusable computation context, retained as a thin
+// compatibility wrapper over the Engine/Dataset/Query API: it is a
+// single-caller Engine whose queries always take the zero-copy result
+// path. It keeps the persistent worker pool and every scratch buffer the
+// Hybrid and Q-Flow hot paths need, so repeated Compute calls reach
+// steady state with zero allocations and no goroutine spawns.
 //
 // A Context is not safe for concurrent use; create one per worker
-// goroutine. Result.Indices returned by a Context aliases its internal
-// storage and is valid until the next Compute call on the same Context.
-// Close releases the worker pool; forgotten Contexts are also cleaned up
-// by the garbage collector.
+// goroutine, or use an Engine, which is. Result.Indices returned by a
+// Context aliases its internal storage and is valid until the next
+// Compute/ComputeFlat call on the same Context (the aliasing rule on
+// Result.Indices; Result.Clone detaches a result). Close releases the
+// worker pool; forgotten Contexts are also cleaned up by the garbage
+// collector.
 //
 // Algorithms other than Hybrid and QFlow fall back to the regular
 // allocating path (they are baselines, not the serving hot path).
 type Context struct {
-	core *core.Context
-	st   stats.Stats
-	buf  []float64 // staging copy of Compute's [][]float64 input
+	eng *Engine
+	ds  Dataset   // reusable dataset header over the caller's flat data
+	buf []float64 // staging copy of Compute's [][]float64 input
 }
 
 // NewContext creates an empty Context. Buffers and the worker pool are
 // sized lazily by the first Compute call.
 func NewContext() *Context {
-	return &Context{core: core.NewContext()}
+	return &Context{}
 }
 
 // Close releases the Context's worker pool. The Context must not be used
 // afterwards.
-func (c *Context) Close() { c.core.Close() }
+func (c *Context) Close() {
+	if c.eng != nil {
+		c.eng.Close()
+		c.eng = nil
+	}
+}
 
 // Compute is Context-reusing Compute: identical semantics to the package
-// function, but scratch state persists across calls. The input rows are
-// staged into an internal flat buffer (reused, not retained); callers
-// that already hold row-major data should use ComputeFlat to skip the
-// copy.
+// function, but scratch state persists across calls and the result
+// aliases it (see the aliasing rule on Result.Indices). The input rows
+// are staged into an internal flat buffer (reused, not retained);
+// callers that already hold row-major data should use ComputeFlat to
+// skip the copy.
 func (c *Context) Compute(data [][]float64, opt Options) (Result, error) {
 	if len(data) == 0 {
 		return Result{}, nil
 	}
-	d := len(data[0])
-	if d == 0 {
-		return Result{}, fmt.Errorf("skybench: points must have at least one dimension")
-	}
-	for i, row := range data {
-		if len(row) != d {
-			return Result{}, fmt.Errorf("skybench: point %d has %d dimensions, want %d", i, len(row), d)
-		}
-	}
-	if d > point.MaxDims {
-		return Result{}, fmt.Errorf("skybench: at most %d dimensions supported, got %d", point.MaxDims, d)
+	d, err := validateRows(data)
+	if err != nil {
+		return Result{}, err
 	}
 	n := len(data)
 	if cap(c.buf) < n*d {
@@ -79,45 +78,29 @@ func (c *Context) ComputeFlat(vals []float64, n, d int, opt Options) (Result, er
 	if n == 0 {
 		return Result{}, nil
 	}
-	if d <= 0 {
-		return Result{}, fmt.Errorf("skybench: points must have at least one dimension")
+	if err := validateFlat(vals, n, d); err != nil {
+		return Result{}, err
 	}
-	if len(vals) != n*d {
-		return Result{}, fmt.Errorf("skybench: flat input has %d values, want n*d = %d", len(vals), n*d)
+	// Legacy thread semantics: any requested thread count is honored.
+	// The engine (and its pool) is rebuilt only when the request grows
+	// past the current budget; smaller requests run on fewer workers of
+	// the existing pool via Query.Threads, keeping all scratch warm.
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = par.DefaultThreads()
 	}
-	if d > point.MaxDims {
-		return Result{}, fmt.Errorf("skybench: at most %d dimensions supported, got %d", point.MaxDims, d)
+	if c.eng == nil || threads > c.eng.threads {
+		if c.eng != nil {
+			c.eng.Close()
+		}
+		c.eng = NewEngine(threads)
 	}
-	m := point.FromFlat(vals, n, d)
-	switch opt.Algorithm {
-	case Hybrid:
-		c.st = stats.Stats{}
-		start := time.Now()
-		idx := c.core.Hybrid(m, core.HybridOptions{
-			Threads:       opt.Threads,
-			Alpha:         opt.Alpha,
-			Pivot:         opt.Pivot.internal(),
-			Beta:          opt.Beta,
-			Seed:          opt.Seed,
-			NoPrefilter:   opt.Ablation.NoPrefilter,
-			NoMS:          opt.Ablation.NoMS,
-			NoLevel2:      opt.Ablation.NoLevel2,
-			NoPhase2Split: opt.Ablation.NoPhase2Split,
-			Stats:         &c.st,
-			Progressive:   opt.Progressive,
-		})
-		return assembleResult(idx, &c.st, n, time.Since(start)), nil
-	case QFlow:
-		c.st = stats.Stats{}
-		start := time.Now()
-		idx := c.core.QFlow(m, core.QFlowOptions{
-			Threads:     opt.Threads,
-			Alpha:       opt.Alpha,
-			Stats:       &c.st,
-			Progressive: opt.Progressive,
-		})
-		return assembleResult(idx, &c.st, n, time.Since(start)), nil
-	default:
-		return computeMatrix(m, opt)
-	}
+	// The Dataset header is rebuilt in place per call (the values are
+	// not retained past the call), keeping this entry point
+	// allocation-free.
+	c.ds = Dataset{vals: vals, n: n, d: d}
+	q := legacyQuery(opt)
+	q.Threads = threads
+	q.ReuseIndices = true
+	return c.eng.Run(context.Background(), &c.ds, q)
 }

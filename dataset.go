@@ -1,0 +1,110 @@
+package skybench
+
+import (
+	"fmt"
+
+	"skybench/internal/point"
+)
+
+// Dataset is a validated, immutable collection of points that an Engine
+// can answer many queries over. Validation (consistent dimensionality,
+// supported dimension count) happens exactly once, at construction, so a
+// serving loop pays nothing per query for it; the values are stored
+// row-major in one flat allocation, the layout every hot path in this
+// repository consumes directly.
+//
+// A Dataset is safe for concurrent use by any number of queries on any
+// number of Engines. Do not mutate the values after construction:
+// NewDataset copies its input and is always safe, DatasetFromFlat adopts
+// the caller's slice to stay zero-copy and trusts the caller to leave it
+// alone.
+type Dataset struct {
+	vals []float64
+	n, d int
+}
+
+// NewDataset validates rows (every point must have the same nonzero
+// dimensionality, at most MaxDims) and copies them into a new Dataset.
+// An empty input yields an empty Dataset, over which every query returns
+// an empty skyline.
+func NewDataset(rows [][]float64) (*Dataset, error) {
+	if len(rows) == 0 {
+		return &Dataset{}, nil
+	}
+	d, err := validateRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]float64, len(rows)*d)
+	for i, row := range rows {
+		copy(vals[i*d:(i+1)*d], row)
+	}
+	return &Dataset{vals: vals, n: len(rows), d: d}, nil
+}
+
+// validateRows checks a non-empty row-of-slices input (consistent,
+// nonzero, supported dimensionality) and returns its dimensionality.
+// Shared by NewDataset and the legacy Context.Compute so the two
+// surfaces cannot drift.
+func validateRows(rows [][]float64) (int, error) {
+	d := len(rows[0])
+	if d == 0 {
+		return 0, fmt.Errorf("skybench: points must have at least one dimension")
+	}
+	for i, row := range rows {
+		if len(row) != d {
+			return 0, fmt.Errorf("skybench: point %d has %d dimensions, want %d", i, len(row), d)
+		}
+	}
+	if d > point.MaxDims {
+		return 0, fmt.Errorf("skybench: at most %d dimensions supported, got %d", point.MaxDims, d)
+	}
+	return d, nil
+}
+
+// DatasetFromFlat builds a Dataset around n points of d dimensions
+// stored row-major in vals (len(vals) must be n*d) without copying. The
+// Dataset adopts the slice: the caller must not modify it afterwards.
+func DatasetFromFlat(vals []float64, n, d int) (*Dataset, error) {
+	if n == 0 {
+		return &Dataset{}, nil
+	}
+	if err := validateFlat(vals, n, d); err != nil {
+		return nil, err
+	}
+	return &Dataset{vals: vals, n: n, d: d}, nil
+}
+
+// validateFlat checks a non-empty flat row-major input. Shared by
+// DatasetFromFlat and the legacy Context.ComputeFlat.
+func validateFlat(vals []float64, n, d int) error {
+	if d <= 0 {
+		return fmt.Errorf("skybench: points must have at least one dimension")
+	}
+	if len(vals) != n*d {
+		return fmt.Errorf("skybench: flat input has %d values, want n*d = %d", len(vals), n*d)
+	}
+	if d > point.MaxDims {
+		return fmt.Errorf("skybench: at most %d dimensions supported, got %d", point.MaxDims, d)
+	}
+	return nil
+}
+
+// N returns the number of points.
+func (ds *Dataset) N() int { return ds.n }
+
+// D returns the dimensionality.
+func (ds *Dataset) D() int { return ds.d }
+
+// Row returns point i as a slice aliasing the Dataset's storage. Treat
+// it as read-only; mutating it breaks the immutability every concurrent
+// query depends on.
+func (ds *Dataset) Row(i int) []float64 {
+	return ds.vals[i*ds.d : (i+1)*ds.d : (i+1)*ds.d]
+}
+
+// matrix returns the dataset as the internal matrix type (aliasing, not
+// copying).
+func (ds *Dataset) matrix() point.Matrix {
+	return point.FromFlat(ds.vals, ds.n, ds.d)
+}

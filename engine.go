@@ -1,0 +1,311 @@
+package skybench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skybench/internal/core"
+	"skybench/internal/par"
+	"skybench/internal/point"
+	"skybench/internal/stats"
+)
+
+// Engine is the prepare-once, query-many serving interface: construct a
+// Dataset once, then call Run for every query against it. An Engine is
+// safe for concurrent use by any number of goroutines — it keeps a
+// free-list of computation contexts (each holding the scratch state of
+// one in-flight query) over a single shared worker pool, so concurrent
+// queries reuse warm scratch instead of allocating, and the machine
+// runs one thread team rather than one per caller.
+//
+// Run honors context cancellation and deadlines: the Hybrid and Q-Flow
+// hot paths poll a cancellation flag at every α-block boundary and
+// periodically inside their parallel phases, so a canceled query
+// returns ctx.Err() promptly instead of finishing the computation.
+// Baseline algorithms check cancellation only on entry.
+//
+// The zero-allocation steady state of the hot paths is preserved: a
+// warm Engine serving repeated Hybrid or Q-Flow queries with
+// Query.ReuseIndices set performs no allocations per Run (with a
+// plain context.Context that has no Done channel, e.g.
+// context.Background()).
+type Engine struct {
+	threads int
+
+	mu     sync.Mutex
+	pool   *par.Pool
+	free   []*engineCtx
+	closed bool
+}
+
+// engineCtx is the per-query scratch bundle an Engine hands out from
+// its free-list: one core computation context plus the staging buffer
+// for preference transforms and a cancellation flag.
+type engineCtx struct {
+	core *core.Context
+	st   stats.Stats
+	buf  []float64 // preference-staged copy of the dataset
+	ops  []point.PrefOp
+}
+
+// NewEngine creates an Engine whose worker pool has the given number of
+// threads (≤ 0 selects all usable CPUs). Per-query thread counts are
+// capped at this budget. Close releases the pool; an Engine dropped
+// without Close is cleaned up by the garbage collector.
+func NewEngine(threads int) *Engine {
+	if threads <= 0 {
+		threads = par.DefaultThreads()
+	}
+	return &Engine{threads: threads}
+}
+
+// Threads returns the Engine's thread budget.
+func (e *Engine) Threads() int { return e.threads }
+
+// Close releases the Engine's worker pool. The Engine must not be used
+// afterwards; in-flight queries must have completed.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+	for _, ec := range e.free {
+		ec.core.Close()
+	}
+	e.free = nil
+	if e.pool != nil {
+		e.pool.Close()
+		e.pool = nil
+	}
+}
+
+// acquire pops a warm context from the free-list, creating the shared
+// pool and a fresh context on first need. Steady state performs no
+// allocation.
+func (e *Engine) acquire() (*engineCtx, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("skybench: Engine used after Close")
+	}
+	if n := len(e.free); n > 0 {
+		ec := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ec, nil
+	}
+	if e.pool == nil {
+		e.pool = par.NewPool(e.threads)
+	}
+	return &engineCtx{core: core.NewContextShared(e.pool)}, nil
+}
+
+// checkOpen reports an error once the Engine has been closed (the
+// pool-less baseline path does not go through acquire).
+func (e *Engine) checkOpen() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("skybench: Engine used after Close")
+	}
+	return nil
+}
+
+// release returns a context to the free-list for the next query.
+func (e *Engine) release(ec *engineCtx) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		ec.core.Close()
+		return
+	}
+	e.free = append(e.free, ec)
+}
+
+// Run answers one query over ds. Result.Indices are positions in ds
+// (also under Max/Ignore preferences — staging preserves row order) and
+// are caller-owned unless q.ReuseIndices is set. When ctx is canceled
+// or its deadline passes, Run returns ctx.Err() promptly — before
+// starting any work if ctx is already dead, and from the hot paths'
+// cancellation checkpoints otherwise.
+func (e *Engine) Run(ctx context.Context, ds *Dataset, q Query) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	if ds == nil {
+		return Result{}, fmt.Errorf("skybench: nil Dataset")
+	}
+	// An empty Dataset has no dimensionality to validate preferences
+	// against; every query over it is an empty skyline.
+	if ds.n == 0 {
+		return Result{}, nil
+	}
+	if len(q.Prefs) != 0 && len(q.Prefs) != ds.d {
+		return Result{}, fmt.Errorf("skybench: query has %d preferences for %d dimensions", len(q.Prefs), ds.d)
+	}
+
+	// Only the Hybrid/Q-Flow hot paths use the pool-backed contexts;
+	// baselines spawn their own short-lived goroutines and allocate per
+	// run anyway, so they skip the pool and scratch entirely.
+	hot := q.Algorithm == Hybrid || q.Algorithm == QFlow
+	var ec *engineCtx
+	if hot {
+		var err error
+		if ec, err = e.acquire(); err != nil {
+			return Result{}, err
+		}
+		defer e.release(ec)
+	} else if err := e.checkOpen(); err != nil {
+		return Result{}, err
+	}
+
+	// Stage the preference transform (at most once per query; all-Min
+	// queries serve straight from the Dataset's storage).
+	vals, d := ds.vals, ds.d
+	var scratch []point.PrefOp
+	if hot {
+		scratch = ec.ops[:0]
+	}
+	ops, err := q.opsInto(scratch)
+	if err != nil {
+		return Result{}, err
+	}
+	if hot && ops != nil {
+		ec.ops = ops // retain grown scratch capacity
+	}
+	if len(ops) > 0 && !point.IdentityOps(ops) {
+		de := point.EffectiveDims(ops)
+		if de == 0 {
+			return Result{}, fmt.Errorf("skybench: query ignores every dimension")
+		}
+		var dst []float64
+		if hot {
+			ec.buf = growFloats(ec.buf, ds.n*de)
+			dst = ec.buf
+		} else {
+			dst = make([]float64, ds.n*de)
+		}
+		point.StagePrefs(dst, ds.vals, ds.n, d, ops)
+		vals, d = dst, de
+	}
+	m := point.FromFlat(vals, ds.n, d)
+
+	threads := q.Threads
+	if threads <= 0 || threads > e.threads {
+		threads = e.threads
+	}
+
+	// Bridge ctx onto the hot paths' polling flag. The watcher goroutine
+	// and its flag exist only when ctx can actually be canceled, so
+	// context.Background() keeps the allocation-free steady state. The
+	// flag is per-run (not stored on the engineCtx) so a watcher that is
+	// scheduled late — after this run finished and the context was
+	// recycled to a later query — stores into a dead flag instead of
+	// aborting that query.
+	var cancel *atomic.Bool
+	var watcherDone chan struct{}
+	if done := ctx.Done(); done != nil {
+		cancel = new(atomic.Bool)
+		watcherDone = make(chan struct{})
+		go func(flag *atomic.Bool) {
+			select {
+			case <-done:
+				flag.Store(true)
+			case <-watcherDone:
+			}
+		}(cancel)
+	}
+
+	var res Result
+	if hot {
+		res, err = runOnContext(ec, m, q, threads, cancel)
+	} else {
+		res, err = runBaseline(m, q, threads)
+	}
+
+	if watcherDone != nil {
+		close(watcherDone)
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		// The run may have been abandoned mid-flight; its partial result
+		// must not escape.
+		return Result{}, cerr
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	// Detach the context-path result unless the caller opted into the
+	// zero-copy alias; baseline indices are freshly allocated already.
+	if !q.ReuseIndices && (q.Algorithm == Hybrid || q.Algorithm == QFlow) {
+		res.Indices = append([]int(nil), res.Indices...)
+	}
+	return res, nil
+}
+
+// runOnContext executes a hot-path query on an acquired context, with
+// cancellation plumbed through.
+func runOnContext(ec *engineCtx, m point.Matrix, q Query, threads int, cancel *atomic.Bool) (Result, error) {
+	switch q.Algorithm {
+	case Hybrid:
+		ec.st = stats.Stats{}
+		start := time.Now()
+		idx := ec.core.Hybrid(m, core.HybridOptions{
+			Threads:       threads,
+			Alpha:         q.Alpha,
+			Pivot:         q.Pivot.internal(),
+			Beta:          q.Beta,
+			Seed:          q.Seed,
+			NoPrefilter:   q.Ablation.NoPrefilter,
+			NoMS:          q.Ablation.NoMS,
+			NoLevel2:      q.Ablation.NoLevel2,
+			NoPhase2Split: q.Ablation.NoPhase2Split,
+			Stats:         &ec.st,
+			Progressive:   q.Progressive,
+			Cancel:        cancel,
+		})
+		return assembleResult(idx, &ec.st, m.N(), time.Since(start)), nil
+	case QFlow:
+		ec.st = stats.Stats{}
+		start := time.Now()
+		idx := ec.core.QFlow(m, core.QFlowOptions{
+			Threads:     threads,
+			Alpha:       q.Alpha,
+			Stats:       &ec.st,
+			Progressive: q.Progressive,
+			Cancel:      cancel,
+		})
+		return assembleResult(idx, &ec.st, m.N(), time.Since(start)), nil
+	default:
+		panic(fmt.Sprintf("skybench: runOnContext called for non-hot-path algorithm %d", int(q.Algorithm)))
+	}
+}
+
+// opsInto translates the query's preferences into staging ops, appending
+// to a caller-provided scratch slice so a warm Engine can do it without
+// allocating. It returns nil when the query has no explicit preferences.
+// Length validation against the dataset happens in Run.
+func (q *Query) opsInto(scratch []point.PrefOp) ([]point.PrefOp, error) {
+	if len(q.Prefs) == 0 {
+		return nil, nil
+	}
+	ops := scratch
+	for i, p := range q.Prefs {
+		op, err := p.op()
+		if err != nil {
+			return nil, fmt.Errorf("skybench: %v on dimension %d", err, i)
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// growFloats returns s resized to n, reallocating only when capacity is
+// short.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,360 @@
+package skybench_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"skybench"
+)
+
+// TestEngineMatchesCompute cross-checks Engine.Run against the legacy
+// one-shot path for the hot-path algorithms and a baseline, reusing one
+// Engine across differently-shaped queries so the free-list sees
+// shrinking and growing workloads.
+func TestEngineMatchesCompute(t *testing.T) {
+	eng := skybench.NewEngine(4)
+	defer eng.Close()
+	ctx := context.Background()
+	for _, alg := range []skybench.Algorithm{skybench.Hybrid, skybench.QFlow, skybench.SFS} {
+		for _, n := range []int{1, 100, 5000} {
+			data := contextTestData(t, n, 6)
+			want, err := skybench.Compute(data, skybench.Options{Algorithm: alg, Threads: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds, err := skybench.NewDataset(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := eng.Run(ctx, ds, skybench.Query{Algorithm: alg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameIndexSet(got.Indices, want.Indices) {
+				t.Fatalf("alg=%s n=%d: engine selects %d points, one-shot selects %d",
+					alg, n, len(got.Indices), len(want.Indices))
+			}
+		}
+	}
+}
+
+// prefOracle computes the expected result of a preference query by doing
+// what callers had to do before the v2 API: negate maximized columns,
+// drop ignored ones, and run the legacy minimize-everything Compute.
+func prefOracle(t *testing.T, data [][]float64, prefs []skybench.Pref, alg skybench.Algorithm) []int {
+	t.Helper()
+	var rows [][]float64
+	for _, row := range data {
+		var out []float64
+		for j, p := range prefs {
+			switch p {
+			case skybench.Min:
+				out = append(out, row[j])
+			case skybench.Max:
+				out = append(out, -row[j])
+			}
+		}
+		rows = append(rows, out)
+	}
+	res, err := skybench.Compute(rows, skybench.Options{Algorithm: alg, Threads: 2})
+	if err != nil {
+		t.Fatalf("oracle %s: %v", alg, err)
+	}
+	return res.Indices
+}
+
+// TestEnginePrefsOracle is the subspace/maximize cross-check: for every
+// algorithm and each of the paper's three distributions, Engine.Run with
+// Max/Ignore preferences must select exactly the points an oracle finds
+// by negating/projecting columns and running the legacy API.
+func TestEnginePrefsOracle(t *testing.T) {
+	prefs := []skybench.Pref{skybench.Min, skybench.Max, skybench.Ignore, skybench.Min, skybench.Max}
+	eng := skybench.NewEngine(2)
+	defer eng.Close()
+	ctx := context.Background()
+	for _, dist := range []string{"correlated", "independent", "anticorrelated"} {
+		data, err := skybench.GenerateDataset(dist, 1200, len(prefs), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := skybench.NewDataset(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range skybench.Algorithms {
+			want := prefOracle(t, data, prefs, alg)
+			got, err := eng.Run(ctx, ds, skybench.Query{Algorithm: alg, Prefs: prefs})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", dist, alg, err)
+			}
+			if !sameIndexSet(got.Indices, want) {
+				t.Errorf("%s/%s: engine selects %d points under prefs, oracle says %d",
+					dist, alg, len(got.Indices), len(want))
+			}
+		}
+	}
+}
+
+// TestEngineConcurrent hammers one Engine over one shared Dataset from
+// many goroutines — the serving scenario the Engine exists for, and the
+// CI race-detector target. Queries mix algorithms, thread counts, and
+// preferences; each result is checked against a precomputed answer.
+func TestEngineConcurrent(t *testing.T) {
+	data := contextTestData(t, 12000, 5)
+	ds, err := skybench.NewDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefs := []skybench.Pref{skybench.Min, skybench.Max, skybench.Min, skybench.Ignore, skybench.Min}
+	wantPlain, err := skybench.Compute(data, skybench.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := skybench.NewEngine(4)
+	defer eng.Close()
+	wantPrefs, err := eng.Run(context.Background(), ds, skybench.Query{Prefs: prefs})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const queriesEach = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < queriesEach; i++ {
+				q := skybench.Query{Threads: 1 + (g+i)%4}
+				want := wantPlain.Indices
+				switch (g + i) % 3 {
+				case 1:
+					q.Algorithm = skybench.QFlow
+				case 2:
+					q.Prefs = prefs
+					want = wantPrefs.Indices
+				}
+				res, err := eng.Run(ctx, ds, q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !sameIndexSet(res.Indices, want) {
+					t.Errorf("goroutine %d query %d: got %d skyline points, want %d",
+						g, i, len(res.Indices), len(want))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineCanceledBeforeStart is the issue's acceptance bound: an
+// already-dead context must come back with ctx.Err() in under 50ms on
+// the n=100k d=8 workload, i.e. without touching the data at all.
+func TestEngineCanceledBeforeStart(t *testing.T) {
+	data := contextTestData(t, 100000, 8)
+	ds, err := skybench.NewDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := skybench.NewEngine(0)
+	defer eng.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err = eng.Run(ctx, ds, skybench.Query{})
+	elapsed := time.Since(start)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 50*time.Millisecond {
+		t.Errorf("canceled Run took %v, want < 50ms", elapsed)
+	}
+}
+
+// TestEngineCancelMidFlight cancels a query while its block loop is
+// running and requires Run to return ctx.Err() well before the full
+// computation would have finished. The bound is relative to a measured
+// uncancelled run of the same query, so it holds under the race
+// detector's uniform slowdown.
+func TestEngineCancelMidFlight(t *testing.T) {
+	data := contextTestData(t, 100000, 8)
+	ds, err := skybench.NewDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := skybench.NewEngine(2)
+	defer eng.Close()
+	q := skybench.Query{Algorithm: skybench.QFlow}
+
+	full := time.Now()
+	if _, err := eng.Run(context.Background(), ds, q); err != nil {
+		t.Fatal(err)
+	}
+	fullDur := time.Since(full)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(fullDur / 20)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := eng.Run(ctx, ds, q)
+	elapsed := time.Since(start)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res.Indices) != 0 {
+		t.Errorf("canceled Run leaked %d indices", len(res.Indices))
+	}
+	if elapsed > fullDur/2+50*time.Millisecond {
+		t.Errorf("canceled Run took %v; uncancelled takes %v — cancellation is not prompt", elapsed, fullDur)
+	}
+}
+
+// TestEngineRunZeroAlloc guards the steady-state serving path: a warm
+// Engine answering repeated queries with ReuseIndices set must not
+// allocate, with and without a preference transform.
+func TestEngineRunZeroAlloc(t *testing.T) {
+	data := contextTestData(t, 20000, 8)
+	ds, err := skybench.NewDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := skybench.NewEngine(4)
+	defer eng.Close()
+	ctx := context.Background()
+	prefs := []skybench.Pref{
+		skybench.Min, skybench.Max, skybench.Min, skybench.Ignore,
+		skybench.Min, skybench.Min, skybench.Max, skybench.Min,
+	}
+	for _, tc := range []struct {
+		name string
+		q    skybench.Query
+	}{
+		{"hybrid", skybench.Query{ReuseIndices: true}},
+		{"qflow", skybench.Query{Algorithm: skybench.QFlow, ReuseIndices: true}},
+		{"hybrid-prefs", skybench.Query{Prefs: prefs, ReuseIndices: true}},
+	} {
+		if _, err := eng.Run(ctx, ds, tc.q); err != nil { // warm scratch
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, err := eng.Run(ctx, ds, tc.q); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: Engine.Run allocates %.1f per call, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestEngineErrors exercises the validation surface.
+func TestEngineErrors(t *testing.T) {
+	eng := skybench.NewEngine(2)
+	ctx := context.Background()
+	data := contextTestData(t, 50, 3)
+	ds, err := skybench.NewDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(ctx, nil, skybench.Query{}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := eng.Run(ctx, ds, skybench.Query{Prefs: []skybench.Pref{skybench.Min}}); err == nil {
+		t.Error("mismatched preference length accepted")
+	}
+	allIgnore := []skybench.Pref{skybench.Ignore, skybench.Ignore, skybench.Ignore}
+	if _, err := eng.Run(ctx, ds, skybench.Query{Prefs: allIgnore}); err == nil {
+		t.Error("all-Ignore query accepted")
+	}
+	bad := []skybench.Pref{skybench.Min, skybench.Pref(42), skybench.Min}
+	if _, err := eng.Run(ctx, ds, skybench.Query{Prefs: bad}); err == nil {
+		t.Error("invalid preference value accepted")
+	}
+	empty, err := skybench.NewDataset(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := eng.Run(ctx, empty, skybench.Query{}); err != nil || len(res.Indices) != 0 {
+		t.Errorf("empty dataset: res=%v err=%v, want empty success", res.Indices, err)
+	}
+	// A serving loop that always passes its schema's Prefs must not
+	// break on an empty input: the empty dataset wins over validation.
+	withPrefs := skybench.Query{Prefs: []skybench.Pref{skybench.Min, skybench.Max}}
+	if res, err := eng.Run(ctx, empty, withPrefs); err != nil || len(res.Indices) != 0 {
+		t.Errorf("empty dataset with prefs: res=%v err=%v, want empty success", res.Indices, err)
+	}
+	eng.Close()
+	if _, err := eng.Run(ctx, ds, skybench.Query{}); err == nil {
+		t.Error("Run after Close accepted")
+	}
+}
+
+// TestEngineExplicitMinPrefs checks that an all-Min preference vector is
+// recognized as the identity transform (same result, no projection).
+func TestEngineExplicitMinPrefs(t *testing.T) {
+	data := contextTestData(t, 3000, 4)
+	ds, err := skybench.NewDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := skybench.NewEngine(2)
+	defer eng.Close()
+	ctx := context.Background()
+	want, err := eng.Run(ctx, ds, skybench.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allMin := []skybench.Pref{skybench.Min, skybench.Min, skybench.Min, skybench.Min}
+	got, err := eng.Run(ctx, ds, skybench.Query{Prefs: allMin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIndexSet(got.Indices, want.Indices) {
+		t.Error("explicit all-Min prefs disagree with default query")
+	}
+}
+
+// BenchmarkEngineRunReuse measures the steady-state serving path
+// (ReuseIndices, warm Engine) and enforces its zero-allocation guarantee
+// with an AllocsPerRun guard before timing.
+func BenchmarkEngineRunReuse(b *testing.B) {
+	data := contextTestData(b, 100000, 8)
+	ds, err := skybench.NewDataset(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := skybench.NewEngine(0)
+	defer eng.Close()
+	ctx := context.Background()
+	q := skybench.Query{ReuseIndices: true}
+	if _, err := eng.Run(ctx, ds, q); err != nil { // warm scratch
+		b.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(3, func() {
+		if _, err := eng.Run(ctx, ds, q); err != nil {
+			b.Fatal(err)
+		}
+	}); allocs != 0 {
+		b.Fatalf("steady-state Engine.Run allocates %.1f per call, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(ctx, ds, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,13 +5,16 @@
 // under *some* preference — everything else is objectively worse than
 // an alternative on all counts.
 //
-// Ratings are to be maximized, so they enter negated (the library's
-// minimization convention).
+// This example uses the v2 API: the rating column is maximized by
+// declaring skybench.Max in the query instead of negating it by hand,
+// and the same prepared Dataset then answers a second, different query
+// (a price/rating subspace skyline) without restaging.
 //
 // Run with: go run ./examples/hotels
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -30,13 +33,23 @@ type hotel struct {
 func main() {
 	hotels := generateHotels(500)
 
-	// Build the criteria matrix: negate the rating to maximize it.
+	// Build the criteria matrix exactly as the data is: no caller-side
+	// negation — the query says which way each column points.
 	data := make([][]float64, len(hotels))
 	for i, h := range hotels {
-		data[i] = []float64{h.price, h.distance, -h.rating}
+		data[i] = []float64{h.price, h.distance, h.rating}
 	}
+	ds, err := skybench.NewDataset(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := skybench.NewEngine(0)
+	defer eng.Close()
+	ctx := context.Background()
 
-	res, err := skybench.Compute(data, skybench.Options{Algorithm: skybench.Hybrid})
+	res, err := eng.Run(ctx, ds, skybench.Query{
+		Prefs: []skybench.Pref{skybench.Min, skybench.Min, skybench.Max},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,6 +67,17 @@ func main() {
 	}
 	fmt.Println("\nEvery hotel not listed is worse than some listed hotel on price,")
 	fmt.Println("distance, AND rating simultaneously.")
+
+	// The same Dataset answers a different question with no restaging:
+	// a traveller with a car doesn't care about the beach distance.
+	noCar, err := eng.Run(ctx, ds, skybench.Query{
+		Prefs: []skybench.Pref{skybench.Min, skybench.Ignore, skybench.Max},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nIgnoring distance (price/rating subspace): %d hotels remain optimal.\n",
+		len(noCar.Indices))
 }
 
 // generateHotels synthesizes a plausible market: price anti-correlates

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -21,13 +22,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ds, err := skybench.NewDataset(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := skybench.NewEngine(4)
+	defer eng.Close()
 
 	fmt.Printf("computing the skyline of %d points (%d dims) progressively...\n\n", n, d)
 	start := time.Now()
 	var batches, total int
-	res, err := skybench.Compute(data, skybench.Options{
+	res, err := eng.Run(context.Background(), ds, skybench.Query{
 		Algorithm: skybench.Hybrid,
-		Threads:   4,
 		Alpha:     4096,
 		Progressive: func(confirmed []int) {
 			batches++

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,10 +35,17 @@ func main() {
 		fmt.Printf("  %s = %v\n", names[i], points[i])
 	}
 
-	// The same computation with explicit options and statistics:
-	res, err := skybench.Compute(points, skybench.Options{
+	// The same computation through the serving API — prepare the dataset
+	// once, then answer as many queries as needed (Engine is safe for
+	// concurrent use and honors context deadlines):
+	ds, err := skybench.NewDataset(points)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := skybench.NewEngine(2)
+	defer eng.Close()
+	res, err := eng.Run(context.Background(), ds, skybench.Query{
 		Algorithm: skybench.Hybrid,
-		Threads:   2,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -45,4 +53,17 @@ func main() {
 	fmt.Printf("\n%d of %d points are in the skyline; %d dominance tests, %v\n",
 		res.Stats.SkylineSize, res.Stats.InputSize,
 		res.Stats.DominanceTests, res.Stats.Elapsed)
+
+	// Preferences flip or drop dimensions per query: maximize y, keep x.
+	maxY, err := eng.Run(context.Background(), ds, skybench.Query{
+		Prefs: []skybench.Pref{skybench.Min, skybench.Max},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("with y maximized instead: ")
+	for _, i := range maxY.Indices {
+		fmt.Printf("%s ", names[i])
+	}
+	fmt.Println()
 }

@@ -6,16 +6,20 @@
 // from — every other route is strictly worse than some skyline route on
 // all criteria.
 //
-// The example also demonstrates reusing one Options value across
-// repeated queries and reading phase timings.
+// The example demonstrates the serving pattern: one Engine answers all
+// route queries under a per-query deadline, the way a navigation backend
+// would — and a second pass reruns a query in the subspace a toll-badge
+// holder cares about (tolls ignored) without rebuilding anything.
 //
 // Run with: go run ./examples/routeplanning
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"skybench"
 )
@@ -30,7 +34,11 @@ type route struct {
 
 func main() {
 	queries := []string{"A→B (commute)", "B→C (cross-town)", "A→C (long haul)"}
-	opt := skybench.Options{Algorithm: skybench.Hybrid, Threads: 4}
+
+	// One Engine for the whole service; each origin/destination pair
+	// becomes a prepared Dataset that can answer many queries.
+	eng := skybench.NewEngine(4)
+	defer eng.Close()
 
 	for qi, q := range queries {
 		routes := enumerateRoutes(1500, int64(qi+1))
@@ -38,7 +46,16 @@ func main() {
 		for i, r := range routes {
 			data[i] = []float64{r.minutes, r.fuel, r.tolls, r.turns}
 		}
-		res, err := skybench.Compute(data, opt)
+		ds, err := skybench.NewDataset(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// A navigation backend answers within a latency budget: a blown
+		// deadline returns context.DeadlineExceeded instead of stalling.
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		res, err := eng.Run(ctx, ds, skybench.Query{Algorithm: skybench.Hybrid})
+		cancel()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,6 +71,16 @@ func main() {
 			fmt.Printf("   via %-12s %5.1f min  %4.1f L  %4.2f €  %2.0f turns\n",
 				r.via, r.minutes, r.fuel, r.tolls, r.turns)
 		}
+
+		// Same prepared Dataset, different driver: a toll badge makes the
+		// tolls column irrelevant, shrinking the choice set.
+		badge, err := eng.Run(context.Background(), ds, skybench.Query{
+			Prefs: []skybench.Pref{skybench.Min, skybench.Min, skybench.Ignore, skybench.Min},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   with a toll badge (tolls ignored): %d skyline routes\n", len(badge.Indices))
 	}
 }
 

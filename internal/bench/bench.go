@@ -39,6 +39,16 @@ type Config struct {
 	Seed int64
 	// RealScale scales the real-dataset stand-ins (1 = published size).
 	RealScale float64
+	// MaxDims lists dimension indices whose values are maximized instead
+	// of minimized: the generated workloads are rewritten once (columns
+	// negated) so every experiment measures the mixed-preference variant
+	// of its workload. Indices beyond a sweep's dimensionality are
+	// ignored.
+	MaxDims []int
+	// SubDims, when non-empty, restricts the workloads to a subspace:
+	// only the listed dimension indices are kept. Indices beyond a
+	// sweep's dimensionality are ignored.
+	SubDims []int
 }
 
 // Default returns the laptop-scale defaults documented in DESIGN.md.
@@ -112,9 +122,42 @@ func (cfg Config) Run(alg skybench.Algorithm, m point.Matrix, threads int, extra
 	}
 }
 
-// gen produces a dataset for the experiment grid.
+// gen produces a dataset for the experiment grid, applying the
+// preference rewrite (MaxDims/SubDims) when one is configured.
 func (cfg Config) gen(dist dataset.Distribution, n, d int) point.Matrix {
-	return dataset.Generate(dist, n, d, cfg.Seed)
+	m := dataset.Generate(dist, n, d, cfg.Seed)
+	if len(cfg.MaxDims) == 0 && len(cfg.SubDims) == 0 {
+		return m
+	}
+	ops := make([]point.PrefOp, d)
+	if len(cfg.SubDims) > 0 {
+		for i := range ops {
+			ops[i] = point.PrefDrop
+		}
+		for _, i := range cfg.SubDims {
+			if i >= 0 && i < d {
+				ops[i] = point.PrefKeep
+			}
+		}
+	}
+	for _, i := range cfg.MaxDims {
+		if i >= 0 && i < d && ops[i] != point.PrefDrop {
+			ops[i] = point.PrefNegate
+		}
+	}
+	de := point.EffectiveDims(ops)
+	if de == 0 {
+		// Every configured SubDims index fell outside this sweep's
+		// dimensionality; silently measuring the full space would label
+		// baseline numbers as subspace numbers.
+		panic(fmt.Sprintf("bench: SubDims %v leave no dimensions at d=%d", cfg.SubDims, d))
+	}
+	if point.IdentityOps(ops) {
+		return m
+	}
+	dst := make([]float64, n*de)
+	point.StagePrefs(dst, m.Flat(), n, d, ops)
+	return point.FromFlat(dst, n, de)
 }
 
 // ms formats a duration as fractional milliseconds.

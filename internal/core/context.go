@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"skybench/internal/par"
 	"skybench/internal/point"
 	"skybench/internal/prefilter"
@@ -22,10 +24,13 @@ import (
 // pool (contexts are also cleaned up by the garbage collector if
 // forgotten).
 type Context struct {
-	pool *par.Pool
-	dts  *stats.DTCounters
-	pf   *prefilter.Runner
-	st   stats.Stats // sink when the caller passes no Stats
+	pool   *par.Pool
+	shared bool // pool is caller-owned: never resized or closed here
+	tEff   int  // effective thread count of the current run
+	cancel *atomic.Bool
+	dts    *stats.DTCounters
+	pf     *prefilter.Runner
+	st     stats.Stats // sink when the caller passes no Stats
 
 	// Working-set scratch, sized to the current input.
 	l1    []float64 // per-input-row L1 norms
@@ -99,27 +104,67 @@ func NewContext() *Context {
 	return c
 }
 
-// Close releases the Context's worker pool. The Context must not be used
-// afterwards.
-func (c *Context) Close() {
-	if c.pool != nil {
-		c.pool.Close()
-		c.pool = nil
-	}
+// NewContextShared creates a Context whose parallel regions run on the
+// caller's pool, which may concurrently serve other Contexts (Pool
+// dispatches serialize internally). The Context does not own the pool:
+// Close leaves it open, and requested thread counts are capped at the
+// pool's size. This is what lets an Engine keep a free-list of Contexts
+// over one worker pool instead of one pool per concurrent query.
+func NewContextShared(p *par.Pool) *Context {
+	c := NewContext()
+	c.pool = p
+	c.shared = true
+	return c
 }
 
-// ensure (re)creates the pool and counters for the requested thread count.
+// Close releases the Context's worker pool unless the pool is shared
+// (NewContextShared), in which case the owner closes it. The Context must
+// not be used afterwards.
+func (c *Context) Close() {
+	if c.pool != nil && !c.shared {
+		c.pool.Close()
+	}
+	c.pool = nil
+}
+
+// ensure (re)creates the pool and counters for the requested thread
+// count and records the effective thread count of the run (a shared pool
+// is never resized, so the request is capped at its size).
 func (c *Context) ensure(threads int) {
-	if c.pool == nil || c.pool.Threads() != threads {
-		if c.pool != nil {
-			c.pool.Close()
+	if threads <= 0 {
+		if c.shared {
+			threads = c.pool.Threads()
+		} else {
+			threads = par.DefaultThreads()
 		}
+	}
+	if c.pool == nil {
+		c.pool = par.NewPool(threads)
+	} else if !c.shared && c.pool.Threads() != threads {
+		c.pool.Close()
 		c.pool = par.NewPool(threads)
 	}
+	if pt := c.pool.Threads(); threads > pt {
+		threads = pt
+	}
+	c.tEff = threads
 	if c.dts == nil || c.dts.Threads() < threads {
 		c.dts = stats.NewDTCounters(threads)
 	}
 	c.dts.Reset()
+}
+
+// canceled reports whether the current run's cancellation flag is set.
+// The flag is polled at every α-block boundary and periodically inside
+// the parallel phase bodies, so a canceled run abandons its remaining
+// work within a bounded number of dominance tests.
+func (c *Context) canceled() bool { return c.cancel != nil && c.cancel.Load() }
+
+// forRanges fans body out over the pool with the run's effective thread
+// count and cancellation flag (canceled fan-outs are skipped wholesale at
+// the barrier).
+func (c *Context) forRanges(n int, body func(tid, lo, hi int)) {
+	c.pool.ForRangesCancel(c.tEff, n, c.cancel, body)
 }
 
 // grow returns s resized to n, reallocating only when capacity is short.
@@ -172,13 +217,23 @@ func (c *Context) runKey(_, lo, hi int) {
 	}
 }
 
+// cancelStride is how many phase-body iterations run between cancellation
+// polls. Each iteration can cost up to |SKY| dominance tests, so the
+// stride bounds post-cancel work without putting an atomic load in front
+// of every point.
+const cancelStride = 64
+
 func (c *Context) runPhase1(tid, blo, bhi int) {
 	var local uint64
 	wf := c.curWork.Flat()
 	d := c.d
 	lo := c.blockLo
 	f := c.blockF
+	cancel := c.cancel
 	for i := blo; i < bhi; i++ {
+		if cancel != nil && i%cancelStride == 0 && cancel.Load() {
+			break
+		}
 		off := (lo + i) * d
 		q := wf[off : off+d : off+d]
 		var dominated bool
@@ -200,7 +255,11 @@ func (c *Context) runPhase2(tid, blo, bhi int) {
 	d := c.d
 	lo := c.blockLo
 	f := c.blockF
+	cancel := c.cancel
 	for i := blo; i < bhi; i++ {
+		if cancel != nil && i%cancelStride == 0 && cancel.Load() {
+			break
+		}
 		var dominated bool
 		if c.noSplit {
 			dominated = comparedToPeersNaive(wf, c.wl1, lo, i, f, d, &local)
@@ -222,10 +281,14 @@ func (c *Context) runQPhase1(tid, blo, bhi int) {
 	f := c.blockF
 	skyData := c.qskyData
 	nSky := len(c.qskyL1)
+	cancel := c.cancel
 	// No equal-L1 filter here: an equal-L1 row can never pass the strict
 	// dominance test, and skipping the ties is not worth streaming the
 	// skyline's L1 array through cache alongside its rows.
 	for i := blo; i < bhi; i++ {
+		if cancel != nil && i%cancelStride == 0 && cancel.Load() {
+			break
+		}
 		off := (lo + i) * d
 		q := wf[off : off+d : off+d]
 		if point.DominatedInFlatRun(skyData, d, 0, nSky, q, 0, nil, nil, &local) {
@@ -241,11 +304,15 @@ func (c *Context) runQPhase2(tid, blo, bhi int) {
 	lo := c.blockLo
 	f := c.blockF
 	rows := c.curWork.Flat()[lo*c.d:]
+	cancel := c.cancel
 	// As in Phase I, the seed's equal-L1 peer skip is dropped: ties fail
 	// the strict dominance test anyway, so the skip only saves work that
 	// costs less than its extra array stream. DT counts are accordingly
 	// slightly higher than the seed's on tie-heavy inputs.
 	for i := blo; i < bhi; i++ {
+		if cancel != nil && i%cancelStride == 0 && cancel.Load() {
+			break
+		}
 		off := i * d
 		q := rows[off : off+d : off+d]
 		if point.DominatedInFlatRun(rows, d, 0, i, q, 0, nil, f, &local) {

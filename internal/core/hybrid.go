@@ -5,7 +5,6 @@ import (
 	"math/bits"
 	"sync/atomic"
 
-	"skybench/internal/par"
 	"skybench/internal/pivot"
 	"skybench/internal/point"
 	"skybench/internal/stats"
@@ -43,6 +42,11 @@ type HybridOptions struct {
 	// Progressive, when non-nil, is invoked after each α-block with the
 	// original indices of the skyline points that block confirmed.
 	Progressive func(confirmed []int)
+	// Cancel, when non-nil, is polled at every α-block boundary and
+	// periodically inside the parallel phase bodies; once it reads true
+	// the run abandons its remaining work and returns an unspecified
+	// partial result, which the caller must discard.
+	Cancel *atomic.Bool
 }
 
 // Hybrid computes SKY(m) with the paper's full Hybrid algorithm and
@@ -75,10 +79,6 @@ func (c *Context) Hybrid(m point.Matrix, opt HybridOptions) []int {
 	if d > point.MaxDims {
 		panic(fmt.Sprintf("core: Hybrid supports at most %d dimensions, got %d", point.MaxDims, d))
 	}
-	threads := opt.Threads
-	if threads <= 0 {
-		threads = par.DefaultThreads()
-	}
 	alpha := opt.Alpha
 	if alpha <= 0 {
 		alpha = DefaultAlphaHybrid
@@ -89,15 +89,16 @@ func (c *Context) Hybrid(m point.Matrix, opt HybridOptions) []int {
 		st = &c.st
 	}
 	st.InputSize = n
-	st.Threads = threads
-	c.ensure(threads)
+	c.ensure(opt.Threads)
+	st.Threads = c.tEff
+	c.cancel = opt.Cancel
 	timer := stats.StartTimer(st)
 
 	// Initialization: L1 norms in parallel.
 	c.l1 = grow(c.l1, n)
 	c.curM = m
 	c.d = d
-	c.pool.ForRanges(n, c.l1Body)
+	c.forRanges(n, c.l1Body)
 	timer.Stop(stats.PhaseInit)
 
 	// Pre-filter: discard points dominated by the β-queues (VI-A1).
@@ -109,9 +110,12 @@ func (c *Context) Hybrid(m point.Matrix, opt HybridOptions) []int {
 		}
 		surv = c.seq
 	} else {
-		surv = c.pf.Filter(m, c.l1, opt.Beta, c.pool, c.dts)
+		surv = c.pf.Filter(m, c.l1, opt.Beta, c.pool, c.tEff, c.dts)
 	}
 	timer.Stop(stats.PhasePrefilt)
+	if c.canceled() {
+		return nil
+	}
 
 	// Materialize survivors into the reusable working set, select the
 	// pivot, partition (VI-A2).
@@ -124,12 +128,12 @@ func (c *Context) Hybrid(m point.Matrix, opt HybridOptions) []int {
 	wk := point.FromFlat(c.work, ns, d)
 	c.curWork = wk
 	c.curSurv = surv
-	c.pool.ForRanges(ns, c.gatherBody)
+	c.forRanges(ns, c.gatherBody)
 
 	c.pivotV = grow(c.pivotV, d)
 	c.pivotC = grow(c.pivotC, pivot.MedianScratchLen(ns))
 	c.pv = pivot.SelectInto(c.pivotV, c.pivotC, opt.Pivot, wk, c.wl1, opt.Seed)
-	c.pool.ForRanges(ns, c.maskBody)
+	c.forRanges(ns, c.maskBody)
 	timer.Stop(stats.PhasePivot)
 
 	// Three-key sort (VI-A3): parallel radix on the compound
@@ -137,6 +141,9 @@ func (c *Context) Hybrid(m point.Matrix, opt HybridOptions) []int {
 	// apply over the working set.
 	keyBits := d + bits.Len(uint(d))
 	idx := c.radixSortIdx(ns, keyBits)
+	if c.canceled() {
+		return nil
+	}
 	c.sortRunsByL1(idx)
 	applyPerm(idx, c.work, d, c.wl1, c.wmask, c.worig)
 	timer.Stop(stats.PhaseInit)
@@ -148,6 +155,11 @@ func (c *Context) Hybrid(m point.Matrix, opt HybridOptions) []int {
 	c.noSplit = opt.NoPhase2Split
 
 	for lo := 0; lo < ns; lo += alpha {
+		// Cancellation checkpoint: one poll per α-block keeps the
+		// between-poll work bounded by a block's worth of phases.
+		if c.canceled() {
+			return nil
+		}
 		hi := lo + alpha
 		if hi > ns {
 			hi = ns
@@ -162,7 +174,7 @@ func (c *Context) Hybrid(m point.Matrix, opt HybridOptions) []int {
 
 		// Phase I (parallel, Algorithm 3): test block points against the
 		// global skyline through M(S).
-		c.pool.ForRanges(block, c.p1Body)
+		c.forRanges(block, c.p1Body)
 		timer.Stop(stats.PhaseOne)
 
 		surv1 := compress(wk, c.wl1, c.worig, c.wmask, lo, block, f)
@@ -170,7 +182,7 @@ func (c *Context) Hybrid(m point.Matrix, opt HybridOptions) []int {
 
 		// Phase II (parallel, Algorithm 4): three-loop peer comparison.
 		c.blockF = f[:surv1]
-		c.pool.ForRanges(surv1, c.p2Body)
+		c.forRanges(surv1, c.p2Body)
 		timer.Stop(stats.PhaseTwo)
 
 		final := compress(wk, c.wl1, c.worig, c.wmask, lo, surv1, f)

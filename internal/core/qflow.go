@@ -5,7 +5,8 @@
 package core
 
 import (
-	"skybench/internal/par"
+	"sync/atomic"
+
 	"skybench/internal/point"
 	"skybench/internal/stats"
 )
@@ -27,6 +28,11 @@ type QFlowOptions struct {
 	// original indices of the skyline points confirmed by that block —
 	// the progressive reporting the global-skyline paradigm enables.
 	Progressive func(confirmed []int)
+	// Cancel, when non-nil, is polled at every α-block boundary and
+	// periodically inside the parallel phase bodies; once it reads true
+	// the run abandons its remaining work and returns an unspecified
+	// partial result, which the caller must discard.
+	Cancel *atomic.Bool
 }
 
 // QFlow computes SKY(m) with the Q-Flow algorithm (Algorithm 1) and
@@ -54,10 +60,6 @@ func (c *Context) QFlow(m point.Matrix, opt QFlowOptions) []int {
 	if n == 0 {
 		return nil
 	}
-	threads := opt.Threads
-	if threads <= 0 {
-		threads = par.DefaultThreads()
-	}
 	alpha := opt.Alpha
 	if alpha <= 0 {
 		alpha = DefaultAlphaQFlow
@@ -68,8 +70,9 @@ func (c *Context) QFlow(m point.Matrix, opt QFlowOptions) []int {
 		st = &c.st
 	}
 	st.InputSize = n
-	st.Threads = threads
-	c.ensure(threads)
+	c.ensure(opt.Threads)
+	st.Threads = c.tEff
+	c.cancel = opt.Cancel
 	timer := stats.StartTimer(st)
 	d := m.D()
 	c.d = d
@@ -79,10 +82,13 @@ func (c *Context) QFlow(m point.Matrix, opt QFlowOptions) []int {
 	// sort.Slice), then one gather into the reusable working set.
 	c.l1 = grow(c.l1, n)
 	c.curM = m
-	c.pool.ForRanges(n, c.l1Body)
+	c.forRanges(n, c.l1Body)
 	c.keys = grow(c.keys, n)
-	c.pool.ForRanges(n, c.keyBody)
+	c.forRanges(n, c.keyBody)
 	order := c.radixSortIdx(n, 64)
+	if c.canceled() {
+		return nil
+	}
 
 	c.work = grow(c.work, n*d)
 	c.wl1 = grow(c.wl1, n)
@@ -90,7 +96,7 @@ func (c *Context) QFlow(m point.Matrix, opt QFlowOptions) []int {
 	wk := point.FromFlat(c.work, n, d)
 	c.curWork = wk
 	c.curSurv = order
-	c.pool.ForRanges(n, c.gatherBody)
+	c.forRanges(n, c.gatherBody)
 	timer.Stop(stats.PhaseInit)
 
 	// Global skyline storage: contiguous rows + matching metadata,
@@ -102,6 +108,12 @@ func (c *Context) QFlow(m point.Matrix, opt QFlowOptions) []int {
 	c.flags = grow(c.flags, alpha)
 
 	for lo := 0; lo < n; lo += alpha {
+		// Cancellation checkpoint: one poll per α-block keeps the
+		// between-poll work bounded by a block's worth of phases.
+		if c.canceled() {
+			c.qskyData, c.qskyL1, c.qskyOrig = skyData, skyL1, skyOrig
+			return nil
+		}
 		hi := lo + alpha
 		if hi > n {
 			hi = n
@@ -117,7 +129,7 @@ func (c *Context) QFlow(m point.Matrix, opt QFlowOptions) []int {
 
 		// Phase I (parallel): compare each block point to the global
 		// skyline in L1 order, aborting on the first dominator.
-		c.pool.ForRanges(block, c.qp1Body)
+		c.forRanges(block, c.qp1Body)
 		timer.Stop(stats.PhaseOne)
 
 		// Compression: shift survivors left, re-establishing contiguity.
@@ -128,7 +140,7 @@ func (c *Context) QFlow(m point.Matrix, opt QFlowOptions) []int {
 		// survivors in the block. Flags are atomic so threads can skip
 		// peers already known to be dominated (sound by transitivity).
 		c.blockF = f[:surv]
-		c.pool.ForRanges(surv, c.qp2Body)
+		c.forRanges(surv, c.qp2Body)
 		timer.Stop(stats.PhaseTwo)
 
 		final := compress(wk, c.wl1, c.worig, nil, lo, surv, f)

@@ -36,6 +36,13 @@ func floatKey(f float64) uint64 { return point.OrderBits(f) }
 // c.keys[i] restricted to keyBits, using ceil(keyBits/radixW) parallel
 // scatter passes. It returns the sorted permutation, which aliases either
 // c.idx or c.idxT.
+//
+// Cancellation safety: a canceled fan-out leaves its output buffer with
+// stale values from a previous run, which downstream code indexes with —
+// so each pass checks the flag before consuming the previous fan-out's
+// output and the function only ever returns a buffer that holds a
+// complete, valid permutation of [0, n). Callers must still check
+// canceled() before trusting the *order* of the result.
 func (c *Context) radixSortIdx(n, keyBits int) []int {
 	c.idx = grow(c.idx, n)
 	c.idxT = grow(c.idxT, n)
@@ -43,7 +50,7 @@ func (c *Context) radixSortIdx(n, keyBits int) []int {
 	for i := range src {
 		src[i] = i
 	}
-	t := c.pool.Threads()
+	t := c.tEff
 	if t > n {
 		t = n
 	}
@@ -53,7 +60,13 @@ func (c *Context) radixSortIdx(n, keyBits int) []int {
 	for p := 0; p < passes; p++ {
 		c.rsrc, c.rdst = src, dst
 		c.rshift = uint(p * radixW)
-		c.pool.ForRanges(n, c.histBody)
+		c.forRanges(n, c.histBody)
+		// A canceled histogram fan-out leaves stale counts whose prefix
+		// sums would scatter out of range; src still holds a valid
+		// permutation, so hand it back untouched.
+		if c.canceled() {
+			return src
+		}
 		// Exclusive prefix over (digit-major, thread-minor) so each
 		// thread scatters its static range into exclusive slots.
 		sum := 0
@@ -65,7 +78,12 @@ func (c *Context) radixSortIdx(n, keyBits int) []int {
 				sum += v
 			}
 		}
-		c.pool.ForRanges(n, c.scatBody)
+		c.forRanges(n, c.scatBody)
+		// A partially-skipped scatter leaves dst incomplete; src is the
+		// last fully-written permutation.
+		if c.canceled() {
+			return src
+		}
 		src, dst = dst, src
 	}
 	return src
@@ -114,7 +132,7 @@ func (c *Context) sortRunsByL1(idx []int) {
 	}
 	c.runs = runs
 	c.rsrc = idx
-	c.pool.For(len(runs)/2, c.runBody)
+	c.pool.ForChunkedCancel(c.tEff, len(runs)/2, 0, c.cancel, c.runBody)
 }
 
 func (c *Context) runSortRun(i int) {

@@ -15,11 +15,13 @@ import (
 //
 // The calling goroutine participates as worker 0, so a Pool of t threads
 // owns t−1 goroutines and a single-threaded Pool runs everything inline.
-// A Pool's dispatch methods must not be called concurrently with each
-// other, and must not be called from inside a body running on the same
-// Pool. Close releases the workers; a finalizer releases them anyway if a
-// Pool is garbage-collected while still open, so an un-Closed Pool does
-// not leak goroutines permanently.
+// Dispatch methods are safe for concurrent use: concurrent parallel
+// regions serialize on an internal mutex, so one Pool can be shared by
+// many computation contexts (the Engine serving concurrent skyline
+// queries relies on this). A dispatch method must not be called from
+// inside a body running on the same Pool. Close releases the workers; a
+// finalizer releases them anyway if a Pool is garbage-collected while
+// still open, so an un-Closed Pool does not leak goroutines permanently.
 type Pool struct {
 	*pool
 }
@@ -29,16 +31,19 @@ type Pool struct {
 // the workers only reference the inner struct, so the wrapper can become
 // unreachable while they are parked.
 type pool struct {
-	t int
+	t  int
+	mu sync.Mutex // serializes multi-threaded dispatches
 
-	// Current parallel region, written by the dispatcher before waking
-	// workers (the channel send orders these writes before the reads).
+	// Current parallel region, written by the dispatcher under mu before
+	// waking workers (the channel send orders these writes before the
+	// reads).
 	mode   int
 	bodyR  func(tid, lo, hi int)
 	bodyI  func(i int)
 	n      int
 	tEff   int
 	chunk  int64
+	stop   *atomic.Bool // when non-nil and set, workers skip their share
 	cursor atomic.Int64
 
 	start []chan struct{} // one per worker goroutine, wakes it for a region
@@ -91,8 +96,10 @@ func (p *pool) worker(tid int) {
 		}
 		switch p.mode {
 		case modeRanges:
-			lo, hi := staticRange(tid, p.n, p.tEff)
-			p.bodyR(tid, lo, hi)
+			if p.stop == nil || !p.stop.Load() {
+				lo, hi := staticRange(tid, p.n, p.tEff)
+				p.bodyR(tid, lo, hi)
+			}
 		case modeFor:
 			p.runChunks()
 		}
@@ -129,45 +136,76 @@ func (p *pool) dispatch(t int, self func()) {
 // min(t, n) contiguous ranges, reusing the pool's workers. It is the
 // persistent-team replacement for the free function ForRanges.
 func (p *pool) ForRanges(n int, body func(tid, lo, hi int)) {
+	p.ForRangesCancel(p.t, n, nil, body)
+}
+
+// ForRangesCancel is ForRanges restricted to min(t, pool size) workers,
+// with an optional cancellation flag: when stop is non-nil and set, the
+// fan-out is abandoned — workers that have not started their share skip
+// it entirely and the barrier completes immediately. This is how a
+// canceled skyline query stops paying for parallel regions it no longer
+// needs; bodies themselves are responsible for intra-range checkpoints.
+func (p *pool) ForRangesCancel(t, n int, stop *atomic.Bool, body func(tid, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	t := p.t
+	if t <= 0 || t > p.t {
+		t = p.t
+	}
 	if t > n {
 		t = n
 	}
 	if t == 1 {
-		body(0, 0, n)
+		if stop == nil || !stop.Load() {
+			body(0, 0, n)
+		}
 		return
 	}
+	p.mu.Lock()
 	p.mode = modeRanges
 	p.bodyR = body
 	p.n = n
 	p.tEff = t
+	p.stop = stop
 	p.dispatch(t, func() {
-		lo, hi := staticRange(0, n, t)
-		body(0, lo, hi)
+		if stop == nil || !stop.Load() {
+			lo, hi := staticRange(0, n, t)
+			body(0, lo, hi)
+		}
 	})
 	p.bodyR = nil
+	p.stop = nil
+	p.mu.Unlock()
 }
 
 // For runs body(i) for every i in [0, n) with dynamic chunked scheduling
 // over the pool's workers (OpenMP schedule(dynamic)).
 func (p *pool) For(n int, body func(i int)) {
-	p.ForChunked(n, 0, body)
+	p.ForChunkedCancel(p.t, n, 0, nil, body)
 }
 
 // ForChunked is For with an explicit chunk size (0 picks a heuristic).
 func (p *pool) ForChunked(n, chunk int, body func(i int)) {
+	p.ForChunkedCancel(p.t, n, chunk, nil, body)
+}
+
+// ForChunkedCancel is ForChunked restricted to min(t, pool size) workers
+// with an optional cancellation flag, checked between chunks.
+func (p *pool) ForChunkedCancel(t, n, chunk int, stop *atomic.Bool, body func(i int)) {
 	if n <= 0 {
 		return
 	}
-	t := p.t
+	if t <= 0 || t > p.t {
+		t = p.t
+	}
 	if t > n {
 		t = n
 	}
 	if t == 1 {
 		for i := 0; i < n; i++ {
+			if stop != nil && stop.Load() {
+				return
+			}
 			body(i)
 		}
 		return
@@ -181,19 +219,27 @@ func (p *pool) ForChunked(n, chunk int, body func(i int)) {
 			chunk = 1024
 		}
 	}
+	p.mu.Lock()
 	p.mode = modeFor
 	p.bodyI = body
 	p.n = n
 	p.chunk = int64(chunk)
+	p.stop = stop
 	p.cursor.Store(0)
 	p.dispatch(t, p.runChunks)
 	p.bodyI = nil
+	p.stop = nil
+	p.mu.Unlock()
 }
 
-// runChunks claims dynamic chunks until the shared cursor passes n.
+// runChunks claims dynamic chunks until the shared cursor passes n or the
+// region's stop flag is raised.
 func (p *pool) runChunks() {
-	n, chunk, body := p.n, p.chunk, p.bodyI
+	n, chunk, body, stop := p.n, p.chunk, p.bodyI, p.stop
 	for {
+		if stop != nil && stop.Load() {
+			return
+		}
 		lo := int(p.cursor.Add(chunk)) - int(chunk)
 		if lo >= n {
 			return

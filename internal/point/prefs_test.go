@@ -1,0 +1,63 @@
+package point
+
+import "testing"
+
+func TestStagePrefs(t *testing.T) {
+	// 3 points × 4 dims: keep, negate, drop, keep.
+	src := []float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+	}
+	ops := []PrefOp{PrefKeep, PrefNegate, PrefDrop, PrefKeep}
+	if got := EffectiveDims(ops); got != 3 {
+		t.Fatalf("EffectiveDims = %d, want 3", got)
+	}
+	dst := make([]float64, 3*3)
+	de := StagePrefs(dst, src, 3, 4, ops)
+	if de != 3 {
+		t.Fatalf("StagePrefs returned d=%d, want 3", de)
+	}
+	want := []float64{
+		1, -2, 4,
+		5, -6, 8,
+		9, -10, 12,
+	}
+	for i, v := range want {
+		if dst[i] != v {
+			t.Fatalf("dst[%d] = %v, want %v (dst=%v)", i, dst[i], v, dst)
+		}
+	}
+}
+
+func TestStagePrefsIdentity(t *testing.T) {
+	if !IdentityOps([]PrefOp{PrefKeep, PrefKeep}) {
+		t.Error("all-keep ops should be identity")
+	}
+	if IdentityOps([]PrefOp{PrefKeep, PrefNegate}) {
+		t.Error("negate is not identity")
+	}
+	if IdentityOps([]PrefOp{PrefDrop}) {
+		t.Error("drop is not identity")
+	}
+	if IdentityOps(nil) != true {
+		t.Error("empty ops are identity")
+	}
+}
+
+func TestStagePrefsAllDrop(t *testing.T) {
+	src := []float64{1, 2, 3, 4}
+	de := StagePrefs(nil, src, 2, 2, []PrefOp{PrefDrop, PrefDrop})
+	if de != 0 {
+		t.Fatalf("all-drop staged d=%d, want 0", de)
+	}
+}
+
+func TestStagePrefsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched ops length did not panic")
+		}
+	}()
+	StagePrefs(make([]float64, 4), make([]float64, 4), 2, 2, []PrefOp{PrefKeep})
+}

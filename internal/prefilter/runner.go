@@ -52,8 +52,13 @@ func NewRunner() *Runner {
 
 // Filter is the reusable-scratch equivalent of the package-level Filter:
 // same surviving set, same original order. The returned slice aliases the
-// Runner and is valid until the next call.
-func (r *Runner) Filter(m point.Matrix, l1 []float64, beta int, pool *par.Pool, dts *stats.DTCounters) []int {
+// Runner and is valid until the next call. threads is the effective
+// worker count for this run (≤ 0 or > pool size selects the pool size) —
+// with a pool shared across computation contexts the caller's thread
+// budget can be smaller than the pool. The passes run without a
+// cancellation flag on purpose: skipping one would leave stale queue
+// indices from a previous (possibly larger) dataset to be consumed below.
+func (r *Runner) Filter(m point.Matrix, l1 []float64, beta int, pool *par.Pool, threads int, dts *stats.DTCounters) []int {
 	n := m.N()
 	if n == 0 {
 		return nil
@@ -61,7 +66,9 @@ func (r *Runner) Filter(m point.Matrix, l1 []float64, beta int, pool *par.Pool, 
 	if beta <= 0 {
 		beta = DefaultBeta
 	}
-	threads := pool.Threads()
+	if threads <= 0 || threads > pool.Threads() {
+		threads = pool.Threads()
+	}
 
 	if cap(r.pruned) < n {
 		r.pruned = make([]bool, n)
@@ -89,7 +96,7 @@ func (r *Runner) Filter(m point.Matrix, l1 []float64, beta int, pool *par.Pool, 
 
 	// Pass 1: per-thread β-queues; non-queue points tested against the
 	// local queue.
-	pool.ForRanges(n, r.pass1)
+	pool.ForRangesCancel(threads, n, nil, r.pass1)
 
 	// Gather the queue union, sort it by L1 ascending, materialize the
 	// rows contiguously. The union holds ≤ threads·β points, so an
@@ -152,7 +159,7 @@ func (r *Runner) Filter(m point.Matrix, l1 []float64, beta int, pool *par.Pool, 
 	r.nq = nq
 
 	// Pass 2: every surviving point against the queue union.
-	pool.ForRanges(n, r.pass2)
+	pool.ForRangesCancel(threads, n, nil, r.pass2)
 
 	if cap(r.out) < n {
 		r.out = make([]int, 0, n)

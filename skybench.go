@@ -15,15 +15,31 @@
 // PBSkyTree) and the classic sequential algorithms (BNL, SFS, SaLSa,
 // LESS).
 //
-// Quick start:
+// Quick start (one-shot):
 //
 //	res, err := skybench.Compute(data, skybench.Options{})
 //	if err != nil { ... }
 //	for _, i := range res.Indices { ... } // skyline rows of data
+//
+// Serving many queries, use the prepare-once query-many API:
+//
+//	ds, _ := skybench.NewDataset(data)
+//	eng := skybench.NewEngine(0)
+//	defer eng.Close()
+//	res, err := eng.Run(ctx, ds, skybench.Query{
+//		Prefs: []skybench.Pref{skybench.Min, skybench.Max, skybench.Ignore},
+//	})
+//
+// Engine is safe for concurrent use, honors context cancellation and
+// deadlines, and supports per-dimension preferences (maximize, ignore)
+// without caller-side column rewrites. Compute, Skyline, and Context are
+// retained as thin compatibility wrappers over the same machinery.
 package skybench
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"skybench/internal/algo/apskyline"
@@ -35,7 +51,6 @@ import (
 	"skybench/internal/algo/pskyline"
 	"skybench/internal/algo/salsa"
 	"skybench/internal/algo/sfs"
-	"skybench/internal/core"
 	"skybench/internal/dataset"
 	"skybench/internal/pivot"
 	"skybench/internal/point"
@@ -100,7 +115,19 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 			return a, nil
 		}
 	}
-	return 0, fmt.Errorf("skybench: unknown algorithm %q", s)
+	return 0, fmt.Errorf("skybench: unknown algorithm %q (known: %v)", s, AlgorithmNames())
+}
+
+// AlgorithmNames returns the CLI names of every available algorithm in
+// sorted order — the round-trip companion of ParseAlgorithm, for flag
+// usage strings and validation messages.
+func AlgorithmNames() []string {
+	names := make([]string, 0, len(algoNames))
+	for _, name := range algoNames {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Algorithms lists every available algorithm, parallel ones first.
@@ -145,6 +172,26 @@ func (p PivotStrategy) internal() pivot.Strategy {
 // String returns the strategy's CLI name.
 func (p PivotStrategy) String() string { return p.internal().String() }
 
+// pivotNames lists every pivot strategy (in declaration order).
+var pivotNames = []PivotStrategy{
+	PivotMedian, PivotBalanced, PivotManhattan, PivotVolume, PivotRandom,
+}
+
+// ParsePivot converts a CLI name into a PivotStrategy — the round-trip
+// inverse of PivotStrategy.String.
+func ParsePivot(s string) (PivotStrategy, error) {
+	for _, p := range pivotNames {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	names := make([]string, len(pivotNames))
+	for i, p := range pivotNames {
+		names[i] = p.String()
+	}
+	return 0, fmt.Errorf("skybench: unknown pivot strategy %q (known: %v)", s, names)
+}
+
 // Options configures Compute. The zero value runs Hybrid with the
 // paper's defaults on all available CPUs.
 type Options struct {
@@ -164,7 +211,8 @@ type Options struct {
 	Seed int64
 	// Progressive, when non-nil and the algorithm supports it (Hybrid,
 	// QFlow), receives batches of confirmed skyline indices as blocks
-	// complete.
+	// complete. Batches are valid only for the duration of the callback;
+	// copy them to retain them.
 	Progressive func(confirmed []int)
 	// Ablation disables individual Hybrid design components for
 	// experimentation. Production users should leave it zero.
@@ -217,79 +265,80 @@ type Stats struct {
 	Elapsed time.Duration
 }
 
-// Result is the outcome of Compute.
+// Result is the outcome of a skyline computation.
 type Result struct {
 	// Indices are the positions of the skyline points in the input, in
 	// the algorithm's natural output order.
+	//
+	// Aliasing rule (stated here once; every entry point refers to it):
+	// Indices is caller-owned — valid forever — for the one-shot
+	// functions (Compute, Skyline) and for Engine.Run by default. It
+	// aliases reusable internal storage — valid only until the producer
+	// serves its next query, from any goroutine — for
+	// Context.Compute/ComputeFlat and for Engine.Run when
+	// Query.ReuseIndices is set; the zero-copy path is therefore only
+	// for callers that serialize their queries. Clone detaches a result
+	// from that storage.
 	Indices []int
 	// Stats holds measurements of the run.
 	Stats Stats
 }
 
+// Clone returns a deep copy of the Result whose Indices are caller-owned
+// regardless of which entry point produced them — the escape hatch for
+// holding onto a zero-copy result past the producer's next query.
+func (r Result) Clone() Result {
+	r.Indices = append([]int(nil), r.Indices...)
+	return r
+}
+
 // Compute runs the selected skyline algorithm over data, a slice of
 // points with equal dimensionality. It returns the indices of the
-// skyline points. Smaller values are preferred on every dimension.
+// skyline points (caller-owned; see the aliasing rule on
+// Result.Indices). Smaller values are preferred on every dimension.
+//
+// Compute is the legacy one-shot entry point, retained as a thin wrapper
+// over the Engine/Dataset/Query API: it re-validates and re-stages the
+// input and spins up workers on every call. Services answering repeated
+// queries should hold an Engine and share Datasets across queries.
 func Compute(data [][]float64, opt Options) (Result, error) {
 	if len(data) == 0 {
 		return Result{}, nil
 	}
-	d := len(data[0])
-	if d == 0 {
-		return Result{}, fmt.Errorf("skybench: points must have at least one dimension")
+	ds, err := NewDataset(data)
+	if err != nil {
+		return Result{}, err
 	}
-	for i, row := range data {
-		if len(row) != d {
-			return Result{}, fmt.Errorf("skybench: point %d has %d dimensions, want %d", i, len(row), d)
-		}
-	}
-	if d > point.MaxDims {
-		return Result{}, fmt.Errorf("skybench: at most %d dimensions supported, got %d", point.MaxDims, d)
-	}
-	return computeMatrix(point.FromRows(data), opt)
+	eng := NewEngine(opt.Threads)
+	defer eng.Close()
+	return eng.Run(context.Background(), ds, legacyQuery(opt))
 }
 
 // Skyline is a convenience wrapper running Hybrid with defaults and
-// returning just the skyline indices.
+// returning just the skyline indices (caller-owned). Legacy; see
+// Compute.
 func Skyline(data [][]float64) ([]int, error) {
 	res, err := Compute(data, Options{})
 	return res.Indices, err
 }
 
-func computeMatrix(m point.Matrix, opt Options) (Result, error) {
+// runBaseline executes the non-hot-path algorithms, which allocate per
+// run and ignore mid-flight cancellation (they are the paper's
+// comparison points, not the serving path).
+func runBaseline(m point.Matrix, q Query, threads int) (Result, error) {
 	var st stats.Stats
 	start := time.Now()
 	var idx []int
-	switch opt.Algorithm {
-	case Hybrid:
-		idx = core.Hybrid(m, core.HybridOptions{
-			Threads:       opt.Threads,
-			Alpha:         opt.Alpha,
-			Pivot:         opt.Pivot.internal(),
-			Beta:          opt.Beta,
-			Seed:          opt.Seed,
-			NoPrefilter:   opt.Ablation.NoPrefilter,
-			NoMS:          opt.Ablation.NoMS,
-			NoLevel2:      opt.Ablation.NoLevel2,
-			NoPhase2Split: opt.Ablation.NoPhase2Split,
-			Stats:         &st,
-			Progressive:   opt.Progressive,
-		})
-	case QFlow:
-		idx = core.QFlow(m, core.QFlowOptions{
-			Threads:     opt.Threads,
-			Alpha:       opt.Alpha,
-			Stats:       &st,
-			Progressive: opt.Progressive,
-		})
+	switch q.Algorithm {
 	case PSkyline:
-		idx = pskyline.SkylineStats(m, opt.Threads, &st)
+		idx = pskyline.SkylineStats(m, threads, &st)
 	case BSkyTree:
 		var dts uint64
 		idx, dts = bskytree.SkylineDT(m, nil)
 		st.DominanceTests = dts
 	case PBSkyTree:
 		var dts uint64
-		idx, dts = bskytree.ParallelSkylineDT(m, opt.Threads, nil)
+		idx, dts = bskytree.ParallelSkylineDT(m, threads, nil)
 		st.DominanceTests = dts
 	case BNL:
 		idx, st.DominanceTests = bnl.SkylineDT(m)
@@ -298,15 +347,15 @@ func computeMatrix(m point.Matrix, opt Options) (Result, error) {
 	case SaLSa:
 		idx, st.DominanceTests, _ = salsa.SkylineDT(m)
 	case LESS:
-		idx, st.DominanceTests = less.SkylineDT(m, opt.Beta)
+		idx, st.DominanceTests = less.SkylineDT(m, q.Beta)
 	case DnC:
 		idx, st.DominanceTests = dnc.SkylineDT(m)
 	case PSFS:
-		idx, st.DominanceTests = psfs.SkylineDT(m, opt.Threads)
+		idx, st.DominanceTests = psfs.SkylineDT(m, threads)
 	case APSkyline:
-		idx, st.DominanceTests = apskyline.SkylineDT(m, opt.Threads)
+		idx, st.DominanceTests = apskyline.SkylineDT(m, threads)
 	default:
-		return Result{}, fmt.Errorf("skybench: unknown algorithm %d", int(opt.Algorithm))
+		return Result{}, fmt.Errorf("skybench: unknown algorithm %d", int(q.Algorithm))
 	}
 	return assembleResult(idx, &st, m.N(), time.Since(start)), nil
 }
