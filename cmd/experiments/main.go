@@ -35,6 +35,8 @@ func main() {
 		paperScale = flag.Bool("paperscale", false, "use the paper's original workload sizes")
 		maxList    = flag.String("max", "", "comma-separated dimension indices to maximize in every workload")
 		dimsList   = flag.String("dims", "", "comma-separated dimension indices to keep (subspace workloads)")
+		updates    = flag.Int("updates", 0, "override the stream experiment's measured update count")
+		churn      = flag.Float64("churn", -1, "override the stream experiment's delete fraction [0,1]")
 	)
 	flag.Parse()
 
@@ -78,6 +80,16 @@ func main() {
 	cfg.Seed = *seed
 	if *realScale > 0 {
 		cfg.RealScale = *realScale
+	}
+	if *updates > 0 {
+		cfg.StreamUpdates = *updates
+	}
+	if *churn >= 0 {
+		if *churn > 1 {
+			fmt.Fprintf(os.Stderr, "experiments: -churn must be in [0,1], got %v\n", *churn)
+			os.Exit(1)
+		}
+		cfg.StreamChurn = *churn
 	}
 	var err error
 	if cfg.MaxDims, err = parseDimList(*maxList); err != nil {

@@ -1,0 +1,422 @@
+// Command streambench measures incremental skyline maintenance against
+// the recompute-from-scratch alternative on a reproducible update trace.
+//
+// It replays a trace (generated in-process, or from a datagen -stream
+// file via -input) into a stream.SkylineIndex — or a stream.Window when
+// -window is set — reporting warm-up and update throughput with p50/p90/
+// p99/max per-operation latency, then times sampled full Engine.Run
+// recomputes over the same live set to price the recompute-per-update
+// baseline the index replaces.
+//
+// Usage:
+//
+//	streambench -dist independent -n 100000 -updates 100000 -d 8
+//	streambench -churn 0.2 -readers 2 -json result.json
+//	streambench -window 10000 -updates 100000 -d 8
+//	streambench -input trace.csv -baseline-samples 8
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skybench"
+	"skybench/internal/dataset"
+	istream "skybench/internal/stream"
+	"skybench/stream"
+)
+
+type result struct {
+	Dist      string  `json:"dist"`
+	N         int     `json:"n"`
+	Updates   int     `json:"updates"`
+	D         int     `json:"d"`
+	Churn     float64 `json:"churn"`
+	Window    int     `json:"window,omitempty"`
+	Threads   int     `json:"threads"`
+	Seed      int64   `json:"seed"`
+	Threshold float64 `json:"recompute_threshold"`
+
+	WarmSeconds    float64 `json:"warm_seconds"`
+	WarmPerSec     float64 `json:"warm_ops_per_sec"`
+	UpdateSeconds  float64 `json:"update_seconds"`
+	UpdatePerSec   float64 `json:"update_ops_per_sec"`
+	P50Micros      float64 `json:"p50_us"`
+	P90Micros      float64 `json:"p90_us"`
+	P99Micros      float64 `json:"p99_us"`
+	MaxMicros      float64 `json:"max_us"`
+	SnapshotsRead  int64   `json:"snapshots_read,omitempty"`
+	Live           int     `json:"live"`
+	SkylineSize    int     `json:"skyline_size"`
+	Rebuilds       uint64  `json:"rebuilds"`
+	Resurrections  uint64  `json:"resurrections"`
+	DominanceTests uint64  `json:"dominance_tests"`
+	Entered        uint64  `json:"entered"`
+	Left           uint64  `json:"left"`
+
+	BaselineSamples int     `json:"baseline_samples"`
+	BaselineMeanMS  float64 `json:"baseline_mean_ms"`
+	BaselinePerSec  float64 `json:"baseline_ops_per_sec"`
+	Speedup         float64 `json:"speedup_vs_recompute_per_update"`
+}
+
+func main() {
+	var (
+		distName  = flag.String("dist", "independent", "distribution: correlated|independent|anticorrelated")
+		n         = flag.Int("n", 100000, "warm-up inserts before measurement")
+		updates   = flag.Int("updates", 100000, "measured update operations")
+		d         = flag.Int("d", 8, "dimensionality")
+		churn     = flag.Float64("churn", 0.0, "fraction of updates that delete a random live point")
+		window    = flag.Int("window", 0, "sliding-window capacity (0 = unbounded index; implies insert-only trace)")
+		threads   = flag.Int("threads", 0, "engine threads for recomputes (0 = all CPUs)")
+		seed      = flag.Int64("seed", 42, "trace seed")
+		threshold = flag.Float64("rebuild", 0, "recompute-escalation threshold (0 = default 0.5, <0 = never)")
+		readers   = flag.Int("readers", 0, "concurrent snapshot-reader goroutines during the update phase")
+		samples   = flag.Int("baseline-samples", 16, "sampled Engine.Run recomputes pricing the baseline (0 = skip)")
+		input     = flag.String("input", "", "replay a datagen -stream trace file instead of generating one")
+		jsonOut   = flag.String("json", "", "also write the result as JSON to this path")
+	)
+	flag.Parse()
+
+	var tr *istream.Trace
+	dist := *distName
+	if *input != "" {
+		var err error
+		if tr, err = istream.ReadTraceFile(*input); err != nil {
+			fatal(err)
+		}
+		dist = "file:" + *input
+		*d = tr.D
+		*n = tr.Warm
+		*updates = tr.Updates()
+	} else {
+		dd, err := dataset.ParseDistribution(*distName)
+		if err != nil {
+			fatal(err)
+		}
+		ch := *churn
+		if *window > 0 {
+			ch = 0 // the window generates its own deletes by eviction
+		}
+		tr = istream.GenerateTrace(dd, *n, *updates, *d, ch, *seed)
+	}
+
+	eng := skybench.NewEngine(*threads)
+	defer eng.Close()
+	cfg := stream.Config{Engine: eng, RecomputeThreshold: *threshold}
+
+	var ix *stream.SkylineIndex
+	var win *stream.Window
+	apply := func(op istream.Op) error { // index mode
+		if op.Kind == istream.OpDelete {
+			ix.Delete(stream.ID(op.Key))
+			return nil
+		}
+		_, err := ix.Insert(op.Row)
+		return err
+	}
+	if *window > 0 {
+		var err error
+		if win, err = stream.NewWindow(*window, *d, cfg); err != nil {
+			fatal(err)
+		}
+		defer win.Close()
+		apply = func(op istream.Op) error {
+			if op.Kind == istream.OpDelete {
+				return fmt.Errorf("window mode cannot replay explicit deletes (trace op key %d)", op.Key)
+			}
+			_, err := win.Push(op.Row)
+			return err
+		}
+	} else {
+		var err error
+		if ix, err = stream.New(*d, cfg); err != nil {
+			fatal(err)
+		}
+		defer ix.Close()
+	}
+	snapshot := func() *stream.Snapshot {
+		if win != nil {
+			return win.Snapshot()
+		}
+		return ix.Snapshot()
+	}
+	stats := func() stream.Stats {
+		if win != nil {
+			return win.Stats()
+		}
+		return ix.Stats()
+	}
+
+	// Trace keys map 1:1 onto index IDs (both assigned sequentially from
+	// 1 in insert order); the mirror below tracks the live rows flat for
+	// the baseline recomputes.
+	mirror := newMirror(*d, *window)
+
+	// Warm-up.
+	warmStart := time.Now()
+	for _, op := range tr.Ops[:tr.Warm] {
+		if err := apply(op); err != nil {
+			fatal(err)
+		}
+		mirror.apply(op)
+	}
+	warmSecs := time.Since(warmStart).Seconds()
+
+	// Concurrent snapshot readers (if any) poll for the whole update
+	// phase — they are the "many readers" half of the concurrency
+	// contract and give -race runs something to bite on.
+	var snapsRead atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < *readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := snapshot()
+				for i := 0; i < s.Len(); i++ {
+					_ = s.Row(i)[0]
+				}
+				snapsRead.Add(1)
+			}
+		}()
+	}
+
+	// Measured update phase, with sampled baseline recomputes at evenly
+	// spaced positions (measured outside the update clock).
+	updateOps := tr.Ops[tr.Warm:]
+	lat := make([]int64, 0, len(updateOps))
+	every := 0
+	if *samples > 0 && len(updateOps) > 0 {
+		every = max(1, len(updateOps) / *samples)
+	}
+	var baseTotal time.Duration
+	baseRuns := 0
+	var updateTotal time.Duration
+	for i, op := range updateOps {
+		t0 := time.Now()
+		if err := apply(op); err != nil {
+			fatal(err)
+		}
+		el := time.Since(t0)
+		updateTotal += el
+		lat = append(lat, el.Nanoseconds())
+		mirror.apply(op)
+
+		if every > 0 && i%every == every-1 && baseRuns < *samples {
+			baseTotal += mirror.recompute(eng)
+			baseRuns++
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	st := stats()
+	snap := snapshot()
+	// Report the trace's actual delete fraction, not the flag: window
+	// mode forces churn to 0 (eviction generates the deletes) and
+	// -input traces carry their own mix.
+	effChurn := 0.0
+	if u := tr.Updates(); u > 0 {
+		dels := 0
+		for _, op := range updateOps {
+			if op.Kind == istream.OpDelete {
+				dels++
+			}
+		}
+		effChurn = float64(dels) / float64(u)
+	}
+	res := result{
+		Dist: dist, N: *n, Updates: *updates, D: *d, Churn: effChurn,
+		Window: *window, Threads: eng.Threads(), Seed: *seed,
+		Threshold:     *threshold,
+		WarmSeconds:   warmSecs,
+		UpdateSeconds: updateTotal.Seconds(),
+		SnapshotsRead: snapsRead.Load(),
+		Live:          st.Live, SkylineSize: snap.Len(),
+		Rebuilds: st.Rebuilds, Resurrections: st.Resurrections,
+		DominanceTests: st.DominanceTests,
+		Entered:        st.Entered, Left: st.Left,
+		BaselineSamples: baseRuns,
+	}
+	if tr.Warm > 0 && warmSecs > 0 {
+		res.WarmPerSec = float64(tr.Warm) / warmSecs
+	}
+	if len(lat) > 0 && updateTotal > 0 {
+		res.UpdatePerSec = float64(len(lat)) / updateTotal.Seconds()
+		slices.Sort(lat)
+		res.P50Micros = percentile(lat, 0.50)
+		res.P90Micros = percentile(lat, 0.90)
+		res.P99Micros = percentile(lat, 0.99)
+		res.MaxMicros = float64(lat[len(lat)-1]) / 1e3
+	}
+	if baseRuns > 0 {
+		mean := baseTotal / time.Duration(baseRuns)
+		res.BaselineMeanMS = float64(mean.Nanoseconds()) / 1e6
+		res.BaselinePerSec = 1 / mean.Seconds()
+		if res.BaselinePerSec > 0 {
+			res.Speedup = res.UpdatePerSec / res.BaselinePerSec
+		}
+	}
+
+	report(res)
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// percentile interpolates the q-quantile of sorted nanosecond latencies,
+// in microseconds.
+func percentile(sorted []int64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	hi := min(lo+1, len(sorted)-1)
+	frac := pos - float64(lo)
+	return (float64(sorted[lo])*(1-frac) + float64(sorted[hi])*frac) / 1e3
+}
+
+// mirror tracks the live rows flat so baseline recomputes see exactly
+// the state the index holds. Unbounded mode swap-removes by key; window
+// mode is a fixed-size ring (evict oldest = overwrite one slot), since
+// a window trace never carries explicit deletes.
+type mirror struct {
+	d      int
+	window int
+	vals   []float64
+	keys   []uint64
+	at     map[uint64]int // unbounded mode only
+	head   int            // window mode only
+	count  int
+}
+
+func newMirror(d, window int) *mirror {
+	mr := &mirror{d: d, window: window}
+	if window > 0 {
+		mr.vals = make([]float64, window*d)
+		mr.keys = make([]uint64, window)
+	} else {
+		mr.at = make(map[uint64]int)
+	}
+	return mr
+}
+
+func (mr *mirror) apply(op istream.Op) {
+	if mr.window > 0 {
+		if op.Kind != istream.OpInsert {
+			return // the driver already rejected deletes in window mode
+		}
+		slot := (mr.head + mr.count) % mr.window
+		if mr.count == mr.window {
+			slot = mr.head // overwrite the evicted oldest
+			mr.head = (mr.head + 1) % mr.window
+		} else {
+			mr.count++
+		}
+		mr.keys[slot] = op.Key
+		copy(mr.vals[slot*mr.d:(slot+1)*mr.d], op.Row)
+		return
+	}
+	switch op.Kind {
+	case istream.OpInsert:
+		mr.at[op.Key] = len(mr.keys)
+		mr.keys = append(mr.keys, op.Key)
+		mr.vals = append(mr.vals, op.Row...)
+		mr.count++
+	case istream.OpDelete:
+		i, ok := mr.at[op.Key]
+		if !ok {
+			return
+		}
+		last := len(mr.keys) - 1
+		mr.keys[i] = mr.keys[last]
+		mr.at[mr.keys[i]] = i
+		copy(mr.vals[i*mr.d:(i+1)*mr.d], mr.vals[last*mr.d:(last+1)*mr.d])
+		mr.keys = mr.keys[:last]
+		mr.vals = mr.vals[:last*mr.d]
+		delete(mr.at, op.Key)
+		mr.count--
+	}
+}
+
+// recompute prices one from-scratch skyline over the current live set —
+// the unit of the recompute-per-update baseline.
+func (mr *mirror) recompute(eng *skybench.Engine) time.Duration {
+	n := mr.count
+	if n == 0 {
+		return 0
+	}
+	// Copy (un-rotating the window ring) so the Dataset's adopted
+	// storage is never written again — the mirror keeps mutating after
+	// this sample.
+	flat := make([]float64, 0, n*mr.d)
+	if mr.window > 0 {
+		tail := min(mr.window-mr.head, n)
+		flat = append(flat, mr.vals[mr.head*mr.d:(mr.head+tail)*mr.d]...)
+		flat = append(flat, mr.vals[:(n-tail)*mr.d]...)
+	} else {
+		flat = append(flat, mr.vals...)
+	}
+	ds, err := skybench.DatasetFromFlat(flat, n, mr.d)
+	if err != nil {
+		fatal(err)
+	}
+	t0 := time.Now()
+	if _, err := eng.Run(context.Background(), ds, skybench.Query{}); err != nil {
+		fatal(err)
+	}
+	return time.Since(t0)
+}
+
+func report(r result) {
+	fmt.Printf("streambench: %s n=%d updates=%d d=%d churn=%.2f", r.Dist, r.N, r.Updates, r.D, r.Churn)
+	if r.Window > 0 {
+		fmt.Printf(" window=%d", r.Window)
+	}
+	fmt.Printf(" threads=%d (GOMAXPROCS=%d)\n", r.Threads, runtime.GOMAXPROCS(0))
+	fmt.Printf("  warm:     %d inserts in %.3fs (%.0f ops/s)\n", r.N, r.WarmSeconds, r.WarmPerSec)
+	fmt.Printf("  updates:  %d ops in %.3fs (%.0f ops/s)  p50=%.1fµs p90=%.1fµs p99=%.1fµs max=%.1fµs\n",
+		r.Updates, r.UpdateSeconds, r.UpdatePerSec, r.P50Micros, r.P90Micros, r.P99Micros, r.MaxMicros)
+	fmt.Printf("  state:    live=%d skyline=%d rebuilds=%d resurrections=%d entered=%d left=%d dts=%d\n",
+		r.Live, r.SkylineSize, r.Rebuilds, r.Resurrections, r.Entered, r.Left, r.DominanceTests)
+	if r.SnapshotsRead > 0 {
+		fmt.Printf("  readers:  %d snapshots read concurrently\n", r.SnapshotsRead)
+	}
+	if r.BaselineSamples > 0 {
+		fmt.Printf("  baseline: recompute-per-update via Engine.Run = %.2fms/op (%.1f ops/s, %d samples)\n",
+			r.BaselineMeanMS, r.BaselinePerSec, r.BaselineSamples)
+		fmt.Printf("  speedup:  %.0fx incremental vs recompute-per-update\n", r.Speedup)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "streambench:", err)
+	os.Exit(1)
+}

@@ -43,9 +43,9 @@ func NewDataset(rows [][]float64) (*Dataset, error) {
 }
 
 // validateRows checks a non-empty row-of-slices input (consistent,
-// nonzero, supported dimensionality) and returns its dimensionality.
-// Shared by NewDataset and the legacy Context.Compute so the two
-// surfaces cannot drift.
+// nonzero, supported dimensionality; finite values) and returns its
+// dimensionality. Shared by NewDataset and the legacy Context.Compute so
+// the two surfaces cannot drift.
 func validateRows(rows [][]float64) (int, error) {
 	d := len(rows[0])
 	if d == 0 {
@@ -55,6 +55,11 @@ func validateRows(rows [][]float64) (int, error) {
 		if len(row) != d {
 			return 0, fmt.Errorf("skybench: point %d has %d dimensions, want %d", i, len(row), d)
 		}
+		for j, v := range row {
+			if !point.Finite(v) {
+				return 0, fmt.Errorf("skybench: point %d has non-finite value %v on dimension %d", i, v, j)
+			}
+		}
 	}
 	if d > point.MaxDims {
 		return 0, fmt.Errorf("skybench: at most %d dimensions supported, got %d", point.MaxDims, d)
@@ -63,8 +68,15 @@ func validateRows(rows [][]float64) (int, error) {
 }
 
 // DatasetFromFlat builds a Dataset around n points of d dimensions
-// stored row-major in vals (len(vals) must be n*d) without copying. The
-// Dataset adopts the slice: the caller must not modify it afterwards.
+// stored row-major in vals (len(vals) must be n*d) without copying.
+//
+// Ownership rule (the write-side mirror of the aliasing rule on
+// Result.Indices): the Dataset adopts vals — it holds the slice itself,
+// not a copy — so from this call on the slice belongs to the Dataset and
+// the caller must never write to it again, from any goroutine, for as
+// long as the Dataset (or any Result computed over it) is in use.
+// Callers that cannot guarantee that should use NewDataset, which
+// always copies.
 func DatasetFromFlat(vals []float64, n, d int) (*Dataset, error) {
 	if n == 0 {
 		return &Dataset{}, nil
@@ -75,8 +87,11 @@ func DatasetFromFlat(vals []float64, n, d int) (*Dataset, error) {
 	return &Dataset{vals: vals, n: n, d: d}, nil
 }
 
-// validateFlat checks a non-empty flat row-major input. Shared by
-// DatasetFromFlat and the legacy Context.ComputeFlat.
+// validateFlat checks a non-empty flat row-major input (shape plus
+// finite values: NaN poisons dominance tests — every comparison against
+// it is false, so a NaN point is never dominated and never dominates —
+// and ±Inf breaks the L1-norm filters and the Max-preference negation).
+// Shared by DatasetFromFlat and the legacy Context.ComputeFlat.
 func validateFlat(vals []float64, n, d int) error {
 	if d <= 0 {
 		return fmt.Errorf("skybench: points must have at least one dimension")
@@ -87,6 +102,11 @@ func validateFlat(vals []float64, n, d int) error {
 	if d > point.MaxDims {
 		return fmt.Errorf("skybench: at most %d dimensions supported, got %d", point.MaxDims, d)
 	}
+	for i, v := range vals {
+		if !point.Finite(v) {
+			return fmt.Errorf("skybench: point %d has non-finite value %v on dimension %d", i/d, v, i%d)
+		}
+	}
 	return nil
 }
 
@@ -96,9 +116,13 @@ func (ds *Dataset) N() int { return ds.n }
 // D returns the dimensionality.
 func (ds *Dataset) D() int { return ds.d }
 
-// Row returns point i as a slice aliasing the Dataset's storage. Treat
-// it as read-only; mutating it breaks the immutability every concurrent
-// query depends on.
+// Row returns point i as a slice aliasing the Dataset's storage.
+//
+// Aliasing rule (mirroring the one stated on Result.Indices): the slice
+// is a view, not a copy. Reading it is valid for the life of the Dataset
+// and safe from any goroutine; writing to it is never allowed — it would
+// break the immutability every concurrent query depends on. Callers that
+// need a mutable row must copy it.
 func (ds *Dataset) Row(i int) []float64 {
 	return ds.vals[i*ds.d : (i+1)*ds.d : (i+1)*ds.d]
 }

@@ -1,6 +1,7 @@
 package skybench_test
 
 import (
+	"math"
 	"testing"
 
 	"skybench"
@@ -55,5 +56,34 @@ func TestDatasetFromFlat(t *testing.T) {
 	}
 	if _, err := skybench.DatasetFromFlat(nil, 1, 0); err == nil {
 		t.Error("zero dimensionality accepted")
+	}
+}
+
+func TestDatasetRejectsNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	// A NaN point is never dominated and never dominates (every
+	// comparison is false), so admitting one would silently corrupt
+	// skylines; both constructors must reject NaN and ±Inf.
+	for name, rows := range map[string][][]float64{
+		"nan":      {{1, 2}, {nan, 0}},
+		"plus-inf": {{1, inf}},
+		"neg-inf":  {{-inf, 0}, {1, 2}},
+	} {
+		if _, err := skybench.NewDataset(rows); err == nil {
+			t.Errorf("NewDataset accepted %s", name)
+		}
+	}
+	for name, flat := range map[string][]float64{
+		"nan":      {1, 2, nan, 0},
+		"plus-inf": {inf, 2, 3, 4},
+		"neg-inf":  {1, 2, 3, -inf},
+	} {
+		if _, err := skybench.DatasetFromFlat(flat, 2, 2); err == nil {
+			t.Errorf("DatasetFromFlat accepted %s", name)
+		}
+	}
+	// The legacy surfaces funnel through the same validators.
+	if _, err := skybench.Compute([][]float64{{nan, 1}}, skybench.Options{}); err == nil {
+		t.Error("Compute accepted NaN")
 	}
 }

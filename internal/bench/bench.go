@@ -49,20 +49,28 @@ type Config struct {
 	// only the listed dimension indices are kept. Indices beyond a
 	// sweep's dimensionality are ignored.
 	SubDims []int
+	// StreamUpdates is the measured operation count of the stream
+	// maintenance experiment (after N warm-up inserts).
+	StreamUpdates int
+	// StreamChurn is the delete fraction of the stream experiment's
+	// update mix.
+	StreamChurn float64
 }
 
 // Default returns the laptop-scale defaults documented in DESIGN.md.
 func Default() Config {
 	return Config{
-		N:          20000,
-		D:          8,
-		Dims:       []int{4, 6, 8, 10, 12},
-		NSweep:     []int{5000, 10000, 20000, 40000, 80000},
-		Threads:    []int{1, 2, 4, 8, 16},
-		MaxThreads: 16,
-		Reps:       1,
-		Seed:       42,
-		RealScale:  0.05,
+		N:             20000,
+		D:             8,
+		Dims:          []int{4, 6, 8, 10, 12},
+		NSweep:        []int{5000, 10000, 20000, 40000, 80000},
+		Threads:       []int{1, 2, 4, 8, 16},
+		MaxThreads:    16,
+		Reps:          1,
+		Seed:          42,
+		RealScale:     0.05,
+		StreamUpdates: 20000,
+		StreamChurn:   0.2,
 	}
 }
 
@@ -70,15 +78,17 @@ func Default() Config {
 // them in Go on a small machine takes hours; provided for completeness.
 func PaperScale() Config {
 	return Config{
-		N:          1000000,
-		D:          12,
-		Dims:       []int{6, 8, 10, 12, 14, 16},
-		NSweep:     []int{500000, 1000000, 2000000, 4000000, 8000000},
-		Threads:    []int{1, 2, 4, 8, 16},
-		MaxThreads: 16,
-		Reps:       1,
-		Seed:       42,
-		RealScale:  1,
+		N:             1000000,
+		D:             12,
+		Dims:          []int{6, 8, 10, 12, 14, 16},
+		NSweep:        []int{500000, 1000000, 2000000, 4000000, 8000000},
+		Threads:       []int{1, 2, 4, 8, 16},
+		MaxThreads:    16,
+		Reps:          1,
+		Seed:          42,
+		RealScale:     1,
+		StreamUpdates: 1000000,
+		StreamChurn:   0.2,
 	}
 }
 

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"slices"
+	"time"
+
+	"skybench"
+
+	"skybench/internal/dataset"
+	istream "skybench/internal/stream"
+	"skybench/stream"
+)
+
+// StreamMaintenance is the extension experiment for the skybench/stream
+// subsystem: per-distribution, replay N warm inserts plus StreamUpdates
+// mixed operations (StreamChurn deletes) into a SkylineIndex and compare
+// its update throughput with the recompute-per-update cost of Engine.Run
+// over the same live set.
+func (cfg Config) StreamMaintenance(w io.Writer) {
+	header(w, "stream maintenance (extension)",
+		fmt.Sprintf("incremental SkylineIndex vs Engine.Run recompute-per-update; warm=%d updates=%d churn=%.2f d=%d",
+			cfg.N, cfg.StreamUpdates, cfg.StreamChurn, cfg.D))
+	fmt.Fprintf(w, "%-16s %12s %12s %12s %10s %9s %9s\n",
+		"distribution", "updates/s", "p99 µs", "recompute/s", "speedup", "skyline", "rebuilds")
+
+	eng := skybench.NewEngine(cfg.MaxThreads)
+	defer eng.Close()
+
+	for _, dist := range dataset.AllDistributions {
+		tr := istream.GenerateTrace(dist, cfg.N, cfg.StreamUpdates, cfg.D, cfg.StreamChurn, cfg.Seed)
+		ix, err := stream.New(cfg.D, stream.Config{Engine: eng})
+		if err != nil {
+			panic(fmt.Sprintf("bench: stream index: %v", err))
+		}
+
+		apply := func(op istream.Op) {
+			if op.Kind == istream.OpDelete {
+				ix.Delete(stream.ID(op.Key))
+				return
+			}
+			if _, err := ix.Insert(op.Row); err != nil {
+				panic(fmt.Sprintf("bench: stream insert: %v", err))
+			}
+		}
+		for _, op := range tr.Ops[:tr.Warm] {
+			apply(op)
+		}
+		lat := make([]int64, 0, tr.Updates())
+		var total time.Duration
+		for _, op := range tr.Ops[tr.Warm:] {
+			t0 := time.Now()
+			apply(op)
+			el := time.Since(t0)
+			total += el
+			lat = append(lat, el.Nanoseconds())
+		}
+
+		// Price one recompute of the final live set (the per-update cost
+		// of the recompute-every-change alternative).
+		rows := liveRows(tr)
+		base := time.Duration(0)
+		if len(rows) > 0 {
+			ds, err := skybench.NewDataset(rows)
+			if err != nil {
+				panic(fmt.Sprintf("bench: stream baseline: %v", err))
+			}
+			t0 := time.Now()
+			if _, err := eng.Run(context.Background(), ds, skybench.Query{}); err != nil {
+				panic(fmt.Sprintf("bench: stream baseline: %v", err))
+			}
+			base = time.Since(t0)
+		}
+
+		st := ix.Stats()
+		upsPerSec := float64(len(lat)) / total.Seconds()
+		speedup := 0.0
+		if base > 0 {
+			speedup = upsPerSec * base.Seconds()
+		}
+		fmt.Fprintf(w, "%-16s %12.0f %12.1f %12.1f %9.0fx %9d %9d\n",
+			dist, upsPerSec, p99(lat), 1/base.Seconds(), speedup, st.SkylineSize, st.Rebuilds)
+		ix.Close()
+	}
+}
+
+// liveRows returns the rows surviving a trace, in key order (sorted so
+// the baseline recompute sees a reproducible input: skyline runtimes
+// are input-order-sensitive, and map iteration order is not).
+func liveRows(tr *istream.Trace) [][]float64 {
+	rows := make(map[uint64][]float64)
+	for _, op := range tr.Ops {
+		if op.Kind == istream.OpInsert {
+			rows[op.Key] = op.Row
+		} else {
+			delete(rows, op.Key)
+		}
+	}
+	keys := make([]uint64, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	out := make([][]float64, len(keys))
+	for i, k := range keys {
+		out[i] = rows[k]
+	}
+	return out
+}
+
+// p99 returns the 99th-percentile of nanosecond samples, in microseconds.
+func p99(lat []int64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), lat...)
+	slices.Sort(s)
+	return float64(s[(len(s)-1)*99/100]) / 1e3
+}

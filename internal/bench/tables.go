@@ -161,5 +161,6 @@ func Experiments() []struct {
 		{"table3", "PBSkyTree single-thread overhead", Config.Table3},
 		{"ablations", "Hybrid component ablations", Config.Ablations},
 		{"multicore", "all six multicore algorithms (extension)", Config.Multicore},
+		{"stream", "incremental maintenance vs recompute (extension)", Config.StreamMaintenance},
 	}
 }

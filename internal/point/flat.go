@@ -84,6 +84,129 @@ func DominatedInFlatRun(rows []float64, d, lo, hi int, q []float64, qL1 float64,
 	}
 }
 
+// FirstDominatorInFlatRun returns the index j ∈ [lo, hi) of the first row
+// of the row-major flat matrix rows that strictly dominates the probe q,
+// or -1 when no row does. It is the bucket-assignment companion of
+// DominatedInFlatRun: incremental maintenance needs not just whether a
+// probe is dominated but by whom, so the dominated point can be filed
+// under that skyline point's exclusive-dominance bucket.
+//
+// l1, when non-nil, holds the L1 norm of every row and prunes rows with
+// l1[j] >= qL1 before the dominance test: a dominator is componentwise no
+// worse and strictly better somewhere, so its L1 norm is strictly smaller
+// (footnote 2 of the paper). *dts is advanced by the number of dominance
+// tests actually performed.
+func FirstDominatorInFlatRun(rows []float64, d, lo, hi int, q []float64, qL1 float64, l1 []float64, dts *uint64) int {
+	switch d {
+	case 4:
+		return firstDom4(rows, lo, hi, q, qL1, l1, dts)
+	case 6:
+		return firstDom6(rows, lo, hi, q, qL1, l1, dts)
+	case 8:
+		return firstDom8(rows, lo, hi, q, qL1, l1, dts)
+	default:
+		return firstDomGeneric(rows, d, lo, hi, q, qL1, l1, dts)
+	}
+}
+
+func firstDomGeneric(rows []float64, d, lo, hi int, q []float64, qL1 float64, l1 []float64, dts *uint64) int {
+	n := *dts
+	off := lo * d
+	for j := lo; j < hi; j, off = j+1, off+d {
+		if l1 != nil && l1[j] >= qL1 {
+			continue
+		}
+		n++
+		r := rows[off : off+d : off+d]
+		strict := false
+		dominates := true
+		for k, v := range r {
+			w := q[k]
+			if v > w {
+				dominates = false
+				break
+			}
+			if v < w {
+				strict = true
+			}
+		}
+		if dominates && strict {
+			*dts = n
+			return j
+		}
+	}
+	*dts = n
+	return -1
+}
+
+func firstDom4(rows []float64, lo, hi int, q []float64, qL1 float64, l1 []float64, dts *uint64) int {
+	q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
+	n := *dts
+	off := lo * 4
+	for j := lo; j < hi; j, off = j+1, off+4 {
+		if l1 != nil && l1[j] >= qL1 {
+			continue
+		}
+		n++
+		r := rows[off : off+4 : off+4]
+		if r[0] > q0 || r[1] > q1 || r[2] > q2 || r[3] > q3 {
+			continue
+		}
+		if r[0] < q0 || r[1] < q1 || r[2] < q2 || r[3] < q3 {
+			*dts = n
+			return j
+		}
+	}
+	*dts = n
+	return -1
+}
+
+func firstDom6(rows []float64, lo, hi int, q []float64, qL1 float64, l1 []float64, dts *uint64) int {
+	q0, q1, q2, q3, q4, q5 := q[0], q[1], q[2], q[3], q[4], q[5]
+	n := *dts
+	off := lo * 6
+	for j := lo; j < hi; j, off = j+1, off+6 {
+		if l1 != nil && l1[j] >= qL1 {
+			continue
+		}
+		n++
+		r := rows[off : off+6 : off+6]
+		if r[0] > q0 || r[1] > q1 || r[2] > q2 || r[3] > q3 || r[4] > q4 || r[5] > q5 {
+			continue
+		}
+		if r[0] < q0 || r[1] < q1 || r[2] < q2 || r[3] < q3 || r[4] < q4 || r[5] < q5 {
+			*dts = n
+			return j
+		}
+	}
+	*dts = n
+	return -1
+}
+
+func firstDom8(rows []float64, lo, hi int, q []float64, qL1 float64, l1 []float64, dts *uint64) int {
+	q0, q1, q2, q3, q4, q5, q6, q7 := q[0], q[1], q[2], q[3], q[4], q[5], q[6], q[7]
+	n := *dts
+	off := lo * 8
+	for j := lo; j < hi; j, off = j+1, off+8 {
+		if l1 != nil && l1[j] >= qL1 {
+			continue
+		}
+		n++
+		r := rows[off : off+8 : off+8]
+		if r[0] > q0 || r[1] > q1 || r[2] > q2 || r[3] > q3 ||
+			r[4] > q4 || r[5] > q5 || r[6] > q6 || r[7] > q7 {
+			continue
+		}
+		if r[0] < q0 || r[1] < q1 || r[2] < q2 || r[3] < q3 ||
+			r[4] < q4 || r[5] < q5 || r[6] < q6 || r[7] < q7 {
+			*dts = n
+			return j
+		}
+	}
+	*dts = n
+	return -1
+}
+
 func domRunGeneric(rows []float64, d, lo, hi int, q []float64, qL1 float64, l1 []float64, skip []uint32, dts *uint64) bool {
 	n := *dts
 	off := lo * d

@@ -94,6 +94,14 @@ func (m Matrix) Rows() [][]float64 {
 	return rows
 }
 
+// Finite reports whether v is an ordinary float64 — not NaN and not ±Inf.
+// NaN poisons every dominance comparison (all comparisons are false, so a
+// NaN point is simultaneously never dominated and never dominating) and
+// Inf breaks the L1-norm filters, so validating entry points reject both.
+func Finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
 // L1 returns the Manhattan norm Σᵢ p[i] of a point. The paper uses the L1
 // norm as its cheap filter: p ≺ q implies L1(p) < L1(q) (footnote 2).
 func L1(p []float64) float64 {

@@ -1,0 +1,547 @@
+// Package stream implements the incremental skyline maintenance core
+// behind the public skybench/stream package: a mutable index over staged
+// (all-minimized) points that keeps the exact skyline current under
+// inserts and deletes without recomputing it from scratch.
+//
+// The design is built on one invariant of the dominance relation: every
+// non-skyline point is filed in the exclusive-dominance "bucket" of one
+// skyline point that dominates it (its owner). An insert probes the
+// dense skyline matrix with the flat kernels of internal/point — a
+// dominated probe is bucketed under the dominator the scan finds; an
+// undominated probe enters the skyline and any skyline points it
+// dominates are demoted into its bucket (together with their buckets,
+// since dominance is transitive). Deleting a bucketed point is O(1);
+// deleting a skyline point re-resolves only its own bucket, because a
+// point dominated by the deleted owner cannot dominate any surviving
+// skyline point (transitivity again), so recovery can only add points.
+//
+// Bucket re-resolution work is accrued in a dirty counter; when it
+// exceeds a configurable fraction of the live set, the index escalates
+// to a full recompute (through a pluggable hook — the public package
+// supplies an Engine-backed one) that also rebalances every bucket and
+// re-sorts the skyline by L1 norm, restoring short scan prefixes.
+package stream
+
+import (
+	"slices"
+
+	"skybench/internal/point"
+)
+
+// ownerSkyline and ownerFree are the sentinel owner values for slots
+// that are in the skyline or not allocated; any other owner value is the
+// slot of the bucket-owning skyline point.
+const (
+	ownerSkyline int32 = -1
+	ownerFree    int32 = -2
+)
+
+// rebuildMinEngine is the live size below which escalation uses the
+// built-in L1 re-insertion instead of the external hook: firing up a
+// full parallel engine for a few hundred points costs more than the
+// sequential scan it replaces.
+const rebuildMinEngine = 256
+
+// Options configures an Index.
+type Options struct {
+	// RebuildFraction triggers a full rebuild when the dirty counter
+	// (accumulated re-resolution and demotion work) would exceed this
+	// fraction of the live point count. Zero selects the default (0.5);
+	// math.Inf(1) disables escalation entirely.
+	RebuildFraction float64
+	// Rebuild, when non-nil, computes the skyline of the n staged
+	// d-dimensional row-major points in vals, returning row indices into
+	// vals. It is invoked on escalation for live sets of at least
+	// rebuildMinEngine points; the result may alias storage the hook
+	// reuses, as the Index consumes it before returning. A nil return
+	// falls back to the built-in sequential rebuild.
+	Rebuild func(vals []float64, n int) []int
+	// OnEnter and OnLeave, when non-nil, observe skyline membership
+	// changes: OnEnter(slot) fires when a live slot enters the skyline,
+	// OnLeave(slot) when it leaves (by demotion or deletion; for a
+	// deletion the slot's values remain readable for the duration of the
+	// callback). A rebuild emits the net membership change it caused —
+	// none for an explicit Rebuild (recomputing an exact skyline finds
+	// the same set), the resurrected orphans for a delete that escalated
+	// past per-point re-resolution.
+	OnEnter func(slot int32)
+	// OnLeave is OnEnter's counterpart; see OnEnter.
+	OnLeave func(slot int32)
+}
+
+// Stats are the Index's lifetime counters.
+type Stats struct {
+	// DominanceTests counts full point-vs-point dominance tests — the
+	// same machine-independent metric the one-shot algorithms report.
+	DominanceTests uint64
+	// Resurrections counts points that re-entered the skyline when their
+	// bucket owner was deleted.
+	Resurrections uint64
+	// Rebuilds counts full-recompute escalations.
+	Rebuilds uint64
+}
+
+// Index is the mutable skyline maintenance structure. It is not
+// goroutine-safe; the public wrapper serializes access.
+type Index struct {
+	d   int
+	opt Options
+
+	// Slot-indexed state. A slot is the point's permanent home in the
+	// arena until it is deleted and the slot recycled. vals holds the
+	// staged coordinates (d per slot), l1 their L1 norms; owner/pos say
+	// where the point currently lives (skyline position or bucket+index)
+	// and buckets[s] lists the points filed under skyline point s.
+	vals    []float64
+	l1      []float64
+	owner   []int32
+	pos     []int32
+	buckets [][]int32
+	free    []int32
+	live    int
+
+	// Dense skyline mirror: row k of skyVals is the staged point of slot
+	// skySlots[k], with skyL1 its norm. Keeping the skyline contiguous is
+	// what lets the probe scans run the flat kernels at full speed.
+	skySlots []int32
+	skyVals  []float64
+	skyL1    []float64
+
+	dirty     int
+	rebuildMu bool // guards against emitting events inside a rebuild
+
+	stats Stats
+
+	// Reusable scratch: demoted skyline positions during an insert,
+	// detached bucket members during a delete, and the dense gather and
+	// pre-rebuild membership used by rebuilds.
+	demoted   []int
+	detached  []int32
+	gatherIdx []int32
+	gatherVal []float64
+	wasSky    []bool
+}
+
+// New creates an empty index over staged d-dimensional points.
+func New(d int, opt Options) *Index {
+	if d < 1 {
+		panic("stream: dimensionality must be at least 1")
+	}
+	if opt.RebuildFraction == 0 {
+		opt.RebuildFraction = 0.5
+	}
+	return &Index{d: d, opt: opt}
+}
+
+// D returns the staged dimensionality.
+func (ix *Index) D() int { return ix.d }
+
+// Len returns the number of live points.
+func (ix *Index) Len() int { return ix.live }
+
+// SkylineSize returns the current skyline cardinality.
+func (ix *Index) SkylineSize() int { return len(ix.skySlots) }
+
+// Stats returns the lifetime counters.
+func (ix *Index) Stats() Stats { return ix.stats }
+
+// Skyline returns the slots currently in the skyline. The slice aliases
+// internal storage and is valid only until the next mutation; its order
+// is unspecified.
+func (ix *Index) Skyline() []int32 { return ix.skySlots }
+
+// Row returns the staged values of a live slot (aliasing the arena).
+func (ix *Index) Row(slot int32) []float64 {
+	return ix.vals[int(slot)*ix.d : (int(slot)+1)*ix.d : (int(slot)+1)*ix.d]
+}
+
+// InSkyline reports whether a live slot is currently a skyline point.
+func (ix *Index) InSkyline(slot int32) bool { return ix.owner[slot] == ownerSkyline }
+
+// Alloc copies the staged point p into a fresh slot and returns it. The
+// point is live but not yet placed: callers must follow with Place
+// (split so the public wrapper can record per-slot metadata before
+// membership callbacks fire).
+func (ix *Index) Alloc(p []float64) int32 {
+	if len(p) != ix.d {
+		panic("stream: point dimensionality mismatch")
+	}
+	var slot int32
+	if n := len(ix.free); n > 0 {
+		slot = ix.free[n-1]
+		ix.free = ix.free[:n-1]
+		copy(ix.vals[int(slot)*ix.d:], p)
+	} else {
+		slot = int32(len(ix.owner))
+		ix.vals = append(ix.vals, p...)
+		ix.l1 = append(ix.l1, 0)
+		ix.owner = append(ix.owner, ownerFree)
+		ix.pos = append(ix.pos, 0)
+		ix.buckets = append(ix.buckets, nil)
+	}
+	ix.l1[slot] = point.L1(p)
+	ix.live++
+	return slot
+}
+
+// Place classifies an allocated slot against the current skyline and
+// reports whether it entered it.
+func (ix *Index) Place(slot int32) bool {
+	return ix.classify(slot)
+}
+
+// Insert is Alloc followed by Place.
+func (ix *Index) Insert(p []float64) (slot int32, entered bool) {
+	slot = ix.Alloc(p)
+	return slot, ix.Place(slot)
+}
+
+// classify files slot into the structure: bucketed under the first
+// skyline dominator the scan finds, or entered into the skyline with any
+// newly-dominated skyline points (and their buckets) demoted into its
+// bucket. Fires membership events outside rebuilds.
+func (ix *Index) classify(slot int32) bool {
+	d := ix.d
+	q := ix.Row(slot)
+	qL1 := ix.l1[slot]
+	ns := len(ix.skySlots)
+
+	if j := point.FirstDominatorInFlatRun(ix.skyVals, d, 0, ns, q, qL1, ix.skyL1, &ix.stats.DominanceTests); j >= 0 {
+		ix.addToBucket(ix.skySlots[j], slot)
+		return false
+	}
+
+	// Not dominated: q enters. Collect the skyline rows q dominates (a
+	// dominated row needs a strictly larger L1 norm, so most rows are
+	// pruned by one comparison).
+	ix.demoted = ix.demoted[:0]
+	for k := 0; k < ns; k++ {
+		if ix.skyL1[k] <= qL1 {
+			continue
+		}
+		ix.stats.DominanceTests++
+		if point.DominatesFlat2(ix.vals, int(slot)*d, ix.skyVals, k*d, d) {
+			ix.demoted = append(ix.demoted, k)
+		}
+	}
+	// Demote in descending skyline position so the swap-removes never
+	// disturb a position still waiting to be processed.
+	for i := len(ix.demoted) - 1; i >= 0; i-- {
+		ix.demote(ix.demoted[i], slot)
+	}
+	ix.appendSkyline(slot)
+	ix.emitEnter(slot)
+	return true
+}
+
+// demote moves the skyline point at dense position k into newOwner's
+// bucket, along with its entire bucket (newOwner dominates the demoted
+// point, hence transitively everything the demoted point dominated).
+func (ix *Index) demote(k int, newOwner int32) {
+	s := ix.skySlots[k]
+	ix.emitLeave(s)
+	ix.removeSkyline(k)
+	ix.addToBucket(newOwner, s)
+	members := ix.buckets[s]
+	for _, m := range members {
+		ix.addToBucket(newOwner, m)
+	}
+	ix.buckets[s] = members[:0]
+	ix.dirty += len(members)
+}
+
+// Delete removes a live slot from the index, re-resolving (or escalating
+// past) its exclusive-dominance bucket when the slot was a skyline
+// point. It reports whether the slot was live.
+func (ix *Index) Delete(slot int32) bool {
+	if int(slot) >= len(ix.owner) || ix.owner[slot] == ownerFree {
+		return false
+	}
+	if o := ix.owner[slot]; o != ownerSkyline {
+		// Bucketed point: unlink and free, no skyline impact.
+		ix.removeFromBucket(o, slot)
+		ix.freeSlot(slot)
+		ix.dirty++
+		ix.maybeRebuild(0)
+		return true
+	}
+
+	members := ix.buckets[slot]
+	if ix.shouldRebuild(len(members) + 1) {
+		// The bucket is too large to re-resolve point-by-point (or dirt
+		// has accrued): drop the point and recompute wholesale. The
+		// orphaned members are still live and get re-owned by the
+		// rebuild.
+		ix.emitLeave(slot)
+		ix.removeSkyline(int(ix.pos[slot]))
+		ix.buckets[slot] = members[:0]
+		ix.freeSlot(slot)
+		ix.rebuild()
+		return true
+	}
+
+	ix.emitLeave(slot)
+	ix.removeSkyline(int(ix.pos[slot]))
+	// Detach the bucket before re-classifying: classify appends to other
+	// buckets, never to a freed slot's.
+	ix.detached = append(ix.detached[:0], members...)
+	ix.buckets[slot] = members[:0]
+	ix.freeSlot(slot)
+
+	// Re-resolve members in ascending L1 order: a member dominated by a
+	// fellow member has the strictly larger norm, so dominators are
+	// placed first and the dominated are bucketed directly instead of
+	// transiting through the skyline.
+	slices.SortFunc(ix.detached, func(a, b int32) int {
+		switch la, lb := ix.l1[a], ix.l1[b]; {
+		case la < lb:
+			return -1
+		case la > lb:
+			return 1
+		}
+		return 0
+	})
+	for _, m := range ix.detached {
+		if ix.classify(m) {
+			ix.stats.Resurrections++
+		}
+	}
+	ix.dirty += len(ix.detached) + 1
+	ix.maybeRebuild(0)
+	return true
+}
+
+// shouldRebuild reports whether pending units of re-resolution work, on
+// top of the accrued dirt, cross the escalation threshold.
+func (ix *Index) shouldRebuild(pending int) bool {
+	return float64(ix.dirty+pending) > ix.opt.RebuildFraction*float64(ix.live)
+}
+
+// maybeRebuild escalates when the accrued dirt alone crosses the
+// threshold (checked after cheap deletes so pure-delete workloads also
+// converge back to a balanced structure).
+func (ix *Index) maybeRebuild(pending int) {
+	if ix.live > 0 && ix.shouldRebuild(pending) {
+		ix.rebuild()
+	}
+}
+
+// Rebuild forces a full recompute and rebucketing, as escalation does.
+func (ix *Index) Rebuild() { ix.rebuild() }
+
+// rebuild recomputes the skyline of the live set from scratch — through
+// the external hook when one is configured and the set is large enough,
+// otherwise by re-inserting every live point in ascending L1 order — and
+// rebuilds every bucket. Events fire only for the net membership change,
+// computed by diffing against the pre-rebuild state (empty for a clean
+// rebuild; the resurrected orphans for an escalated delete).
+func (ix *Index) rebuild() {
+	ix.stats.Rebuilds++
+	ix.dirty = 0
+	d := ix.d
+
+	// Record the pre-rebuild membership so the net change can be
+	// emitted, and gather the live set densely, sorted by L1 ascending:
+	// the skyline prefix-scan property below depends on the order, and
+	// it leaves the rebuilt skyline matrix sorted so future insert scans
+	// meet likely dominators first.
+	if cap(ix.wasSky) < len(ix.owner) {
+		ix.wasSky = make([]bool, len(ix.owner))
+	}
+	ix.wasSky = ix.wasSky[:len(ix.owner)]
+	ix.gatherIdx = ix.gatherIdx[:0]
+	for s := range ix.owner {
+		ix.wasSky[s] = ix.owner[s] == ownerSkyline
+		if ix.owner[s] != ownerFree {
+			ix.gatherIdx = append(ix.gatherIdx, int32(s))
+		}
+	}
+	slices.SortFunc(ix.gatherIdx, func(a, b int32) int {
+		switch la, lb := ix.l1[a], ix.l1[b]; {
+		case la < lb:
+			return -1
+		case la > lb:
+			return 1
+		}
+		return 0
+	})
+
+	// Reset placement. Buckets are emptied in place so their capacity
+	// survives for the refill.
+	ix.skySlots = ix.skySlots[:0]
+	ix.skyVals = ix.skyVals[:0]
+	ix.skyL1 = ix.skyL1[:0]
+	for _, s := range ix.gatherIdx {
+		ix.buckets[s] = ix.buckets[s][:0]
+	}
+
+	n := len(ix.gatherIdx)
+	var sky []int
+	if ix.opt.Rebuild != nil && n >= rebuildMinEngine {
+		if cap(ix.gatherVal) < n*d {
+			ix.gatherVal = make([]float64, n*d)
+		}
+		ix.gatherVal = ix.gatherVal[:n*d]
+		for i, s := range ix.gatherIdx {
+			copy(ix.gatherVal[i*d:(i+1)*d], ix.Row(s))
+		}
+		sky = ix.opt.Rebuild(ix.gatherVal, n)
+	}
+
+	ix.rebuildMu = true
+	if sky == nil {
+		// Built-in sequential path: classify in ascending L1 order. No
+		// point can dominate an earlier one, so nothing is ever demoted —
+		// each point either joins the skyline for good or is bucketed
+		// under its first dominator.
+		for _, s := range ix.gatherIdx {
+			ix.classify(s)
+		}
+	} else {
+		// Hook path: mark membership, append the skyline rows (already
+		// in ascending L1 order thanks to the sorted gather), then
+		// assign every dominated point to the first dominator in the
+		// sorted skyline prefix with a strictly smaller norm.
+		inSky := make([]bool, n)
+		for _, i := range sky {
+			inSky[i] = true
+		}
+		for i, s := range ix.gatherIdx {
+			if inSky[i] {
+				ix.appendSkyline(s)
+			}
+		}
+		for i, s := range ix.gatherIdx {
+			if inSky[i] {
+				continue
+			}
+			qL1 := ix.l1[s]
+			hi, _ := slices.BinarySearch(ix.skyL1, qL1)
+			j := point.FirstDominatorInFlatRun(ix.skyVals, d, 0, hi, ix.Row(s), qL1, nil, &ix.stats.DominanceTests)
+			if j < 0 {
+				// The hook disagreed with the maintained skyline (it
+				// should not); fall back to a full classify so the
+				// structure stays correct regardless.
+				ix.classify(s)
+				continue
+			}
+			ix.addToBucket(ix.skySlots[j], s)
+		}
+	}
+	ix.rebuildMu = false
+
+	// Emit the net membership change. Net entries are resurrections that
+	// took the escalated path instead of per-point re-resolution; count
+	// them the same so the stat is path-independent.
+	for _, s := range ix.gatherIdx {
+		now := ix.owner[s] == ownerSkyline
+		if now != ix.wasSky[s] {
+			if now {
+				ix.stats.Resurrections++
+				ix.emitEnter(s)
+			} else {
+				ix.emitLeave(s)
+			}
+		}
+	}
+}
+
+// RebuildFraction returns the effective escalation threshold.
+func (ix *Index) RebuildFraction() float64 { return ix.opt.RebuildFraction }
+
+// Validate checks the structural invariants (every live point either in
+// the skyline or bucketed under a dominating skyline point, dense mirror
+// consistent) and panics on violation. Test support; O(n·d).
+func (ix *Index) Validate() {
+	live := 0
+	for s := range ix.owner {
+		slot := int32(s)
+		switch o := ix.owner[s]; {
+		case o == ownerFree:
+			continue
+		case o == ownerSkyline:
+			live++
+			k := int(ix.pos[slot])
+			if k >= len(ix.skySlots) || ix.skySlots[k] != slot {
+				panic("stream: skyline position out of sync")
+			}
+			if !slices.Equal(ix.skyVals[k*ix.d:(k+1)*ix.d], ix.Row(slot)) {
+				panic("stream: skyline mirror out of sync")
+			}
+		default:
+			live++
+			if ix.owner[o] != ownerSkyline {
+				panic("stream: bucket owner not in skyline")
+			}
+			b := ix.buckets[o]
+			p := int(ix.pos[slot])
+			if p >= len(b) || b[p] != slot {
+				panic("stream: bucket position out of sync")
+			}
+			if !point.DominatesFlat(ix.vals, int(o)*ix.d, int(slot)*ix.d, ix.d) {
+				panic("stream: bucket owner does not dominate member")
+			}
+		}
+	}
+	if live != ix.live {
+		panic("stream: live count out of sync")
+	}
+}
+
+func (ix *Index) emitEnter(slot int32) {
+	if ix.opt.OnEnter != nil && !ix.rebuildMu {
+		ix.opt.OnEnter(slot)
+	}
+}
+
+func (ix *Index) emitLeave(slot int32) {
+	if ix.opt.OnLeave != nil && !ix.rebuildMu {
+		ix.opt.OnLeave(slot)
+	}
+}
+
+func (ix *Index) addToBucket(owner, slot int32) {
+	ix.owner[slot] = owner
+	ix.pos[slot] = int32(len(ix.buckets[owner]))
+	ix.buckets[owner] = append(ix.buckets[owner], slot)
+}
+
+func (ix *Index) removeFromBucket(owner, slot int32) {
+	b := ix.buckets[owner]
+	p := ix.pos[slot]
+	last := len(b) - 1
+	moved := b[last]
+	b[p] = moved
+	ix.pos[moved] = p
+	ix.buckets[owner] = b[:last]
+}
+
+func (ix *Index) appendSkyline(slot int32) {
+	ix.owner[slot] = ownerSkyline
+	ix.pos[slot] = int32(len(ix.skySlots))
+	ix.skySlots = append(ix.skySlots, slot)
+	ix.skyVals = append(ix.skyVals, ix.Row(slot)...)
+	ix.skyL1 = append(ix.skyL1, ix.l1[slot])
+}
+
+// removeSkyline swap-removes dense skyline position k.
+func (ix *Index) removeSkyline(k int) {
+	d := ix.d
+	last := len(ix.skySlots) - 1
+	if k != last {
+		moved := ix.skySlots[last]
+		ix.skySlots[k] = moved
+		copy(ix.skyVals[k*d:(k+1)*d], ix.skyVals[last*d:(last+1)*d])
+		ix.skyL1[k] = ix.skyL1[last]
+		ix.pos[moved] = int32(k)
+	}
+	ix.skySlots = ix.skySlots[:last]
+	ix.skyVals = ix.skyVals[:last*d]
+	ix.skyL1 = ix.skyL1[:last]
+}
+
+func (ix *Index) freeSlot(slot int32) {
+	ix.owner[slot] = ownerFree
+	ix.free = append(ix.free, slot)
+	ix.live--
+}

@@ -1,0 +1,210 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"skybench/internal/dataset"
+	"skybench/internal/point"
+)
+
+// bruteSkyline computes the exact skyline slots of the live set by the
+// n² definition, as the oracle for the maintained structure.
+func bruteSkyline(ix *Index, liveSlots []int32) []int32 {
+	var sky []int32
+	for _, s := range liveSlots {
+		dominated := false
+		for _, t := range liveSlots {
+			if t != s && point.DominatesFlat(ix.vals, int(t)*ix.d, int(s)*ix.d, ix.d) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			sky = append(sky, s)
+		}
+	}
+	slices.Sort(sky)
+	return sky
+}
+
+func sortedSkyline(ix *Index) []int32 {
+	sky := slices.Clone(ix.Skyline())
+	slices.Sort(sky)
+	return sky
+}
+
+// runRandomOps drives an index through a random insert/delete mix over a
+// generated workload, cross-checking membership against the brute-force
+// oracle and the structural invariants along the way.
+func runRandomOps(t *testing.T, dist dataset.Distribution, d, nOps int, churn float64, quantize int, opt Options, seed int64) {
+	t.Helper()
+	m := dataset.Generate(dist, nOps, d, seed)
+	if quantize > 0 {
+		dataset.Quantize(m, quantize)
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+
+	// Shadow membership maintained from events, to check the callbacks
+	// tell the exact same story as the structure.
+	inSky := make(map[int32]bool)
+	opt.OnEnter = func(slot int32) {
+		if inSky[slot] {
+			t.Fatalf("enter event for slot %d already in skyline", slot)
+		}
+		inSky[slot] = true
+	}
+	opt.OnLeave = func(slot int32) {
+		if !inSky[slot] {
+			t.Fatalf("leave event for slot %d not in skyline", slot)
+		}
+		delete(inSky, slot)
+	}
+
+	ix := New(d, opt)
+	var live []int32
+	next := 0
+	for op := 0; op < nOps; op++ {
+		if len(live) > 0 && rng.Float64() < churn {
+			i := rng.Intn(len(live))
+			slot := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if !ix.Delete(slot) {
+				t.Fatalf("delete of live slot %d reported dead", slot)
+			}
+		} else if next < m.N() {
+			slot, entered := ix.Insert(m.Row(next))
+			next++
+			live = append(live, slot)
+			if entered != ix.InSkyline(slot) {
+				t.Fatalf("Insert entered=%v but InSkyline=%v", entered, ix.InSkyline(slot))
+			}
+		}
+		if op%16 == 15 || op == nOps-1 {
+			ix.Validate()
+			got := sortedSkyline(ix)
+			want := bruteSkyline(ix, live)
+			if !slices.Equal(got, want) {
+				t.Fatalf("op %d (%s d=%d): skyline %v, oracle %v", op, dist, d, got, want)
+			}
+			var fromEvents []int32
+			for s := range inSky {
+				fromEvents = append(fromEvents, s)
+			}
+			slices.Sort(fromEvents)
+			if !slices.Equal(fromEvents, want) {
+				t.Fatalf("op %d: event-tracked skyline %v, oracle %v", op, fromEvents, want)
+			}
+		}
+	}
+	if ix.Len() != len(live) {
+		t.Fatalf("live count %d, want %d", ix.Len(), len(live))
+	}
+}
+
+func TestIndexMatchesBruteForce(t *testing.T) {
+	for _, dist := range dataset.AllDistributions {
+		for _, d := range []int{1, 2, 4, 7, 8} {
+			runRandomOps(t, dist, d, 400, 0.35, 0, Options{}, int64(100*d)+int64(dist))
+		}
+	}
+}
+
+func TestIndexDuplicateHeavy(t *testing.T) {
+	// Coarse quantization produces many coincident points; coincident
+	// skyline points must all be retained and survive churn.
+	runRandomOps(t, dataset.Independent, 3, 500, 0.4, 3, Options{}, 9)
+	runRandomOps(t, dataset.Anticorrelated, 5, 400, 0.3, 4, Options{}, 10)
+}
+
+func TestIndexFrequentRebuilds(t *testing.T) {
+	// A tiny threshold forces the escalation path constantly; results
+	// must not change.
+	runRandomOps(t, dataset.Independent, 6, 400, 0.45, 0, Options{RebuildFraction: 0.01}, 11)
+}
+
+func TestIndexNoRebuilds(t *testing.T) {
+	runRandomOps(t, dataset.Anticorrelated, 4, 400, 0.45, 0, Options{RebuildFraction: math.Inf(1)}, 12)
+}
+
+// TestIndexRebuildHook drives the escalation path through an external
+// hook (a brute-force stand-in for the Engine) and checks both that it
+// is consulted and that membership is preserved across rebuilds.
+func TestIndexRebuildHook(t *testing.T) {
+	const d = 4
+	calls := 0
+	opt := Options{
+		RebuildFraction: 0.05,
+		Rebuild: func(vals []float64, n int) []int {
+			calls++
+			var sky []int
+			for i := 0; i < n; i++ {
+				dominated := false
+				for j := 0; j < n && !dominated; j++ {
+					dominated = j != i && point.DominatesFlat(vals, j*d, i*d, d)
+				}
+				if !dominated {
+					sky = append(sky, i)
+				}
+			}
+			return sky
+		},
+	}
+	// Enough points that rebuilds exceed rebuildMinEngine and actually
+	// reach the hook.
+	runRandomOps(t, dataset.Independent, d, 900, 0.25, 0, opt, 13)
+	if calls == 0 {
+		t.Fatalf("rebuild hook never invoked")
+	}
+}
+
+// TestIndexRebuildPreservesMembership checks the invariant rebuilds rely
+// on: recomputing the live set's skyline yields the maintained set, so a
+// forced rebuild must not fire events or change membership.
+func TestIndexRebuildPreservesMembership(t *testing.T) {
+	m := dataset.Generate(dataset.Anticorrelated, 300, 6, 21)
+	events := 0
+	ix := New(6, Options{
+		OnEnter: func(int32) { events++ },
+		OnLeave: func(int32) { events++ },
+	})
+	for i := 0; i < m.N(); i++ {
+		ix.Insert(m.Row(i))
+	}
+	before := sortedSkyline(ix)
+	eventsBefore := events
+	ix.Rebuild()
+	ix.Validate()
+	if events != eventsBefore {
+		t.Fatalf("rebuild fired %d events", events-eventsBefore)
+	}
+	if got := sortedSkyline(ix); !slices.Equal(got, before) {
+		t.Fatalf("rebuild changed membership: %v -> %v", before, got)
+	}
+	if ix.Stats().Rebuilds == 0 {
+		t.Fatalf("rebuild not counted")
+	}
+}
+
+func TestIndexEmptyAndSingle(t *testing.T) {
+	ix := New(3, Options{})
+	if ix.Len() != 0 || ix.SkylineSize() != 0 {
+		t.Fatalf("empty index reports %d/%d", ix.Len(), ix.SkylineSize())
+	}
+	if ix.Delete(0) {
+		t.Fatalf("delete on empty index reported live")
+	}
+	slot, entered := ix.Insert([]float64{1, 2, 3})
+	if !entered || ix.SkylineSize() != 1 {
+		t.Fatalf("single insert must enter the skyline")
+	}
+	if !ix.Delete(slot) || ix.Len() != 0 || ix.SkylineSize() != 0 {
+		t.Fatalf("delete of only point must empty the index")
+	}
+	if ix.Delete(slot) {
+		t.Fatalf("double delete reported live")
+	}
+}

@@ -1,0 +1,229 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"skybench/internal/dataset"
+)
+
+// Update traces: a reproducible sequence of timestamped inserts and
+// deletes that streambench, datagen -stream, and the tests share, so a
+// workload measured on the command line is byte-identical to the one a
+// test replays.
+
+// OpKind distinguishes trace operations.
+type OpKind uint8
+
+const (
+	// OpInsert adds a new point under a fresh key.
+	OpInsert OpKind = iota
+	// OpDelete removes the point inserted under Key.
+	OpDelete
+)
+
+// Op is one trace operation. TS is a synthetic monotone timestamp (one
+// tick per operation); Row is nil for deletes and aliases the trace's
+// shared storage for inserts.
+type Op struct {
+	TS   int64
+	Kind OpKind
+	Key  uint64
+	Row  []float64
+}
+
+// Trace is a timestamped update workload: Warm leading inserts that
+// build the initial state, followed by a measured insert/delete mix.
+type Trace struct {
+	D    int
+	Warm int
+	Ops  []Op
+}
+
+// Updates returns the number of post-warmup operations.
+func (t *Trace) Updates() int { return len(t.Ops) - t.Warm }
+
+// GenerateTrace produces a deterministic update trace: warm inserts of
+// the given distribution followed by updates operations of which a churn
+// fraction are deletes of a uniformly random live key (an op that would
+// delete from an empty set inserts instead). Keys are assigned
+// sequentially from 1.
+func GenerateTrace(dist dataset.Distribution, warm, updates, d int, churn float64, seed int64) *Trace {
+	if warm < 0 || updates < 0 {
+		panic("stream: negative trace size")
+	}
+	// warm+updates rows is an upper bound on inserts; rows are consumed
+	// in order so the values only depend on (dist, d, seed).
+	m := dataset.Generate(dist, warm+updates, d, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+
+	tr := &Trace{D: d, Warm: warm, Ops: make([]Op, 0, warm+updates)}
+	var live []uint64
+	nextKey := uint64(1)
+	nextRow := 0
+	insert := func(ts int64) {
+		key := nextKey
+		nextKey++
+		tr.Ops = append(tr.Ops, Op{TS: ts, Kind: OpInsert, Key: key, Row: m.Row(nextRow)})
+		nextRow++
+		live = append(live, key)
+	}
+	for i := 0; i < warm; i++ {
+		insert(int64(i))
+	}
+	for i := 0; i < updates; i++ {
+		ts := int64(warm + i)
+		if len(live) > 0 && rng.Float64() < churn {
+			j := rng.Intn(len(live))
+			key := live[j]
+			last := len(live) - 1
+			live[j] = live[last]
+			live = live[:last]
+			tr.Ops = append(tr.Ops, Op{TS: ts, Kind: OpDelete, Key: key})
+		} else {
+			insert(ts)
+		}
+	}
+	return tr
+}
+
+// WriteTrace serializes a trace: a header line
+//
+//	#trace d=<dims> warm=<warm>
+//
+// followed by one CSV record per op — "ts,i,key,v0,...,vd-1" for inserts
+// and "ts,d,key" for deletes — with full float64 round-trip precision.
+func WriteTrace(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "#trace d=%d warm=%d\n", tr.D, tr.Warm); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(bw)
+	rec := make([]string, 0, 3+tr.D)
+	for i, op := range tr.Ops {
+		rec = rec[:0]
+		rec = append(rec, strconv.FormatInt(op.TS, 10))
+		switch op.Kind {
+		case OpInsert:
+			rec = append(rec, "i", strconv.FormatUint(op.Key, 10))
+			for _, v := range op.Row {
+				rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		case OpDelete:
+			rec = append(rec, "d", strconv.FormatUint(op.Key, 10))
+		default:
+			return fmt.Errorf("stream: op %d has invalid kind %d", i, op.Kind)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("stream: writing op %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace written by WriteTrace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("stream: reading trace header: %w", err)
+	}
+	tr := &Trace{}
+	if _, err := fmt.Sscanf(strings.TrimSpace(header), "#trace d=%d warm=%d", &tr.D, &tr.Warm); err != nil {
+		return nil, fmt.Errorf("stream: bad trace header %q: %w", strings.TrimSpace(header), err)
+	}
+	if tr.D < 1 {
+		return nil, fmt.Errorf("stream: trace dimensionality %d out of range", tr.D)
+	}
+	cr := csv.NewReader(br)
+	cr.FieldsPerRecord = -1 // inserts and deletes have different arity
+	cr.ReuseRecord = true
+	// One shared arena keeps all insert rows contiguous.
+	var vals []float64
+	for lineNo := 2; ; lineNo++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("stream: trace line %d: %w", lineNo, err)
+		}
+		if len(rec) < 3 {
+			return nil, fmt.Errorf("stream: trace line %d has %d fields, want at least 3", lineNo, len(rec))
+		}
+		ts, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("stream: trace line %d timestamp: %w", lineNo, err)
+		}
+		key, err := strconv.ParseUint(rec[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("stream: trace line %d key: %w", lineNo, err)
+		}
+		op := Op{TS: ts, Key: key}
+		switch rec[1] {
+		case "i":
+			if len(rec) != 3+tr.D {
+				return nil, fmt.Errorf("stream: trace line %d insert has %d values, want %d", lineNo, len(rec)-3, tr.D)
+			}
+			start := len(vals)
+			for j, f := range rec[3:] {
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return nil, fmt.Errorf("stream: trace line %d value %d: %w", lineNo, j+1, err)
+				}
+				vals = append(vals, v)
+			}
+			op.Row = vals[start : start+tr.D : start+tr.D]
+		case "d":
+			op.Kind = OpDelete
+		default:
+			return nil, fmt.Errorf("stream: trace line %d has unknown op %q", lineNo, rec[1])
+		}
+		tr.Ops = append(tr.Ops, op)
+	}
+	// The arena may have been reallocated by growth; re-point the rows.
+	off := 0
+	for i := range tr.Ops {
+		if tr.Ops[i].Kind == OpInsert {
+			tr.Ops[i].Row = vals[off : off+tr.D : off+tr.D]
+			off += tr.D
+		}
+	}
+	if tr.Warm > len(tr.Ops) {
+		return nil, fmt.Errorf("stream: trace header claims %d warm ops, file has %d", tr.Warm, len(tr.Ops))
+	}
+	return tr, nil
+}
+
+// WriteTraceFile writes a trace to path.
+func WriteTraceFile(path string, tr *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTrace(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTraceFile reads a trace from path.
+func ReadTraceFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}

@@ -1,0 +1,105 @@
+package stream
+
+import (
+	"bytes"
+	"math"
+	"slices"
+	"testing"
+
+	"skybench/internal/dataset"
+)
+
+func TestGenerateTraceShape(t *testing.T) {
+	tr := GenerateTrace(dataset.Independent, 100, 400, 5, 0.3, 7)
+	if tr.D != 5 || tr.Warm != 100 || len(tr.Ops) != 500 || tr.Updates() != 400 {
+		t.Fatalf("trace shape: d=%d warm=%d ops=%d", tr.D, tr.Warm, len(tr.Ops))
+	}
+	deletes := 0
+	live := map[uint64]bool{}
+	lastTS := int64(-1)
+	for i, op := range tr.Ops {
+		if op.TS <= lastTS {
+			t.Fatalf("op %d: timestamp %d not monotone after %d", i, op.TS, lastTS)
+		}
+		lastTS = op.TS
+		switch op.Kind {
+		case OpInsert:
+			if len(op.Row) != tr.D {
+				t.Fatalf("op %d: insert row has %d values", i, len(op.Row))
+			}
+			if live[op.Key] {
+				t.Fatalf("op %d: key %d inserted twice", i, op.Key)
+			}
+			live[op.Key] = true
+		case OpDelete:
+			if i < tr.Warm {
+				t.Fatalf("op %d: delete during warmup", i)
+			}
+			if !live[op.Key] {
+				t.Fatalf("op %d: delete of dead key %d", i, op.Key)
+			}
+			delete(live, op.Key)
+			deletes++
+		}
+	}
+	// Churn 0.3 over 400 updates: expect deletes in a generous band.
+	if deletes < 60 || deletes > 180 {
+		t.Fatalf("churn 0.3 produced %d deletes of 400 updates", deletes)
+	}
+}
+
+func TestGenerateTraceDeterministic(t *testing.T) {
+	a := GenerateTrace(dataset.Anticorrelated, 50, 200, 4, 0.5, 3)
+	b := GenerateTrace(dataset.Anticorrelated, 50, 200, 4, 0.5, 3)
+	if len(a.Ops) != len(b.Ops) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a.Ops {
+		if a.Ops[i].Kind != b.Ops[i].Kind || a.Ops[i].Key != b.Ops[i].Key ||
+			!slices.Equal(a.Ops[i].Row, b.Ops[i].Row) {
+			t.Fatalf("op %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := GenerateTrace(dataset.Correlated, 30, 120, 3, 0.4, 5)
+	// Exercise full float64 precision through the text format.
+	tr.Ops[0].Row[0] = math.Nextafter(1, 2) / 3
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.D != tr.D || got.Warm != tr.Warm || len(got.Ops) != len(tr.Ops) {
+		t.Fatalf("round-trip shape: d=%d warm=%d ops=%d", got.D, got.Warm, len(got.Ops))
+	}
+	for i := range tr.Ops {
+		a, b := tr.Ops[i], got.Ops[i]
+		if a.TS != b.TS || a.Kind != b.Kind || a.Key != b.Key || !slices.Equal(a.Row, b.Row) {
+			t.Fatalf("op %d: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"not a header\n",
+		"#trace d=0 warm=0\n",
+		"#trace d=2 warm=0\n1,x,5\n",
+		"#trace d=2 warm=0\n1,i,5,0.5\n",                 // short insert row
+		"#trace d=2 warm=9\n1,i,5,0.5,0.5\n",             // warm beyond ops
+		"#trace d=2 warm=0\n1,i,bad,0.5,0.5\n",           // bad key
+		"#trace d=2 warm=0\nbad,i,5,0.5,0.5\n",           // bad timestamp
+		"#trace d=2 warm=0\n1,i,5,zero point five,0.5\n", // bad value
+	} {
+		if _, err := ReadTrace(bytes.NewBufferString(bad)); err == nil {
+			t.Fatalf("trace %q parsed without error", bad)
+		}
+	}
+}

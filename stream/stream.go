@@ -1,0 +1,509 @@
+// Package stream maintains skylines incrementally under live mutation.
+//
+// The one-shot algorithms of package skybench recompute a skyline from
+// an immutable Dataset on every query; a service facing continuous
+// writes (price updates, sensor feeds, sliding time windows) cannot
+// afford that. SkylineIndex keeps the exact skyline current across
+// Insert and Delete in (typically) microseconds per update: an inserted
+// point is tested against the current skyline with the flat dominance
+// kernels the one-shot hot paths use; deleting a skyline point
+// re-resolves only the points it exclusively dominated (its "bucket"),
+// and when mutation churn degrades the structure the index escalates to
+// one full Hybrid recompute through a skybench.Engine — amortized over
+// the updates that made it necessary.
+//
+// Quick start:
+//
+//	ix, _ := stream.New(3, stream.Config{})
+//	id, _ := ix.Insert([]float64{0.2, 0.7, 0.1})
+//	snap := ix.Snapshot()           // zero-copy, safe while writers run
+//	for i := 0; i < snap.Len(); i++ {
+//		_ = snap.Row(i)             // a current skyline point
+//	}
+//	ix.Delete(id)
+//
+// Windowed streams use NewWindow(capacity, ...), whose Push evicts
+// oldest-first once the window is full. Per-dimension preferences
+// (skybench.Min, Max, Ignore) are honored exactly as in Query.Prefs, and
+// Config.OnDelta subscribes to skyline membership changes.
+//
+// Concurrency: mutating methods serialize on an internal lock (one
+// writer at a time makes that lock uncontended); any number of
+// goroutines may concurrently call Snapshot and read the snapshots they
+// were handed, without copying — a snapshot is immutable and stays valid
+// forever, it just goes stale.
+package stream
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"skybench"
+	"skybench/internal/point"
+	istream "skybench/internal/stream"
+)
+
+// ID identifies a point in a SkylineIndex for the lifetime of the index.
+// IDs are assigned by Insert, never reused, and never zero.
+type ID uint64
+
+// Point pairs a point's ID with its coordinates in a delta callback.
+// Values aliases index-internal storage and is valid only for the
+// duration of the callback; copy it to retain it.
+type Point struct {
+	ID     ID
+	Values []float64
+}
+
+// Config configures a SkylineIndex.
+type Config struct {
+	// Prefs states the per-dimension preference, exactly as
+	// skybench.Query.Prefs: empty minimizes every dimension; otherwise
+	// one entry per dimension, at least one of them not Ignore.
+	// Preferences are fixed for the life of the index — the points are
+	// stored pre-staged so the per-update hot path never sees them.
+	Prefs []skybench.Pref
+	// RecomputeThreshold tunes escalation: when the work accrued by
+	// bucket re-resolutions (plus the next delete's pending bucket)
+	// exceeds this fraction of the live point count, the index escalates
+	// to one full Engine recompute that also rebalances its internal
+	// structure. Zero selects the default (0.5); a negative value
+	// disables escalation entirely.
+	RecomputeThreshold float64
+	// Engine, when non-nil, serves escalated recomputes (sharing its
+	// context free-list and worker pool with any other load it carries).
+	// When nil the index lazily creates a private Engine on first
+	// escalation and closes it on Close.
+	Engine *skybench.Engine
+	// OnDelta, when non-nil, receives every skyline membership change:
+	// points that entered and points that left, after each mutating
+	// operation that changed the skyline (for InsertBatch, after each
+	// individual insert). It is called on the mutating goroutine with
+	// the index lock held: it must not call back into the index, and the
+	// slices (and their Values) are reused — copy what must outlive the
+	// callback.
+	OnDelta func(entered, left []Point)
+}
+
+// SkylineIndex is a mutable set of points whose skyline is maintained
+// incrementally. See the package comment for the concurrency contract.
+type SkylineIndex struct {
+	d, de    int
+	ops      []point.PrefOp
+	identity bool
+
+	epoch atomic.Uint64
+	snap  atomic.Pointer[Snapshot]
+
+	mu      sync.Mutex
+	core    *istream.Index
+	ids     []ID // slot-indexed
+	orig    []float64
+	loc     map[ID]int32
+	next    ID
+	stage   []float64
+	eng     *skybench.Engine
+	ownEng  bool
+	closed  bool
+	onDelta func(entered, left []Point)
+	entered []Point
+	left    []Point
+	inserts uint64
+	deletes uint64
+	nEnter  uint64
+	nLeave  uint64
+}
+
+// New creates an empty SkylineIndex over d-dimensional points.
+func New(d int, cfg Config) (*SkylineIndex, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("stream: points must have at least one dimension")
+	}
+	if d > point.MaxDims {
+		return nil, fmt.Errorf("stream: at most %d dimensions supported, got %d", point.MaxDims, d)
+	}
+	x := &SkylineIndex{
+		d:        d,
+		de:       d,
+		identity: true,
+		loc:      make(map[ID]int32),
+		next:     1,
+		eng:      cfg.Engine,
+		onDelta:  cfg.OnDelta,
+	}
+	if len(cfg.Prefs) != 0 {
+		if len(cfg.Prefs) != d {
+			return nil, fmt.Errorf("stream: %d preferences for %d dimensions", len(cfg.Prefs), d)
+		}
+		ops, err := prefOps(cfg.Prefs)
+		if err != nil {
+			return nil, err
+		}
+		if !point.IdentityOps(ops) {
+			de := point.EffectiveDims(ops)
+			if de == 0 {
+				return nil, fmt.Errorf("stream: preferences ignore every dimension")
+			}
+			x.ops, x.de, x.identity = ops, de, false
+			x.stage = make([]float64, de)
+		}
+	}
+	threshold := cfg.RecomputeThreshold
+	if threshold < 0 {
+		threshold = math.Inf(1)
+	}
+	x.core = istream.New(x.de, istream.Options{
+		RebuildFraction: threshold,
+		Rebuild:         x.engineRebuild,
+		OnEnter: func(slot int32) {
+			x.entered = append(x.entered, Point{ID: x.ids[slot], Values: x.origRow(slot)})
+		},
+		OnLeave: func(slot int32) {
+			x.left = append(x.left, Point{ID: x.ids[slot], Values: x.origRow(slot)})
+		},
+	})
+	return x, nil
+}
+
+// prefOps maps public preferences onto staging ops. It must mirror
+// skybench.Pref.op exactly; the oracle property tests cross-check the
+// two surfaces so they cannot drift silently.
+func prefOps(prefs []skybench.Pref) ([]point.PrefOp, error) {
+	ops := make([]point.PrefOp, len(prefs))
+	for i, p := range prefs {
+		switch p {
+		case skybench.Min:
+			ops[i] = point.PrefKeep
+		case skybench.Max:
+			ops[i] = point.PrefNegate
+		case skybench.Ignore:
+			ops[i] = point.PrefDrop
+		default:
+			return nil, fmt.Errorf("stream: invalid preference %d on dimension %d", int(p), i)
+		}
+	}
+	return ops, nil
+}
+
+// engineRebuild is the escalation hook handed to the core: one full
+// skyline recompute over the staged live set, served by the Engine's
+// context free-list so repeated escalations reuse warm scratch.
+func (x *SkylineIndex) engineRebuild(vals []float64, n int) []int {
+	ds, err := skybench.DatasetFromFlat(vals, n, x.de)
+	if err != nil {
+		return nil // fall back to the core's sequential rebuild
+	}
+	if x.eng == nil {
+		x.eng = skybench.NewEngine(0)
+		x.ownEng = true
+	}
+	// ReuseIndices is safe here: the core consumes the indices before
+	// this Engine serves its next query, and the index lock serializes
+	// escalations.
+	res, err := x.eng.Run(context.Background(), ds, skybench.Query{ReuseIndices: true})
+	if err != nil {
+		return nil
+	}
+	return res.Indices
+}
+
+// D returns the dimensionality of the indexed points.
+func (x *SkylineIndex) D() int { return x.d }
+
+// Insert adds a point (copying p) and returns its ID. The point must
+// have exactly D finite values.
+func (x *SkylineIndex) Insert(p []float64) (ID, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.closed {
+		return 0, fmt.Errorf("stream: SkylineIndex used after Close")
+	}
+	if err := x.validatePoint(p); err != nil {
+		return 0, err
+	}
+	return x.insertLocked(p), nil
+}
+
+// InsertBatch inserts every row (validating them all first, so an error
+// means no mutation happened) and returns their IDs in order.
+func (x *SkylineIndex) InsertBatch(rows [][]float64) ([]ID, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.closed {
+		return nil, fmt.Errorf("stream: SkylineIndex used after Close")
+	}
+	for i, p := range rows {
+		if err := x.validatePoint(p); err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	ids := make([]ID, len(rows))
+	for i, p := range rows {
+		ids[i] = x.insertLocked(p)
+	}
+	return ids, nil
+}
+
+func (x *SkylineIndex) insertLocked(p []float64) ID {
+	x.entered, x.left = x.entered[:0], x.left[:0]
+	staged := p
+	if !x.identity {
+		point.StagePrefs(x.stage, p, 1, x.d, x.ops)
+		staged = x.stage
+	}
+	// Alloc and Place are split so the slot's ID and original values are
+	// on record before membership callbacks fire.
+	slot := x.core.Alloc(staged)
+	id := x.noteSlot(slot, p)
+	x.core.Place(slot)
+	x.inserts++
+	x.finishOp()
+	return id
+}
+
+// noteSlot records the wrapper-side metadata of a freshly allocated
+// slot: its ID and, under non-identity preferences, the original
+// (un-staged) coordinates snapshots and callbacks hand out.
+func (x *SkylineIndex) noteSlot(slot int32, p []float64) ID {
+	if n := int(slot) + 1; n > len(x.ids) {
+		x.ids = append(x.ids, make([]ID, n-len(x.ids))...)
+		if !x.identity {
+			x.orig = append(x.orig, make([]float64, n*x.d-len(x.orig))...)
+		}
+	}
+	id := x.next
+	x.next++
+	x.ids[slot] = id
+	x.loc[id] = slot
+	if !x.identity {
+		copy(x.orig[int(slot)*x.d:], p)
+	}
+	return id
+}
+
+// origRow returns the original-space coordinates of a live slot.
+func (x *SkylineIndex) origRow(slot int32) []float64 {
+	if x.identity {
+		return x.core.Row(slot)
+	}
+	return x.orig[int(slot)*x.d : (int(slot)+1)*x.d : (int(slot)+1)*x.d]
+}
+
+// Delete removes the point with the given ID, reporting whether it was
+// present. Deleting a skyline point may re-admit points it dominated
+// (and may escalate to a full recompute; see Config.RecomputeThreshold).
+func (x *SkylineIndex) Delete(id ID) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.closed {
+		return false
+	}
+	slot, ok := x.loc[id]
+	if !ok {
+		return false
+	}
+	x.entered, x.left = x.entered[:0], x.left[:0]
+	x.core.Delete(slot)
+	delete(x.loc, id)
+	x.deletes++
+	x.finishOp()
+	return true
+}
+
+// Rebuild forces one full recompute and internal rebalance, as
+// escalation would. Rarely needed; exposed for benchmarks and tests.
+func (x *SkylineIndex) Rebuild() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.closed {
+		return
+	}
+	x.entered, x.left = x.entered[:0], x.left[:0]
+	x.core.Rebuild()
+	x.finishOp()
+}
+
+// finishOp publishes the effects of one mutation: the epoch advances
+// when skyline membership changed (invalidating cached snapshots) and
+// the delta subscriber fires.
+func (x *SkylineIndex) finishOp() {
+	if len(x.entered) == 0 && len(x.left) == 0 {
+		return
+	}
+	x.nEnter += uint64(len(x.entered))
+	x.nLeave += uint64(len(x.left))
+	x.epoch.Add(1)
+	if x.onDelta != nil {
+		x.onDelta(x.entered, x.left)
+	}
+}
+
+// validatePoint checks dimensionality and finiteness. It reads only
+// immutable fields, so Window can call it before taking the lock.
+func (x *SkylineIndex) validatePoint(p []float64) error {
+	if len(p) != x.d {
+		return fmt.Errorf("stream: point has %d dimensions, want %d", len(p), x.d)
+	}
+	for i, v := range p {
+		if !point.Finite(v) {
+			return fmt.Errorf("stream: non-finite value %v on dimension %d", v, i)
+		}
+	}
+	return nil
+}
+
+// Len returns the number of live points.
+func (x *SkylineIndex) Len() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.core.Len()
+}
+
+// SkylineSize returns the current skyline cardinality.
+func (x *SkylineIndex) SkylineSize() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.core.SkylineSize()
+}
+
+// Contains reports whether the ID is live in the index.
+func (x *SkylineIndex) Contains(id ID) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	_, ok := x.loc[id]
+	return ok
+}
+
+// InSkyline reports whether the ID is live and currently a skyline
+// point.
+func (x *SkylineIndex) InSkyline(id ID) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	slot, ok := x.loc[id]
+	return ok && x.core.InSkyline(slot)
+}
+
+// Values returns a copy of the point's original coordinates, or false if
+// the ID is not live.
+func (x *SkylineIndex) Values(id ID) ([]float64, bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	slot, ok := x.loc[id]
+	if !ok {
+		return nil, false
+	}
+	return append([]float64(nil), x.origRow(slot)...), true
+}
+
+// Stats reports the index's lifetime counters.
+type Stats struct {
+	// Live and SkylineSize describe the current state.
+	Live, SkylineSize int
+	// Epoch counts skyline membership changes (the snapshot version).
+	Epoch uint64
+	// Inserts and Deletes count successful mutations; Entered and Left
+	// count the membership changes they caused.
+	Inserts, Deletes, Entered, Left uint64
+	// Resurrections counts points re-admitted to the skyline by the
+	// deletion of their bucket owner; Rebuilds counts full-recompute
+	// escalations; DominanceTests is the machine-independent work
+	// metric, as in skybench.Stats.
+	Resurrections, Rebuilds, DominanceTests uint64
+}
+
+// Stats returns the current counters.
+func (x *SkylineIndex) Stats() Stats {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	cs := x.core.Stats()
+	return Stats{
+		Live:           x.core.Len(),
+		SkylineSize:    x.core.SkylineSize(),
+		Epoch:          x.epoch.Load(),
+		Inserts:        x.inserts,
+		Deletes:        x.deletes,
+		Entered:        x.nEnter,
+		Left:           x.nLeave,
+		Resurrections:  cs.Resurrections,
+		Rebuilds:       cs.Rebuilds,
+		DominanceTests: cs.DominanceTests,
+	}
+}
+
+// Close releases the index's private Engine (when it created one). The
+// index must not be mutated afterwards; existing Snapshots, and
+// Snapshot itself, remain usable.
+func (x *SkylineIndex) Close() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.closed {
+		return
+	}
+	x.closed = true
+	if x.ownEng && x.eng != nil {
+		x.eng.Close()
+	}
+	x.eng = nil
+}
+
+// Snapshot is an immutable copy of the skyline at one epoch. It is safe
+// to read from any goroutine, forever; it just stops being current once
+// the index mutates past it.
+type Snapshot struct {
+	epoch uint64
+	d     int
+	ids   []ID
+	vals  []float64
+}
+
+// Snapshot returns the current skyline. Consecutive calls with no
+// intervening membership change return the same *Snapshot without
+// copying anything, so polling readers are cheap; after a change the
+// next call rebuilds the snapshot once (taking the index lock briefly).
+// The order of points within a snapshot is unspecified.
+func (x *SkylineIndex) Snapshot() *Snapshot {
+	if s := x.snap.Load(); s != nil && s.epoch == x.epoch.Load() {
+		return s
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	ep := x.epoch.Load()
+	if s := x.snap.Load(); s != nil && s.epoch == ep {
+		return s
+	}
+	sky := x.core.Skyline()
+	s := &Snapshot{
+		epoch: ep,
+		d:     x.d,
+		ids:   make([]ID, len(sky)),
+		vals:  make([]float64, len(sky)*x.d),
+	}
+	for i, slot := range sky {
+		s.ids[i] = x.ids[slot]
+		copy(s.vals[i*x.d:(i+1)*x.d], x.origRow(slot))
+	}
+	x.snap.Store(s)
+	return s
+}
+
+// Len returns the number of skyline points in the snapshot.
+func (s *Snapshot) Len() int { return len(s.ids) }
+
+// Epoch returns the membership version the snapshot was taken at.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// ID returns the i-th skyline point's ID.
+func (s *Snapshot) ID(i int) ID { return s.ids[i] }
+
+// Row returns the i-th skyline point's original coordinates. The slice
+// aliases the snapshot's storage: treat it as read-only.
+func (s *Snapshot) Row(i int) []float64 {
+	return s.vals[i*s.d : (i+1)*s.d : (i+1)*s.d]
+}
+
+// IDs returns all skyline IDs in snapshot order (aliasing the
+// snapshot's storage: treat it as read-only).
+func (s *Snapshot) IDs() []ID { return s.ids }

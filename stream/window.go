@@ -1,0 +1,83 @@
+package stream
+
+import "fmt"
+
+// Window is a sliding-window skyline: a SkylineIndex fed through a
+// fixed-capacity ring buffer, so Push evicts the oldest point once the
+// window is full — the "most recent W updates" workload of streaming
+// skyline services.
+//
+// Push must be called from one goroutine at a time (the ring is not
+// internally locked); Snapshot and the other read methods delegate to
+// the underlying index and are safe concurrently with the writer. A
+// full-window Push is an eviction followed by an insertion — two
+// mutations, so a concurrent reader can observe the intermediate
+// snapshot in which the oldest point has left and the new one has not
+// yet arrived.
+type Window struct {
+	x     *SkylineIndex
+	ring  []ID
+	head  int
+	count int
+}
+
+// NewWindow creates a sliding window holding at most capacity points.
+func NewWindow(capacity, d int, cfg Config) (*Window, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("stream: window capacity must be at least 1, got %d", capacity)
+	}
+	x, err := New(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Window{x: x, ring: make([]ID, capacity)}, nil
+}
+
+// Push inserts a point, evicting the oldest one first when the window is
+// full, and returns the new point's ID. The point is validated before
+// anything is evicted, so an invalid point leaves the window unchanged.
+func (w *Window) Push(p []float64) (ID, error) {
+	if err := w.x.validatePoint(p); err != nil {
+		return 0, err
+	}
+	if w.count == len(w.ring) {
+		w.x.Delete(w.ring[w.head])
+		w.head = (w.head + 1) % len(w.ring)
+		w.count--
+	}
+	id, err := w.x.Insert(p)
+	if err != nil {
+		return 0, err
+	}
+	w.ring[(w.head+w.count)%len(w.ring)] = id
+	w.count++
+	return id, nil
+}
+
+// Oldest returns the ID next in line for eviction, or false when the
+// window is empty.
+func (w *Window) Oldest() (ID, bool) {
+	if w.count == 0 {
+		return 0, false
+	}
+	return w.ring[w.head], true
+}
+
+// Len returns the number of points currently in the window.
+func (w *Window) Len() int { return w.count }
+
+// Cap returns the window capacity.
+func (w *Window) Cap() int { return len(w.ring) }
+
+// SkylineSize returns the current skyline cardinality of the window.
+func (w *Window) SkylineSize() int { return w.x.SkylineSize() }
+
+// Snapshot returns the window's current skyline; see
+// SkylineIndex.Snapshot.
+func (w *Window) Snapshot() *Snapshot { return w.x.Snapshot() }
+
+// Stats returns the underlying index's counters.
+func (w *Window) Stats() Stats { return w.x.Stats() }
+
+// Close releases the underlying index's resources.
+func (w *Window) Close() { w.x.Close() }
