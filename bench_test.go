@@ -7,6 +7,7 @@
 package skybench_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -324,6 +325,47 @@ func BenchmarkHybridDefault(b *testing.B) { benchDefault(b, skybench.Hybrid) }
 
 // BenchmarkQFlowDefault is BenchmarkHybridDefault for Q-Flow.
 func BenchmarkQFlowDefault(b *testing.B) { benchDefault(b, skybench.QFlow) }
+
+// BenchmarkEngineSkyband measures the steady-state k-skyband serving
+// path (warm Engine, ReuseIndices) for the k values the golden suite
+// pins, with the zero-allocation guarantee enforced before timing —
+// the skyband counterpart of BenchmarkEngineRunReuse.
+func BenchmarkEngineSkyband(b *testing.B) {
+	m := benchData(dataset.Independent, defaultN, defaultD)
+	ds, err := skybench.DatasetFromFlat(m.Flat(), m.N(), m.D())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{2, 4, 16} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			eng := skybench.NewEngine(defaultThreads)
+			defer eng.Close()
+			ctx := context.Background()
+			q := skybench.Query{SkybandK: k, ReuseIndices: true}
+			var last skybench.Result
+			if last, err = eng.Run(ctx, ds, q); err != nil { // warm scratch
+				b.Fatal(err)
+			}
+			if allocs := testing.AllocsPerRun(3, func() {
+				if _, err := eng.Run(ctx, ds, q); err != nil {
+					b.Fatal(err)
+				}
+			}); allocs != 0 {
+				b.Fatalf("steady-state skyband Engine.Run allocates %.1f per call, want 0", allocs)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if last, err = eng.Run(ctx, ds, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(last.Stats.DominanceTests), "DTs/op")
+			b.ReportMetric(float64(last.Stats.SkylineSize), "bandpoints")
+		})
+	}
+}
 
 // BenchmarkDominanceKernel measures the raw dominance-test kernels the
 // whole suite is built on (the analogue of the paper's SIMD study).

@@ -10,11 +10,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"skybench"
@@ -28,6 +31,7 @@ type entry struct {
 	Dist      string  `json:"dist"`
 	N         int     `json:"n"`
 	D         int     `json:"d"`
+	K         int     `json:"skyband_k,omitempty"` // ≥ 2 marks a skyband cell
 	Threads   int     `json:"threads"`
 	Reps      int     `json:"reps"`
 	BestMs    float64 `json:"best_ms"`
@@ -49,14 +53,15 @@ type snapshot struct {
 
 func main() {
 	var (
-		out  = flag.String("out", "", "output path (default BENCH_<date>.json)")
-		n    = flag.Int("n", 100000, "cardinality of the default workload")
-		d    = flag.Int("d", 8, "dimensionality of the default workload")
-		t    = flag.Int("t", 8, "threads for the parallel algorithms")
-		reps = flag.Int("reps", 3, "repetitions per cell (best and average reported)")
-		seed = flag.Int64("seed", 42, "dataset generator seed")
-		note = flag.String("note", "", "freeform note stored in the snapshot")
-		full = flag.Bool("full", false, "also measure the parallel baselines (slower)")
+		out   = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		n     = flag.Int("n", 100000, "cardinality of the default workload")
+		d     = flag.Int("d", 8, "dimensionality of the default workload")
+		t     = flag.Int("t", 8, "threads for the parallel algorithms")
+		reps  = flag.Int("reps", 3, "repetitions per cell (best and average reported)")
+		seed  = flag.Int64("seed", 42, "dataset generator seed")
+		note  = flag.String("note", "", "freeform note stored in the snapshot")
+		full  = flag.Bool("full", false, "also measure the parallel baselines (slower)")
+		kList = flag.String("k", "4,16", "comma-separated skyband k values also measured for hybrid/qflow (empty = none)")
 	)
 	flag.Parse()
 
@@ -75,8 +80,22 @@ func main() {
 		Note:       *note,
 	}
 
+	var ks []int
+	if *kList != "" {
+		for _, part := range strings.Split(*kList, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || k < 2 {
+				fmt.Fprintf(os.Stderr, "benchsnap: -k entries must be integers >= 2, got %q\n", part)
+				os.Exit(1)
+			}
+			ks = append(ks, k)
+		}
+	}
+
 	ctx := skybench.NewContext()
 	defer ctx.Close()
+	eng := skybench.NewEngine(*t)
+	defer eng.Close()
 	for _, dist := range dataset.AllDistributions {
 		m := dataset.Generate(dist, *n, *d, *seed)
 		for _, alg := range algos {
@@ -106,6 +125,45 @@ func main() {
 			snap.Entries = append(snap.Entries, e)
 			fmt.Printf("%-10s %-14s n=%d d=%d t=%d  best=%.2fms avg=%.2fms |SKY|=%d\n",
 				e.Algorithm, e.Dist, e.N, e.D, e.Threads, e.BestMs, e.AvgMs, e.Skyline)
+		}
+
+		// Skyband cost curve: the same workload through the k-skyband
+		// query path (Hybrid and QFlow only — the baselines don't count
+		// dominators).
+		ds, err := skybench.DatasetFromFlat(m.Flat(), m.N(), m.D())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		for _, alg := range []skybench.Algorithm{skybench.Hybrid, skybench.QFlow} {
+			for _, k := range ks {
+				e := entry{
+					Algorithm: alg.String(), Dist: dist.String(),
+					N: *n, D: *d, K: k, Threads: *t, Reps: *reps,
+				}
+				q := skybench.Query{Algorithm: alg, SkybandK: k, ReuseIndices: true}
+				var total time.Duration
+				best := time.Duration(0)
+				for r := 0; r < *reps; r++ {
+					res, err := eng.Run(context.Background(), ds, q)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "benchsnap: %s/%s k=%d: %v\n", alg, dist, k, err)
+						os.Exit(1)
+					}
+					el := res.Stats.Elapsed
+					total += el
+					if best == 0 || el < best {
+						best = el
+					}
+					e.DTs = res.Stats.DominanceTests
+					e.Skyline = res.Stats.SkylineSize
+				}
+				e.BestMs = float64(best.Nanoseconds()) / 1e6
+				e.AvgMs = float64(total.Nanoseconds()) / float64(*reps) / 1e6
+				snap.Entries = append(snap.Entries, e)
+				fmt.Printf("%-10s %-14s n=%d d=%d k=%d t=%d  best=%.2fms avg=%.2fms |BAND|=%d\n",
+					e.Algorithm, e.Dist, e.N, e.D, e.K, e.Threads, e.BestMs, e.AvgMs, e.Skyline)
+			}
 		}
 	}
 

@@ -37,6 +37,8 @@ func main() {
 		dimsList   = flag.String("dims", "", "comma-separated dimension indices to keep (subspace workloads)")
 		updates    = flag.Int("updates", 0, "override the stream experiment's measured update count")
 		churn      = flag.Float64("churn", -1, "override the stream experiment's delete fraction [0,1]")
+		kList      = flag.String("k", "", "comma-separated k sweep for the skyband experiment (default 1,2,4,8,16)")
+		streamK    = flag.Int("streamk", 0, "band parameter maintained by the stream experiment (0/1 = skyline)")
 	)
 	flag.Parse()
 
@@ -100,6 +102,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: -dims: %v\n", err)
 		os.Exit(1)
 	}
+	if cfg.SkybandKs, err = parseDimList(*kList); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: -k: %v\n", err)
+		os.Exit(1)
+	}
+	for _, k := range cfg.SkybandKs {
+		if k < 1 {
+			fmt.Fprintf(os.Stderr, "experiments: -k entries must be >= 1, got %d\n", k)
+			os.Exit(1)
+		}
+	}
+	cfg.StreamSkybandK = *streamK
 
 	ran := false
 	for _, exp := range bench.Experiments() {

@@ -7,6 +7,7 @@
 //	skybench -algo bskytree -input points.csv -print
 //	skybench -n 100000 -d 6 -max 2,5 -dims 0,2,3,5   # maximize & project
 //	skybench -n 1000000 -d 10 -timeout 500ms         # deadline-bounded
+//	skybench -n 100000 -d 8 -k 4 -top 10             # 4-skyband, 10 best
 package main
 
 import (
@@ -37,6 +38,8 @@ func main() {
 		pivotName = flag.String("pivot", "median", "hybrid pivot: median|balanced|manhattan|volume|random")
 		maxList   = flag.String("max", "", "comma-separated dimension indices to maximize instead of minimize")
 		dimsList  = flag.String("dims", "", "comma-separated dimension indices to keep (subspace skyline; others are ignored)")
+		kband     = flag.Int("k", 1, "k-skyband parameter: report points with fewer than k dominators (1 = skyline; k >= 2 needs hybrid or qflow)")
+		topW      = flag.Int("top", 0, "print the w band members with fewest dominators (requires -k >= 2)")
 		timeout   = flag.Duration("timeout", 0, "cancel the query after this duration (0 = no deadline)")
 		printSky  = flag.Bool("print", false, "print skyline points")
 		check     = flag.Bool("check", false, "verify the result against a brute-force oracle (O(n²); small inputs only)")
@@ -46,6 +49,9 @@ func main() {
 	alg, err := skybench.ParseAlgorithm(*algoName)
 	if err != nil {
 		fatal(err)
+	}
+	if *topW > 0 && *kband < 2 {
+		fatal(fmt.Errorf("-top ranks band members by dominator count and needs -k >= 2 (got -k %d)", *kband))
 	}
 	pv, err := skybench.ParsePivot(*pivotName)
 	if err != nil {
@@ -91,18 +97,23 @@ func main() {
 		Alpha:     *alpha,
 		Pivot:     pv,
 		Seed:      *seed,
+		SkybandK:  *kband,
 	})
 	if err != nil {
 		fatal(err)
 	}
 
 	s := res.Stats
+	label := "skyline    "
+	if *kband > 1 {
+		label = fmt.Sprintf("%d-skyband  ", *kband)
+	}
 	fmt.Printf("algorithm   : %s\n", alg)
 	fmt.Printf("input       : %d points × %d dims\n", s.InputSize, m.D())
 	if prefs != nil {
 		fmt.Printf("preferences : %s\n", describePrefs(prefs))
 	}
-	fmt.Printf("skyline     : %d points (%.2f%%)\n", s.SkylineSize, 100*float64(s.SkylineSize)/float64(s.InputSize))
+	fmt.Printf("%s : %d points (%.2f%%)\n", label, s.SkylineSize, 100*float64(s.SkylineSize)/float64(s.InputSize))
 	fmt.Printf("elapsed     : %v\n", s.Elapsed)
 	fmt.Printf("dom. tests  : %d\n", s.DominanceTests)
 	tm := s.Timings
@@ -111,17 +122,41 @@ func main() {
 			tm.Init, tm.Prefilter, tm.Pivot, tm.PhaseOne, tm.PhaseTwo, tm.Compress, tm.Other)
 	}
 	if *check {
-		want := verify.BruteForce(transformed(m, prefs))
-		if verify.SameSkyline(res.Indices, want) {
+		staged := transformed(m, prefs)
+		var ok bool
+		var oracleSize int
+		if *kband > 1 {
+			wantIdx, wantCnt := verify.BruteForceSkyband(staged, *kband)
+			ok = verify.SameBand(res.Indices, res.Counts, wantIdx, wantCnt)
+			oracleSize = len(wantIdx)
+		} else {
+			want := verify.BruteForce(staged)
+			ok = verify.SameSkyline(res.Indices, want)
+			oracleSize = len(want)
+		}
+		if ok {
 			fmt.Println("check       : OK (matches brute-force oracle)")
 		} else {
-			fmt.Printf("check       : FAILED (got %d points, oracle says %d)\n", len(res.Indices), len(want))
+			fmt.Printf("check       : FAILED (got %d points, oracle says %d)\n", len(res.Indices), oracleSize)
 			os.Exit(1)
 		}
 	}
+	if *topW > 0 {
+		countOf := make(map[int]int32, len(res.Indices))
+		for p, idx := range res.Indices {
+			countOf[idx] = res.Counts[p]
+		}
+		for rank, i := range res.TopK(*topW) {
+			fmt.Printf("top %-3d     : row %d (%d dominators) %v\n", rank+1, i, countOf[i], m.Row(i))
+		}
+	}
 	if *printSky {
-		for _, i := range res.Indices {
-			fmt.Println(m.Row(i))
+		for p, i := range res.Indices {
+			if res.Counts != nil {
+				fmt.Println(m.Row(i), "dominators:", res.Counts[p])
+			} else {
+				fmt.Println(m.Row(i))
+			}
 		}
 	}
 }

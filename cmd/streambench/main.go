@@ -41,6 +41,7 @@ type result struct {
 	D         int     `json:"d"`
 	Churn     float64 `json:"churn"`
 	Window    int     `json:"window,omitempty"`
+	K         int     `json:"skyband_k,omitempty"`
 	Threads   int     `json:"threads"`
 	Seed      int64   `json:"seed"`
 	Threshold float64 `json:"recompute_threshold"`
@@ -79,6 +80,7 @@ func main() {
 		threads   = flag.Int("threads", 0, "engine threads for recomputes (0 = all CPUs)")
 		seed      = flag.Int64("seed", 42, "trace seed")
 		threshold = flag.Float64("rebuild", 0, "recompute-escalation threshold (0 = default 0.5, <0 = never)")
+		kband     = flag.Int("k", 1, "k-skyband parameter maintained by the index (1 = skyline)")
 		readers   = flag.Int("readers", 0, "concurrent snapshot-reader goroutines during the update phase")
 		samples   = flag.Int("baseline-samples", 16, "sampled Engine.Run recomputes pricing the baseline (0 = skip)")
 		input     = flag.String("input", "", "replay a datagen -stream trace file instead of generating one")
@@ -111,7 +113,7 @@ func main() {
 
 	eng := skybench.NewEngine(*threads)
 	defer eng.Close()
-	cfg := stream.Config{Engine: eng, RecomputeThreshold: *threshold}
+	cfg := stream.Config{Engine: eng, RecomputeThreshold: *threshold, SkybandK: *kband}
 
 	var ix *stream.SkylineIndex
 	var win *stream.Window
@@ -159,7 +161,7 @@ func main() {
 	// Trace keys map 1:1 onto index IDs (both assigned sequentially from
 	// 1 in insert order); the mirror below tracks the live rows flat for
 	// the baseline recomputes.
-	mirror := newMirror(*d, *window)
+	mirror := newMirror(*d, *kband, *window)
 
 	// Warm-up.
 	warmStart := time.Now()
@@ -242,6 +244,7 @@ func main() {
 	}
 	res := result{
 		Dist: dist, N: *n, Updates: *updates, D: *d, Churn: effChurn,
+		K:      *kband,
 		Window: *window, Threads: eng.Threads(), Seed: *seed,
 		Threshold:     *threshold,
 		WarmSeconds:   warmSecs,
@@ -309,6 +312,7 @@ func percentile(sorted []int64, q float64) float64 {
 // a window trace never carries explicit deletes.
 type mirror struct {
 	d      int
+	k      int // band parameter the baseline recompute must match
 	window int
 	vals   []float64
 	keys   []uint64
@@ -317,8 +321,8 @@ type mirror struct {
 	count  int
 }
 
-func newMirror(d, window int) *mirror {
-	mr := &mirror{d: d, window: window}
+func newMirror(d, k, window int) *mirror {
+	mr := &mirror{d: d, k: k, window: window}
 	if window > 0 {
 		mr.vals = make([]float64, window*d)
 		mr.keys = make([]uint64, window)
@@ -388,8 +392,12 @@ func (mr *mirror) recompute(eng *skybench.Engine) time.Duration {
 	if err != nil {
 		fatal(err)
 	}
+	q := skybench.Query{}
+	if mr.k > 1 {
+		q.SkybandK = mr.k
+	}
 	t0 := time.Now()
-	if _, err := eng.Run(context.Background(), ds, skybench.Query{}); err != nil {
+	if _, err := eng.Run(context.Background(), ds, q); err != nil {
 		fatal(err)
 	}
 	return time.Since(t0)
@@ -397,6 +405,9 @@ func (mr *mirror) recompute(eng *skybench.Engine) time.Duration {
 
 func report(r result) {
 	fmt.Printf("streambench: %s n=%d updates=%d d=%d churn=%.2f", r.Dist, r.N, r.Updates, r.D, r.Churn)
+	if r.K > 1 {
+		fmt.Printf(" k=%d", r.K)
+	}
 	if r.Window > 0 {
 		fmt.Printf(" window=%d", r.Window)
 	}

@@ -150,6 +150,12 @@ func (e *Engine) Run(ctx context.Context, ds *Dataset, q Query) (Result, error) 
 	// baselines spawn their own short-lived goroutines and allocate per
 	// run anyway, so they skip the pool and scratch entirely.
 	hot := q.Algorithm == Hybrid || q.Algorithm == QFlow
+	if q.SkybandK < 0 {
+		return Result{}, fmt.Errorf("skybench: negative SkybandK %d", q.SkybandK)
+	}
+	if q.SkybandK > 1 && !hot {
+		return Result{}, fmt.Errorf("skybench: algorithm %s does not support k-skyband queries (SkybandK=%d); use %s or %s", q.Algorithm, q.SkybandK, Hybrid, QFlow)
+	}
 	var ec *engineCtx
 	if hot {
 		var err error
@@ -240,6 +246,9 @@ func (e *Engine) Run(ctx context.Context, ds *Dataset, q Query) (Result, error) 
 	// zero-copy alias; baseline indices are freshly allocated already.
 	if !q.ReuseIndices && (q.Algorithm == Hybrid || q.Algorithm == QFlow) {
 		res.Indices = append([]int(nil), res.Indices...)
+		if res.Counts != nil {
+			res.Counts = append([]int32(nil), res.Counts...)
+		}
 	}
 	return res, nil
 }
@@ -257,6 +266,7 @@ func runOnContext(ec *engineCtx, m point.Matrix, q Query, threads int, cancel *a
 			Pivot:         q.Pivot.internal(),
 			Beta:          q.Beta,
 			Seed:          q.Seed,
+			SkybandK:      q.SkybandK,
 			NoPrefilter:   q.Ablation.NoPrefilter,
 			NoMS:          q.Ablation.NoMS,
 			NoLevel2:      q.Ablation.NoLevel2,
@@ -265,18 +275,23 @@ func runOnContext(ec *engineCtx, m point.Matrix, q Query, threads int, cancel *a
 			Progressive:   q.Progressive,
 			Cancel:        cancel,
 		})
-		return assembleResult(idx, &ec.st, m.N(), time.Since(start)), nil
+		res := assembleResult(idx, &ec.st, m.N(), time.Since(start))
+		res.Counts = ec.core.Counts()
+		return res, nil
 	case QFlow:
 		ec.st = stats.Stats{}
 		start := time.Now()
 		idx := ec.core.QFlow(m, core.QFlowOptions{
 			Threads:     threads,
 			Alpha:       q.Alpha,
+			SkybandK:    q.SkybandK,
 			Stats:       &ec.st,
 			Progressive: q.Progressive,
 			Cancel:      cancel,
 		})
-		return assembleResult(idx, &ec.st, m.N(), time.Since(start)), nil
+		res := assembleResult(idx, &ec.st, m.N(), time.Since(start))
+		res.Counts = ec.core.Counts()
+		return res, nil
 	default:
 		panic(fmt.Sprintf("skybench: runOnContext called for non-hot-path algorithm %d", int(q.Algorithm)))
 	}

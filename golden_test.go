@@ -1,0 +1,226 @@
+package skybench_test
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"skybench"
+
+	"skybench/internal/dataset"
+	"skybench/internal/point"
+	"skybench/internal/verify"
+)
+
+// -update regenerates the golden files from the brute-force oracle:
+//
+//	go test -run TestGolden -update .
+//
+// The committed files are the contract: every algorithm's skyline (and
+// Hybrid/QFlow's k-skybands) must keep selecting exactly these points,
+// so a kernel refactor can never silently change results.
+var updateGolden = flag.Bool("update", false, "regenerate testdata golden files from the brute-force oracle")
+
+// goldenBand is one expected k-skyband: ascending indices with counts
+// parallel to them.
+type goldenBand struct {
+	Indices []int   `json:"indices"`
+	Counts  []int32 `json:"counts"`
+}
+
+// goldenFile pins one dataset and its expected outputs.
+type goldenFile struct {
+	Name     string                `json:"name"`
+	Dist     string                `json:"dist"`
+	N        int                   `json:"n"`
+	D        int                   `json:"d"`
+	Seed     int64                 `json:"seed"`
+	Quantize int                   `json:"quantize,omitempty"`
+	Rows     [][]float64           `json:"rows"`
+	Skyline  []int                 `json:"skyline"`
+	Skyband  map[string]goldenBand `json:"skyband"` // keys "1","2","4"
+}
+
+// goldenCases fixes the three datasets: one per distribution, with the
+// correlated one quantized onto a coarse grid so coincident points sit
+// on band boundaries.
+var goldenCases = []struct {
+	name     string
+	dist     dataset.Distribution
+	n, d     int
+	seed     int64
+	quantize int
+}{
+	{"independent-n60-d4", dataset.Independent, 60, 4, 7, 0},
+	{"anticorrelated-n80-d2", dataset.Anticorrelated, 80, 2, 11, 0},
+	{"correlated-n120-d3-q6", dataset.Correlated, 120, 3, 13, 6},
+}
+
+var goldenKs = []int{1, 2, 4}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden_"+name+".json")
+}
+
+// goldenMatrix regenerates a case's dataset from its parameters.
+func goldenMatrix(c struct {
+	name     string
+	dist     dataset.Distribution
+	n, d     int
+	seed     int64
+	quantize int
+}) [][]float64 {
+	m := dataset.Generate(c.dist, c.n, c.d, c.seed)
+	if c.quantize > 0 {
+		dataset.Quantize(m, c.quantize)
+	}
+	rows := make([][]float64, m.N())
+	for i := range rows {
+		rows[i] = append([]float64(nil), m.Row(i)...)
+	}
+	return rows
+}
+
+// TestGoldenUpdate regenerates the files under -update and is a no-op
+// otherwise.
+func TestGoldenUpdate(t *testing.T) {
+	if !*updateGolden {
+		t.Skip("run with -update to regenerate golden files")
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range goldenCases {
+		rows := goldenMatrix(c)
+		m := point.FromRows(rows)
+		g := goldenFile{
+			Name: c.name, Dist: c.dist.String(), N: c.n, D: c.d,
+			Seed: c.seed, Quantize: c.quantize, Rows: rows,
+			Skyband: map[string]goldenBand{},
+		}
+		g.Skyline = verify.BruteForce(m)
+		for _, k := range goldenKs {
+			idx, cnt := verify.BruteForceSkyband(m, k)
+			g.Skyband[fmt.Sprint(k)] = goldenBand{Indices: idx, Counts: cnt}
+		}
+		blob, err := json.MarshalIndent(&g, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(goldenPath(c.name), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath(c.name))
+	}
+}
+
+// TestGoldenSkylineAllAlgorithms asserts every algorithm's skyline —
+// and its SkybandK=1 run, which must be bit-identical to it — against
+// the committed golden files.
+func TestGoldenSkylineAllAlgorithms(t *testing.T) {
+	eng := skybench.NewEngine(2)
+	defer eng.Close()
+	ctx := context.Background()
+	for _, c := range goldenCases {
+		g := loadGolden(t, c.name)
+		ds, err := skybench.NewDataset(g.Rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The file's own k=1 band must agree with its skyline.
+		if b := g.Skyband["1"]; !verify.SameSkyline(b.Indices, g.Skyline) {
+			t.Fatalf("%s: golden file inconsistent: skyband[1] != skyline", c.name)
+		}
+		for _, alg := range skybench.Algorithms {
+			res, err := eng.Run(ctx, ds, skybench.Query{Algorithm: alg})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", c.name, alg, err)
+			}
+			if got := sortedInts(res.Indices); !slices.Equal(got, g.Skyline) {
+				t.Fatalf("%s/%s: skyline %v, golden %v", c.name, alg, got, g.Skyline)
+			}
+			k1, err := eng.Run(ctx, ds, skybench.Query{Algorithm: alg, SkybandK: 1})
+			if err != nil {
+				t.Fatalf("%s/%s (SkybandK=1): %v", c.name, alg, err)
+			}
+			if !slices.Equal(k1.Indices, res.Indices) {
+				t.Fatalf("%s/%s: SkybandK=1 order diverges from plain skyline", c.name, alg)
+			}
+			if k1.Counts != nil {
+				t.Fatalf("%s/%s: SkybandK=1 returned counts", c.name, alg)
+			}
+		}
+	}
+}
+
+// TestGoldenSkyband asserts Hybrid's and QFlow's k-skyband output —
+// membership and exact dominator counts — against the committed golden
+// files for k = 2 and 4 (k = 1 is covered index-for-index above).
+func TestGoldenSkyband(t *testing.T) {
+	eng := skybench.NewEngine(2)
+	defer eng.Close()
+	ctx := context.Background()
+	for _, c := range goldenCases {
+		g := loadGolden(t, c.name)
+		ds, err := skybench.NewDataset(g.Rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range goldenKs[1:] {
+			want := g.Skyband[fmt.Sprint(k)]
+			for _, alg := range []skybench.Algorithm{skybench.Hybrid, skybench.QFlow} {
+				res, err := eng.Run(ctx, ds, skybench.Query{Algorithm: alg, SkybandK: k})
+				if err != nil {
+					t.Fatalf("%s/%s k=%d: %v", c.name, alg, k, err)
+				}
+				if !verify.SameBand(res.Indices, res.Counts, want.Indices, want.Counts) {
+					t.Fatalf("%s/%s k=%d: band (%d points) diverges from golden (%d points)",
+						c.name, alg, k, len(res.Indices), len(want.Indices))
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenDatasetsStable guards the generator itself: the committed
+// rows must be reproducible from the recorded parameters, so the golden
+// files cannot drift from the datasets they describe.
+func TestGoldenDatasetsStable(t *testing.T) {
+	for _, c := range goldenCases {
+		g := loadGolden(t, c.name)
+		rows := goldenMatrix(c)
+		if len(rows) != len(g.Rows) {
+			t.Fatalf("%s: regenerated %d rows, file has %d", c.name, len(rows), len(g.Rows))
+		}
+		for i := range rows {
+			if !slices.Equal(rows[i], g.Rows[i]) {
+				t.Fatalf("%s: row %d drifted: %v != %v", c.name, i, rows[i], g.Rows[i])
+			}
+		}
+	}
+}
+
+func loadGolden(t *testing.T, name string) goldenFile {
+	t.Helper()
+	blob, err := os.ReadFile(goldenPath(name))
+	if err != nil {
+		t.Fatalf("golden file missing (run go test -run TestGoldenUpdate -update .): %v", err)
+	}
+	var g goldenFile
+	if err := json.Unmarshal(blob, &g); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return g
+}
+
+func sortedInts(s []int) []int {
+	out := append([]int(nil), s...)
+	slices.Sort(out)
+	return out
+}

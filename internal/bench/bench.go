@@ -55,6 +55,13 @@ type Config struct {
 	// StreamChurn is the delete fraction of the stream experiment's
 	// update mix.
 	StreamChurn float64
+	// SkybandKs is the k sweep of the skyband experiment (empty selects
+	// 1,2,4,8,16). It also sets the band parameter of the stream
+	// experiment when StreamSkybandK is set.
+	SkybandKs []int
+	// StreamSkybandK is the band parameter of the stream maintenance
+	// experiment (≤ 1 maintains the plain skyline).
+	StreamSkybandK int
 }
 
 // Default returns the laptop-scale defaults documented in DESIGN.md.

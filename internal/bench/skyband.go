@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"skybench"
+
+	"skybench/internal/dataset"
+)
+
+// defaultSkybandKs is the k sweep of the skyband experiment when the
+// config leaves it empty: the skyline baseline plus doubling budgets.
+var defaultSkybandKs = []int{1, 2, 4, 8, 16}
+
+// Skyband is the extension experiment for the k-skyband query path: the
+// band's cost curve over k, per distribution, for Hybrid and Q-Flow —
+// how much the generalization from "dead at the first dominator" to
+// "count dominators up to k" costs in wall-clock and dominance tests,
+// and how fast the result set grows with k. k = 1 runs the untouched
+// skyline path and anchors the curve.
+func (cfg Config) Skyband(w io.Writer) {
+	ks := cfg.SkybandKs
+	if len(ks) == 0 {
+		ks = defaultSkybandKs
+	}
+	header(w, "k-skyband cost curve (extension)",
+		fmt.Sprintf("Hybrid/Q-Flow skyband queries over k; n=%d d=%d t=%d", cfg.N, cfg.D, cfg.MaxThreads))
+	fmt.Fprintf(w, "%-16s %-8s %6s %12s %12s %14s\n",
+		"distribution", "algo", "k", "band", "ms", "dom. tests")
+
+	eng := skybench.NewEngine(cfg.MaxThreads)
+	defer eng.Close()
+	reps := cfg.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	for _, dist := range dataset.AllDistributions {
+		m := cfg.gen(dist, cfg.N, cfg.D)
+		ds, err := skybench.DatasetFromFlat(m.Flat(), m.N(), m.D())
+		if err != nil {
+			panic(fmt.Sprintf("bench: skyband dataset: %v", err))
+		}
+		for _, alg := range []skybench.Algorithm{skybench.Hybrid, skybench.QFlow} {
+			for _, k := range ks {
+				q := skybench.Query{Algorithm: alg, SkybandK: k, ReuseIndices: true}
+				var total time.Duration
+				var last skybench.Result
+				for r := 0; r < reps; r++ {
+					res, err := eng.Run(context.Background(), ds, q)
+					if err != nil {
+						panic(fmt.Sprintf("bench: skyband %s k=%d: %v", alg, k, err))
+					}
+					total += res.Stats.Elapsed
+					last = res
+				}
+				fmt.Fprintf(w, "%-16s %-8s %6d %12d %12s %14d\n",
+					dist, alg, k, last.Stats.SkylineSize,
+					ms(total/time.Duration(reps)), last.Stats.DominanceTests)
+			}
+		}
+	}
+}

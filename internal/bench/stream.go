@@ -20,9 +20,13 @@ import (
 // its update throughput with the recompute-per-update cost of Engine.Run
 // over the same live set.
 func (cfg Config) StreamMaintenance(w io.Writer) {
+	kband := cfg.StreamSkybandK
+	if kband < 1 {
+		kband = 1
+	}
 	header(w, "stream maintenance (extension)",
-		fmt.Sprintf("incremental SkylineIndex vs Engine.Run recompute-per-update; warm=%d updates=%d churn=%.2f d=%d",
-			cfg.N, cfg.StreamUpdates, cfg.StreamChurn, cfg.D))
+		fmt.Sprintf("incremental SkylineIndex vs Engine.Run recompute-per-update; warm=%d updates=%d churn=%.2f d=%d k=%d",
+			cfg.N, cfg.StreamUpdates, cfg.StreamChurn, cfg.D, kband))
 	fmt.Fprintf(w, "%-16s %12s %12s %12s %10s %9s %9s\n",
 		"distribution", "updates/s", "p99 µs", "recompute/s", "speedup", "skyline", "rebuilds")
 
@@ -31,7 +35,7 @@ func (cfg Config) StreamMaintenance(w io.Writer) {
 
 	for _, dist := range dataset.AllDistributions {
 		tr := istream.GenerateTrace(dist, cfg.N, cfg.StreamUpdates, cfg.D, cfg.StreamChurn, cfg.Seed)
-		ix, err := stream.New(cfg.D, stream.Config{Engine: eng})
+		ix, err := stream.New(cfg.D, stream.Config{Engine: eng, SkybandK: kband})
 		if err != nil {
 			panic(fmt.Sprintf("bench: stream index: %v", err))
 		}
@@ -67,8 +71,12 @@ func (cfg Config) StreamMaintenance(w io.Writer) {
 			if err != nil {
 				panic(fmt.Sprintf("bench: stream baseline: %v", err))
 			}
+			q := skybench.Query{}
+			if kband > 1 {
+				q.SkybandK = kband
+			}
 			t0 := time.Now()
-			if _, err := eng.Run(context.Background(), ds, skybench.Query{}); err != nil {
+			if _, err := eng.Run(context.Background(), ds, q); err != nil {
 				panic(fmt.Sprintf("bench: stream baseline: %v", err))
 			}
 			base = time.Since(t0)

@@ -162,5 +162,6 @@ func Experiments() []struct {
 		{"ablations", "Hybrid component ablations", Config.Ablations},
 		{"multicore", "all six multicore algorithms (extension)", Config.Multicore},
 		{"stream", "incremental maintenance vs recompute (extension)", Config.StreamMaintenance},
+		{"skyband", "k-skyband cost curve over k (extension)", Config.Skyband},
 	}
 }

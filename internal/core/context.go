@@ -54,6 +54,7 @@ type Context struct {
 	qskyData []float64 // Q-Flow global skyline rows
 	qskyL1   []float64
 	qskyOrig []int
+	qskyCnt  []int32 // Q-Flow dominator counts (k-skyband runs only)
 
 	// Parallel-region parameters, set before each fan-out. Bodies are
 	// pre-bound once in NewContext so dispatching them allocates nothing.
@@ -61,12 +62,17 @@ type Context struct {
 	curWork point.Matrix
 	curSurv []int
 	d       int
+	k       int // dominator budget: 1 = skyline, ≥ 2 = k-skyband
 	blockLo int
 	blockF  []uint32
+	blockC  []int32 // per-block dominator counts (k ≥ 2 only)
+	bcnt    []int32 // backing storage for blockC, α-sized
 	level2  bool
 	noMS    bool
 	noSplit bool
 	pv      []float64
+
+	lastCounts []int32 // Counts() result of the latest run (nil for skyline)
 
 	rsrc, rdst []int
 	rshift     uint
@@ -78,8 +84,12 @@ type Context struct {
 	keyBody    func(tid, lo, hi int)
 	p1Body     func(tid, lo, hi int)
 	p2Body     func(tid, lo, hi int)
+	p1kBody    func(tid, lo, hi int)
+	p2kBody    func(tid, lo, hi int)
 	qp1Body    func(tid, lo, hi int)
 	qp2Body    func(tid, lo, hi int)
+	qp1kBody   func(tid, lo, hi int)
+	qp2kBody   func(tid, lo, hi int)
 	histBody   func(tid, lo, hi int)
 	scatBody   func(tid, lo, hi int)
 	runBody    func(i int)
@@ -96,8 +106,12 @@ func NewContext() *Context {
 	c.keyBody = c.runKey
 	c.p1Body = c.runPhase1
 	c.p2Body = c.runPhase2
+	c.p1kBody = c.runPhase1K
+	c.p2kBody = c.runPhase2K
 	c.qp1Body = c.runQPhase1
 	c.qp2Body = c.runQPhase2
+	c.qp1kBody = c.runQPhase1K
+	c.qp2kBody = c.runQPhase2K
 	c.histBody = c.runHist
 	c.scatBody = c.runScatter
 	c.runBody = c.runSortRun
@@ -293,6 +307,146 @@ func (c *Context) runQPhase1(tid, blo, bhi int) {
 		q := wf[off : off+d : off+d]
 		if point.DominatedInFlatRun(skyData, d, 0, nSky, q, 0, nil, nil, &local) {
 			f[i] = 1
+		}
+	}
+	c.dts.Inc(tid, local)
+}
+
+// Counts returns the per-point dominator counts of the latest Hybrid or
+// QFlow run, parallel to its returned indices, or nil for a skyline run
+// (SkybandK ≤ 1), where every returned point trivially has zero
+// dominators. The slice aliases Context storage and is valid until the
+// next call on c.
+func (c *Context) Counts() []int32 { return c.lastCounts }
+
+// runPhase1K is the k-skyband Phase I: instead of flagging a block point
+// on its first dominator in the global band, it counts the point's band
+// dominators up to the budget k and eliminates only points that reach
+// it. Band membership is decidable against band points alone: a point
+// with ≥ k dominators overall always has ≥ k dominators inside the band
+// (every dominator of a band point is itself a band point, by
+// transitivity — see DESIGN.md §9), so the count each survivor carries
+// out of Phase I is its exact dominator count so far.
+func (c *Context) runPhase1K(tid, blo, bhi int) {
+	var local uint64
+	wf := c.curWork.Flat()
+	d := c.d
+	k := c.k
+	lo := c.blockLo
+	f := c.blockF
+	cnt := c.blockC
+	cancel := c.cancel
+	for i := blo; i < bhi; i++ {
+		if cancel != nil && i%cancelStride == 0 && cancel.Load() {
+			break
+		}
+		off := (lo + i) * d
+		q := wf[off : off+d : off+d]
+		var n int
+		if c.noMS {
+			n = c.sky.countDominatorsFlat(q, c.wmask[lo+i], k, &local)
+		} else {
+			n = c.sky.countDominators(q, c.wmask[lo+i], c.level2, k, &local)
+		}
+		cnt[i] = int32(n)
+		if n >= k {
+			f[i] = 1
+		}
+	}
+	c.dts.Inc(tid, local)
+}
+
+// runPhase2K is the k-skyband Phase II: each survivor adds the dominator
+// count it accrues against preceding block peers to its Phase I count,
+// and is eliminated only when the total reaches k. Flagged peers are
+// skipped: a peer is only ever flagged once its own measured count
+// reached k, which makes it a non-band point, and a non-band point can
+// never dominate a band point — so skipping it cannot disturb a
+// survivor's exact count, and the flag race is benign (counting a
+// concurrently-flagged peer only inflates the count of a point that
+// point p's dominators already doom).
+func (c *Context) runPhase2K(tid, blo, bhi int) {
+	var local uint64
+	wf := c.curWork.Flat()
+	d := c.d
+	k := c.k
+	lo := c.blockLo
+	f := c.blockF
+	cnt := c.blockC
+	cancel := c.cancel
+	for i := blo; i < bhi; i++ {
+		if cancel != nil && i%cancelStride == 0 && cancel.Load() {
+			break
+		}
+		budget := k - int(cnt[i])
+		var n int
+		if c.noSplit {
+			n = countPeersNaive(wf, c.wl1, lo, i, f, d, budget, &local)
+		} else {
+			n = countPeers(wf, c.wl1, c.wmask, lo, i, f, d, budget, &local)
+		}
+		if n >= budget {
+			cnt[i] = int32(k)
+			storeFlag(&f[i])
+		} else {
+			cnt[i] += int32(n)
+		}
+	}
+	c.dts.Inc(tid, local)
+}
+
+// runQPhase1K is Q-Flow's counting Phase I: block points accumulate
+// dominators against the global band, capped at k.
+func (c *Context) runQPhase1K(tid, blo, bhi int) {
+	var local uint64
+	wf := c.curWork.Flat()
+	d := c.d
+	k := c.k
+	lo := c.blockLo
+	f := c.blockF
+	cnt := c.blockC
+	skyData := c.qskyData
+	nSky := len(c.qskyL1)
+	cancel := c.cancel
+	for i := blo; i < bhi; i++ {
+		if cancel != nil && i%cancelStride == 0 && cancel.Load() {
+			break
+		}
+		off := (lo + i) * d
+		q := wf[off : off+d : off+d]
+		n := point.CountDominatorsInFlatRun(skyData, d, 0, nSky, q, 0, nil, nil, k, &local)
+		cnt[i] = int32(n)
+		if n >= k {
+			f[i] = 1
+		}
+	}
+	c.dts.Inc(tid, local)
+}
+
+// runQPhase2K is Q-Flow's counting Phase II; see runPhase2K for why the
+// peer-flag race cannot disturb a survivor's exact count.
+func (c *Context) runQPhase2K(tid, blo, bhi int) {
+	var local uint64
+	d := c.d
+	k := c.k
+	lo := c.blockLo
+	f := c.blockF
+	cnt := c.blockC
+	rows := c.curWork.Flat()[lo*c.d:]
+	cancel := c.cancel
+	for i := blo; i < bhi; i++ {
+		if cancel != nil && i%cancelStride == 0 && cancel.Load() {
+			break
+		}
+		off := i * d
+		q := rows[off : off+d : off+d]
+		budget := k - int(cnt[i])
+		n := point.CountDominatorsInFlatRun(rows, d, 0, i, q, 0, nil, f, budget, &local)
+		if n >= budget {
+			cnt[i] = int32(k)
+			storeFlag(&f[i])
+		} else {
+			cnt[i] += int32(n)
 		}
 	}
 	c.dts.Inc(tid, local)

@@ -37,6 +37,12 @@ type HybridOptions struct {
 	// NoPhase2Split disables the three-loop decomposition of Phase II:
 	// every preceding peer gets a full dominance test (ablation).
 	NoPhase2Split bool
+	// SkybandK generalizes the computation to the k-skyband: the result
+	// is every point dominated by fewer than SkybandK others, with exact
+	// per-point dominator counts available from Context.Counts. Values
+	// ≤ 1 select the plain skyline path, which is bit-identical to a
+	// zero SkybandK.
+	SkybandK int
 	// Stats, when non-nil, receives phase timings and DT counts.
 	Stats *stats.Stats
 	// Progressive, when non-nil, is invoked after each α-block with the
@@ -83,6 +89,12 @@ func (c *Context) Hybrid(m point.Matrix, opt HybridOptions) []int {
 	if alpha <= 0 {
 		alpha = DefaultAlphaHybrid
 	}
+	k := opt.SkybandK
+	if k < 1 {
+		k = 1
+	}
+	c.k = k
+	c.lastCounts = nil
 	st := opt.Stats
 	if st == nil {
 		c.st = stats.Stats{}
@@ -110,7 +122,7 @@ func (c *Context) Hybrid(m point.Matrix, opt HybridOptions) []int {
 		}
 		surv = c.seq
 	} else {
-		surv = c.pf.Filter(m, c.l1, opt.Beta, c.pool, c.tEff, c.dts)
+		surv = c.pf.Filter(m, c.l1, opt.Beta, k, c.pool, c.tEff, c.dts)
 	}
 	timer.Stop(stats.PhasePrefilt)
 	if c.canceled() {
@@ -153,6 +165,13 @@ func (c *Context) Hybrid(m point.Matrix, opt HybridOptions) []int {
 	c.level2 = !opt.NoLevel2
 	c.noMS = opt.NoMS
 	c.noSplit = opt.NoPhase2Split
+	p1, p2 := c.p1Body, c.p2Body
+	var bcnt []int32
+	if k > 1 {
+		c.bcnt = grow(c.bcnt, alpha)
+		bcnt = c.bcnt
+		p1, p2 = c.p1kBody, c.p2kBody
+	}
 
 	for lo := 0; lo < ns; lo += alpha {
 		// Cancellation checkpoint: one poll per α-block keeps the
@@ -171,26 +190,29 @@ func (c *Context) Hybrid(m point.Matrix, opt HybridOptions) []int {
 		}
 		c.blockLo = lo
 		c.blockF = f
+		if bcnt != nil {
+			c.blockC = bcnt[:block]
+		}
 
 		// Phase I (parallel, Algorithm 3): test block points against the
 		// global skyline through M(S).
-		c.forRanges(block, c.p1Body)
+		c.forRanges(block, p1)
 		timer.Stop(stats.PhaseOne)
 
-		surv1 := compress(wk, c.wl1, c.worig, c.wmask, lo, block, f)
+		surv1 := compress(wk, c.wl1, c.worig, c.wmask, bcnt, lo, block, f)
 		timer.Stop(stats.PhaseCompress)
 
 		// Phase II (parallel, Algorithm 4): three-loop peer comparison.
 		c.blockF = f[:surv1]
-		c.forRanges(surv1, c.p2Body)
+		c.forRanges(surv1, p2)
 		timer.Stop(stats.PhaseTwo)
 
-		final := compress(wk, c.wl1, c.worig, c.wmask, lo, surv1, f)
+		final := compress(wk, c.wl1, c.worig, c.wmask, bcnt, lo, surv1, f)
 		timer.Stop(stats.PhaseCompress)
 
 		// Update S and M(S) (Algorithm 2) — sequential O(α) work.
 		firstNew := c.sky.size()
-		c.sky.update(wk, c.wl1, c.worig, c.wmask, lo, final, c.level2)
+		c.sky.update(wk, c.wl1, c.worig, c.wmask, bcnt, lo, final, c.level2)
 		if opt.Progressive != nil && final > 0 {
 			opt.Progressive(c.sky.orig[firstNew:])
 		}
@@ -199,7 +221,65 @@ func (c *Context) Hybrid(m point.Matrix, opt HybridOptions) []int {
 
 	st.SkylineSize = c.sky.size()
 	st.DominanceTests = c.dts.Sum()
+	if k > 1 {
+		c.lastCounts = c.sky.counts
+	}
 	return c.sky.orig
+}
+
+// countPeersNaive is the counting form of comparedToPeersNaive: every
+// unpruned preceding peer contributes to the dominator count, capped at
+// budget.
+func countPeersNaive(wf []float64, wl1 []float64, lo, me int, f []uint32, dim, budget int, dts *uint64) int {
+	rows := wf[lo*dim:]
+	off := me * dim
+	q := rows[off : off+dim : off+dim]
+	return point.CountDominatorsInFlatRun(rows, dim, 0, me, q, wl1[lo+me], wl1[lo:], f, budget, dts)
+}
+
+// countPeers is the counting form of comparedToPeers: the same
+// three-loop decomposition of Algorithm 4, accumulating the probe's
+// dominator count among preceding surviving peers instead of aborting
+// on the first hit, and stopping once the count reaches budget. Pruned
+// peers are skipped — sound for counting, not just for the boolean
+// test, because a pruned peer has ≥ k dominators and therefore cannot
+// be a band point, and only band points contribute to a band member's
+// exact count (DESIGN.md §9).
+func countPeers(wf []float64, wl1 []float64, wmask []point.Mask, lo, me int, f []uint32, dim, budget int, dts *uint64) int {
+	qOff := (lo + me) * dim
+	q := wf[qOff : qOff+dim : qOff+dim]
+	myMask := wmask[lo+me]
+	myLevel := myMask.Level()
+	myL1 := wl1[lo+me]
+	c := 0
+	i := 0
+	// Loop 1: lower levels — cheap filter, then DT.
+	for ; i < me && wmask[lo+i].Level() < myLevel; i++ {
+		if atomic.LoadUint32(&f[i]) != 0 {
+			continue
+		}
+		if !wmask[lo+i].Subset(myMask) {
+			continue
+		}
+		if wl1[lo+i] == myL1 {
+			continue
+		}
+		*dts++
+		if point.DominatesFlat(wf, (lo+i)*dim, qOff, dim) {
+			c++
+			if c >= budget {
+				return c
+			}
+		}
+	}
+	// Loop 2: same level, different mask — incomparable, skip outright.
+	for ; i < me && wmask[lo+i] != myMask; i++ {
+	}
+	// Loop 3: same partition — a contiguous counting run.
+	if i < me {
+		c += point.CountDominatorsInFlatRun(wf[lo*dim:], dim, i, me, q, myL1, wl1[lo:], f, budget-c, dts)
+	}
+	return c
 }
 
 // comparedToPeersNaive is the no-decomposition ablation of Phase II:

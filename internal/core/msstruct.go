@@ -20,12 +20,13 @@ type msEntry struct {
 // embedded in a Context and reused across runs: reset keeps the
 // underlying capacity so steady-state runs allocate nothing.
 type skylineStore struct {
-	d     int
-	data  []float64    // len = n*d, row-major skyline points
-	mask1 []point.Mask // level-1 mask of every skyline point
-	mask2 []point.Mask // level-2 mask (Algorithm 2); pivots retain level-1
-	orig  []int        // original input indices
-	ms    []msEntry    // M(S): partition directory + trailing sentinel
+	d      int
+	data   []float64    // len = n*d, row-major skyline points
+	mask1  []point.Mask // level-1 mask of every skyline point
+	mask2  []point.Mask // level-2 mask (Algorithm 2); pivots retain level-1
+	orig   []int        // original input indices
+	counts []int32      // dominator counts (k-skyband runs only; else empty)
+	ms     []msEntry    // M(S): partition directory + trailing sentinel
 }
 
 func newSkylineStore(d int) *skylineStore {
@@ -40,6 +41,7 @@ func (s *skylineStore) reset(d int) {
 	s.mask1 = s.mask1[:0]
 	s.mask2 = s.mask2[:0]
 	s.orig = s.orig[:0]
+	s.counts = s.counts[:0]
 	s.ms = s.ms[:0]
 }
 
@@ -60,7 +62,12 @@ func (s *skylineStore) row(j int) []float64 {
 //
 // When level2 is false (ablation), points keep their level-1 masks and no
 // re-partitioning happens, but the partition directory is still extended.
-func (s *skylineStore) update(work point.Matrix, wl1 []float64, worig []int, wmask []point.Mask, lo, count int, level2 bool) {
+//
+// bcnt, when non-nil, holds the block-relative dominator counts of the
+// appended points (k-skyband runs); they are recorded alongside so the
+// caller can surface per-point counts. Skyline runs pass nil and the
+// counts column stays empty.
+func (s *skylineStore) update(work point.Matrix, wl1 []float64, worig []int, wmask []point.Mask, bcnt []int32, lo, count int, level2 bool) {
 	if count == 0 {
 		return
 	}
@@ -77,6 +84,9 @@ func (s *skylineStore) update(work point.Matrix, wl1 []float64, worig []int, wma
 		m1 := wmask[lo+i]
 		s.data = append(s.data, work.Row(lo+i)...)
 		s.orig = append(s.orig, worig[lo+i])
+		if bcnt != nil {
+			s.counts = append(s.counts, bcnt[i])
+		}
 		s.mask1 = append(s.mask1, m1)
 		if curPivot >= 0 && m1 == curMask {
 			// Same partition as the current top: assign level-2 mask
@@ -147,4 +157,59 @@ func (s *skylineStore) dominatedHybrid(q []float64, qMask point.Mask, level2 boo
 // linearly, filtering by level-1 masks only.
 func (s *skylineStore) dominatedFlat(q []float64, qMask point.Mask, dts *uint64) bool {
 	return point.DominatedInFlatRunMasked(s.data, s.d, 0, s.size(), q, s.mask1, qMask, dts)
+}
+
+// countDominators is the k-skyband generalization of dominatedHybrid:
+// it accumulates the number of stored band points that dominate q, in
+// partition-directory order, stopping as soon as the count reaches
+// budget (a probe with ≥ budget dominators is discarded, so the excess
+// is never needed). Two skyline-path shortcuts change shape here. A
+// full level-2 mask against a segment pivot contributes one dominator
+// and the segment scan continues, instead of ending the probe. And a
+// probe coinciding with a segment pivot only skips that segment — the
+// pivot has the segment's smallest L1 norm, so no other member can
+// dominate it (or the coincident probe) — rather than proving the probe
+// undominated outright: a band pivot, unlike a skyline pivot, may
+// itself be dominated by points in subset-mask segments, which this
+// loop visits on its own.
+func (s *skylineStore) countDominators(q []float64, qMask point.Mask, level2 bool, budget int, dts *uint64) int {
+	full := point.FullMask(s.d)
+	d := s.d
+	data := s.data
+	c := 0
+	for e := 0; e+1 < len(s.ms); e++ {
+		pm := s.ms[e].mask
+		if !pm.Subset(qMask) {
+			continue // whole region incomparable with q — skip all DTs
+		}
+		lo, hi := s.ms[e].start, s.ms[e+1].start
+		if !level2 {
+			c += point.CountDominatorsInFlatRun(data, d, lo, hi, q, 0, nil, nil, budget-c, dts)
+			if c >= budget {
+				return c
+			}
+			continue
+		}
+		*dts++
+		m2 := point.ComputeMask(q, data[lo*d:(lo+1)*d:(lo+1)*d])
+		if m2 == full {
+			if point.EqualsFlat2(data, lo*d, q, 0, d) {
+				continue // coincides with the pivot: segment contributes 0
+			}
+			c++ // the pivot dominates q
+			if c >= budget {
+				return c
+			}
+		}
+		c += point.CountDominatorsInFlatRunMasked(data, d, lo+1, hi, q, s.mask2, m2, budget-c, dts)
+		if c >= budget {
+			return c
+		}
+	}
+	return c
+}
+
+// countDominatorsFlat is the no-M(S) ablation of the counting Phase I.
+func (s *skylineStore) countDominatorsFlat(q []float64, qMask point.Mask, budget int, dts *uint64) int {
+	return point.CountDominatorsInFlatRunMasked(s.data, s.d, 0, s.size(), q, s.mask1, qMask, budget, dts)
 }

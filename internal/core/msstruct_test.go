@@ -51,7 +51,7 @@ func buildStore(t *testing.T, rows [][]float64, pivot []float64, blockSize int, 
 		if hi > n {
 			hi = n
 		}
-		s.update(sorted, sl1, sorig, smask, lo, hi-lo, level2)
+		s.update(sorted, sl1, sorig, smask, nil, lo, hi-lo, level2)
 	}
 	return s
 }
@@ -180,7 +180,7 @@ func TestDominatedHybridMatchesBruteScan(t *testing.T) {
 
 func TestStoreUpdateEmptyBlockIsNoop(t *testing.T) {
 	s := newSkylineStore(2)
-	s.update(point.NewMatrix(0, 2), nil, nil, nil, 0, 0, true)
+	s.update(point.NewMatrix(0, 2), nil, nil, nil, nil, 0, 0, true)
 	if s.size() != 0 || len(s.ms) != 0 {
 		t.Fatal("empty update must not create entries")
 	}

@@ -33,6 +33,12 @@ type QFlowOptions struct {
 	// the run abandons its remaining work and returns an unspecified
 	// partial result, which the caller must discard.
 	Cancel *atomic.Bool
+	// SkybandK generalizes the computation to the k-skyband: the result
+	// is every point dominated by fewer than SkybandK others, with exact
+	// per-point dominator counts available from Context.Counts. Values
+	// ≤ 1 select the plain skyline path, which is bit-identical to a
+	// zero SkybandK.
+	SkybandK int
 }
 
 // QFlow computes SKY(m) with the Q-Flow algorithm (Algorithm 1) and
@@ -64,6 +70,12 @@ func (c *Context) QFlow(m point.Matrix, opt QFlowOptions) []int {
 	if alpha <= 0 {
 		alpha = DefaultAlphaQFlow
 	}
+	k := opt.SkybandK
+	if k < 1 {
+		k = 1
+	}
+	c.k = k
+	c.lastCounts = nil
 	st := opt.Stats
 	if st == nil {
 		c.st = stats.Stats{}
@@ -104,14 +116,22 @@ func (c *Context) QFlow(m point.Matrix, opt QFlowOptions) []int {
 	skyData := c.qskyData[:0]
 	skyL1 := c.qskyL1[:0]
 	skyOrig := c.qskyOrig[:0]
+	skyCnt := c.qskyCnt[:0]
 
 	c.flags = grow(c.flags, alpha)
+	p1, p2 := c.qp1Body, c.qp2Body
+	var bcnt []int32
+	if k > 1 {
+		c.bcnt = grow(c.bcnt, alpha)
+		bcnt = c.bcnt
+		p1, p2 = c.qp1kBody, c.qp2kBody
+	}
 
 	for lo := 0; lo < n; lo += alpha {
 		// Cancellation checkpoint: one poll per α-block keeps the
 		// between-poll work bounded by a block's worth of phases.
 		if c.canceled() {
-			c.qskyData, c.qskyL1, c.qskyOrig = skyData, skyL1, skyOrig
+			c.qskyData, c.qskyL1, c.qskyOrig, c.qskyCnt = skyData, skyL1, skyOrig, skyCnt
 			return nil
 		}
 		hi := lo + alpha
@@ -125,25 +145,29 @@ func (c *Context) QFlow(m point.Matrix, opt QFlowOptions) []int {
 		}
 		c.blockLo = lo
 		c.blockF = f
+		if bcnt != nil {
+			c.blockC = bcnt[:block]
+		}
 		c.qskyData, c.qskyL1 = skyData, skyL1
 
 		// Phase I (parallel): compare each block point to the global
-		// skyline in L1 order, aborting on the first dominator.
-		c.forRanges(block, c.qp1Body)
+		// skyline in L1 order, aborting on the first dominator (skyline)
+		// or at the k-th one (skyband).
+		c.forRanges(block, p1)
 		timer.Stop(stats.PhaseOne)
 
 		// Compression: shift survivors left, re-establishing contiguity.
-		surv := compress(wk, c.wl1, c.worig, nil, lo, block, f)
+		surv := compress(wk, c.wl1, c.worig, nil, bcnt, lo, block, f)
 		timer.Stop(stats.PhaseCompress)
 
 		// Phase II (parallel): compare each survivor to preceding
 		// survivors in the block. Flags are atomic so threads can skip
 		// peers already known to be dominated (sound by transitivity).
 		c.blockF = f[:surv]
-		c.forRanges(surv, c.qp2Body)
+		c.forRanges(surv, p2)
 		timer.Stop(stats.PhaseTwo)
 
-		final := compress(wk, c.wl1, c.worig, nil, lo, surv, f)
+		final := compress(wk, c.wl1, c.worig, nil, bcnt, lo, surv, f)
 		timer.Stop(stats.PhaseCompress)
 
 		// Append the block's confirmed skyline points to the global
@@ -154,25 +178,32 @@ func (c *Context) QFlow(m point.Matrix, opt QFlowOptions) []int {
 			skyL1 = append(skyL1, c.wl1[lo+i])
 			skyOrig = append(skyOrig, c.worig[lo+i])
 		}
+		if bcnt != nil {
+			skyCnt = append(skyCnt, bcnt[:final]...)
+		}
 		if opt.Progressive != nil && final > 0 {
 			opt.Progressive(skyOrig[firstNew:])
 		}
 		timer.Stop(stats.PhaseOther)
 	}
 
-	c.qskyData, c.qskyL1, c.qskyOrig = skyData, skyL1, skyOrig
+	c.qskyData, c.qskyL1, c.qskyOrig, c.qskyCnt = skyData, skyL1, skyOrig, skyCnt
 	st.SkylineSize = len(skyOrig)
 	st.DominanceTests = c.dts.Sum()
+	if k > 1 {
+		c.lastCounts = skyCnt
+	}
 	return skyOrig
 }
 
 // compress shifts the unflagged rows of the block starting at row lo with
 // the given length to the front of the block, moving the parallel
-// metadata arrays (l1, orig, and mask when non-nil) along with the point
-// data. It returns the number of survivors. This is the synchronization-
-// point compression of Section V-D: it removes branches and restores the
-// contiguous layout Phase II and the skyline append depend on.
-func compress(work point.Matrix, wl1 []float64, worig []int, wmask []point.Mask, lo, length int, flags []uint32) int {
+// metadata arrays (l1, orig, and — when non-nil — mask and the
+// block-relative dominator counts) along with the point data. It returns
+// the number of survivors. This is the synchronization-point compression
+// of Section V-D: it removes branches and restores the contiguous layout
+// Phase II and the skyline append depend on.
+func compress(work point.Matrix, wl1 []float64, worig []int, wmask []point.Mask, bcnt []int32, lo, length int, flags []uint32) int {
 	w := 0
 	for i := 0; i < length; i++ {
 		if flags[i] != 0 {
@@ -184,6 +215,9 @@ func compress(work point.Matrix, wl1 []float64, worig []int, wmask []point.Mask,
 			worig[lo+w] = worig[lo+i]
 			if wmask != nil {
 				wmask[lo+w] = wmask[lo+i]
+			}
+			if bcnt != nil {
+				bcnt[w] = bcnt[i]
 			}
 			flags[w] = 0
 		}

@@ -1,0 +1,236 @@
+package point
+
+import "sync/atomic"
+
+// Counting dominance kernels: the k-skyband companions of the boolean
+// run kernels in flat.go. Where DominatedInFlatRun answers "is the probe
+// dominated at all" and aborts on the first dominator, these kernels
+// answer "by how many rows is the probe dominated, up to a budget":
+// CountDominatorsInFlatRun accumulates the probe's dominator count and
+// stops as soon as the count reaches the caller's budget, because a
+// k-skyband algorithm only ever needs to know whether a point has
+// reached k dominators, never the exact excess. With budget 1 the
+// kernels degenerate to the boolean ones; the hot paths keep calling
+// the unrolled k=1 kernels directly so the skyline path is untouched.
+
+// CountDominatorsInFlatRun counts the rows j ∈ [lo, hi) of the
+// row-major flat matrix rows (d columns per row) that strictly dominate
+// the probe q (length d), stopping early once the count reaches budget
+// (which must be ≥ 1); the return value is min(true count, budget).
+// The optional per-row filters match DominatedInFlatRun exactly: when
+// l1 is non-nil, rows with l1[j] == qL1 are skipped (equal L1 norms
+// preclude dominance, footnote 2 of the paper); when skip is non-nil,
+// rows with a nonzero skip[j] are passed over, read with atomic loads so
+// concurrent phase workers may set flags mid-scan. *dts is advanced by
+// the number of dominance tests actually performed.
+func CountDominatorsInFlatRun(rows []float64, d, lo, hi int, q []float64, qL1 float64, l1 []float64, skip []uint32, budget int, dts *uint64) int {
+	switch d {
+	case 4:
+		return cntRun4(rows, lo, hi, q, qL1, l1, skip, budget, dts)
+	case 6:
+		return cntRun6(rows, lo, hi, q, qL1, l1, skip, budget, dts)
+	case 8:
+		return cntRun8(rows, lo, hi, q, qL1, l1, skip, budget, dts)
+	default:
+		return cntRunGeneric(rows, d, lo, hi, q, qL1, l1, skip, budget, dts)
+	}
+}
+
+func cntRunGeneric(rows []float64, d, lo, hi int, q []float64, qL1 float64, l1 []float64, skip []uint32, budget int, dts *uint64) int {
+	n := *dts
+	c := 0
+	off := lo * d
+	for j := lo; j < hi; j, off = j+1, off+d {
+		if skip != nil && atomic.LoadUint32(&skip[j]) != 0 {
+			continue
+		}
+		if l1 != nil && l1[j] == qL1 {
+			continue
+		}
+		n++
+		r := rows[off : off+d : off+d]
+		strict := false
+		dominates := true
+		for k, v := range r {
+			w := q[k]
+			if v > w {
+				dominates = false
+				break
+			}
+			if v < w {
+				strict = true
+			}
+		}
+		if dominates && strict {
+			c++
+			if c >= budget {
+				break
+			}
+		}
+	}
+	*dts = n
+	return c
+}
+
+func cntRun4(rows []float64, lo, hi int, q []float64, qL1 float64, l1 []float64, skip []uint32, budget int, dts *uint64) int {
+	q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
+	n := *dts
+	c := 0
+	off := lo * 4
+	for j := lo; j < hi; j, off = j+1, off+4 {
+		if skip != nil && atomic.LoadUint32(&skip[j]) != 0 {
+			continue
+		}
+		if l1 != nil && l1[j] == qL1 {
+			continue
+		}
+		n++
+		r := rows[off : off+4 : off+4]
+		if r[0] > q0 || r[1] > q1 || r[2] > q2 || r[3] > q3 {
+			continue
+		}
+		if r[0] < q0 || r[1] < q1 || r[2] < q2 || r[3] < q3 {
+			c++
+			if c >= budget {
+				break
+			}
+		}
+	}
+	*dts = n
+	return c
+}
+
+func cntRun6(rows []float64, lo, hi int, q []float64, qL1 float64, l1 []float64, skip []uint32, budget int, dts *uint64) int {
+	q0, q1, q2, q3, q4, q5 := q[0], q[1], q[2], q[3], q[4], q[5]
+	n := *dts
+	c := 0
+	off := lo * 6
+	for j := lo; j < hi; j, off = j+1, off+6 {
+		if skip != nil && atomic.LoadUint32(&skip[j]) != 0 {
+			continue
+		}
+		if l1 != nil && l1[j] == qL1 {
+			continue
+		}
+		n++
+		r := rows[off : off+6 : off+6]
+		if r[0] > q0 || r[1] > q1 || r[2] > q2 || r[3] > q3 || r[4] > q4 || r[5] > q5 {
+			continue
+		}
+		if r[0] < q0 || r[1] < q1 || r[2] < q2 || r[3] < q3 || r[4] < q4 || r[5] < q5 {
+			c++
+			if c >= budget {
+				break
+			}
+		}
+	}
+	*dts = n
+	return c
+}
+
+func cntRun8(rows []float64, lo, hi int, q []float64, qL1 float64, l1 []float64, skip []uint32, budget int, dts *uint64) int {
+	q0, q1, q2, q3, q4, q5, q6, q7 := q[0], q[1], q[2], q[3], q[4], q[5], q[6], q[7]
+	n := *dts
+	c := 0
+	off := lo * 8
+	for j := lo; j < hi; j, off = j+1, off+8 {
+		if skip != nil && atomic.LoadUint32(&skip[j]) != 0 {
+			continue
+		}
+		if l1 != nil && l1[j] == qL1 {
+			continue
+		}
+		n++
+		r := rows[off : off+8 : off+8]
+		if r[0] > q0 || r[1] > q1 || r[2] > q2 || r[3] > q3 ||
+			r[4] > q4 || r[5] > q5 || r[6] > q6 || r[7] > q7 {
+			continue
+		}
+		if r[0] < q0 || r[1] < q1 || r[2] < q2 || r[3] < q3 ||
+			r[4] < q4 || r[5] < q5 || r[6] < q6 || r[7] < q7 {
+			c++
+			if c >= budget {
+				break
+			}
+		}
+	}
+	*dts = n
+	return c
+}
+
+// CountDominatorsInFlatRunMasked is CountDominatorsInFlatRun with the
+// partition-mask filter of DominatedInFlatRunMasked fused in: row j is
+// dominance-tested only when masks[j] ⊆ qm. It is the kernel behind the
+// skyband variant of the M(S) partition scans.
+func CountDominatorsInFlatRunMasked(rows []float64, d, lo, hi int, q []float64, masks []Mask, qm Mask, budget int, dts *uint64) int {
+	n := *dts
+	c := 0
+	off := lo * d
+	for j := lo; j < hi; j, off = j+1, off+d {
+		if masks[j]&qm != masks[j] {
+			continue
+		}
+		n++
+		r := rows[off : off+d : off+d]
+		strict := false
+		dominates := true
+		for k, v := range r {
+			w := q[k]
+			if v > w {
+				dominates = false
+				break
+			}
+			if v < w {
+				strict = true
+			}
+		}
+		if dominates && strict {
+			c++
+			if c >= budget {
+				break
+			}
+		}
+	}
+	*dts = n
+	return c
+}
+
+// AppendDominatorsInFlatRun appends to dst the indices j ∈ [lo, hi) of
+// up to budget rows that strictly dominate the probe q, in scan order,
+// and returns the extended slice. It is the collecting companion of
+// FirstDominatorInFlatRun for incremental k-skyband maintenance, where
+// a dominated point must be filed under every dominator the structure
+// tracks, not just the first. l1, when non-nil, holds the L1 norm of
+// every row and prunes rows with l1[j] >= qL1 before the dominance test
+// (a dominator's L1 norm is strictly smaller, footnote 2 of the paper).
+// *dts is advanced by the number of dominance tests performed.
+func AppendDominatorsInFlatRun(dst []int32, rows []float64, d, lo, hi int, q []float64, qL1 float64, l1 []float64, budget int, dts *uint64) []int32 {
+	n := *dts
+	need := budget - len(dst)
+	off := lo * d
+	for j := lo; j < hi && need > 0; j, off = j+1, off+d {
+		if l1 != nil && l1[j] >= qL1 {
+			continue
+		}
+		n++
+		r := rows[off : off+d : off+d]
+		strict := false
+		dominates := true
+		for k, v := range r {
+			w := q[k]
+			if v > w {
+				dominates = false
+				break
+			}
+			if v < w {
+				strict = true
+			}
+		}
+		if dominates && strict {
+			dst = append(dst, int32(j))
+			need--
+		}
+	}
+	*dts = n
+	return dst
+}

@@ -1,0 +1,185 @@
+package point
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// countOracle is the scalar reference for every counting kernel: the
+// number of rows in [lo, hi) that strictly dominate q, subject to the
+// same optional filters, capped at budget.
+func countOracle(rows []float64, d, lo, hi int, q []float64, qL1 float64, l1 []float64, skip []uint32, budget int) int {
+	c := 0
+	for j := lo; j < hi; j++ {
+		if skip != nil && skip[j] != 0 {
+			continue
+		}
+		if l1 != nil && l1[j] == qL1 {
+			continue
+		}
+		if Dominates(rows[j*d:(j+1)*d], q) {
+			c++
+			if c >= budget {
+				return c
+			}
+		}
+	}
+	return c
+}
+
+// randRun builds a small flat matrix on a coarse grid (frequent ties and
+// dominance) plus a probe drawn the same way.
+func randRun(rng *rand.Rand, n, d int) (rows []float64, q []float64) {
+	rows = make([]float64, n*d)
+	for i := range rows {
+		rows[i] = float64(rng.Intn(4)) / 3
+	}
+	q = make([]float64, d)
+	for i := range q {
+		q[i] = float64(rng.Intn(4)) / 3
+	}
+	return rows, q
+}
+
+func TestCountDominatorsInFlatRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, d := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 12} {
+		for trial := 0; trial < 400; trial++ {
+			n := 1 + rng.Intn(24)
+			rows, q := randRun(rng, n, d)
+			lo := rng.Intn(n)
+			hi := lo + rng.Intn(n-lo+1)
+			budget := 1 + rng.Intn(5)
+
+			var l1 []float64
+			qL1 := L1(q)
+			if rng.Intn(2) == 0 {
+				l1 = make([]float64, n)
+				for j := 0; j < n; j++ {
+					l1[j] = L1(rows[j*d : (j+1)*d])
+				}
+			}
+			var skip []uint32
+			if rng.Intn(2) == 0 {
+				skip = make([]uint32, n)
+				for j := range skip {
+					skip[j] = uint32(rng.Intn(2))
+				}
+			}
+
+			var dts uint64
+			got := CountDominatorsInFlatRun(rows, d, lo, hi, q, qL1, l1, skip, budget, &dts)
+			want := countOracle(rows, d, lo, hi, q, qL1, l1, skip, budget)
+			if got != want {
+				t.Fatalf("d=%d n=%d [%d,%d) budget=%d: got %d want %d", d, n, lo, hi, budget, got, want)
+			}
+			if want < budget && dts == 0 && want > 0 {
+				t.Fatalf("dominators found without dominance tests")
+			}
+		}
+	}
+}
+
+func TestCountDominatorsBudgetOneMatchesBoolean(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, d := range []int{2, 4, 6, 8, 10} {
+		for trial := 0; trial < 300; trial++ {
+			n := 1 + rng.Intn(16)
+			rows, q := randRun(rng, n, d)
+			var a, b uint64
+			got := CountDominatorsInFlatRun(rows, d, 0, n, q, 0, nil, nil, 1, &a)
+			want := DominatedInFlatRun(rows, d, 0, n, q, 0, nil, nil, &b)
+			if (got == 1) != want {
+				t.Fatalf("d=%d budget-1 count=%d, boolean=%v", d, got, want)
+			}
+		}
+	}
+}
+
+func TestCountDominatorsInFlatRunMasked(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, d := range []int{2, 3, 4, 6, 8} {
+		pivot := make([]float64, d)
+		for i := range pivot {
+			pivot[i] = 0.5
+		}
+		for trial := 0; trial < 300; trial++ {
+			n := 1 + rng.Intn(24)
+			rows, q := randRun(rng, n, d)
+			masks := make([]Mask, n)
+			for j := 0; j < n; j++ {
+				masks[j] = ComputeMask(rows[j*d:(j+1)*d], pivot)
+			}
+			qm := ComputeMask(q, pivot)
+			budget := 1 + rng.Intn(4)
+
+			var dts uint64
+			got := CountDominatorsInFlatRunMasked(rows, d, 0, n, q, masks, qm, budget, &dts)
+
+			// Oracle: mask filter, then dominance, capped.
+			want := 0
+			for j := 0; j < n && want < budget; j++ {
+				if !masks[j].Subset(qm) {
+					continue
+				}
+				if Dominates(rows[j*d:(j+1)*d], q) {
+					want++
+				}
+			}
+			if got != want {
+				t.Fatalf("d=%d n=%d budget=%d: got %d want %d", d, n, budget, got, want)
+			}
+
+			// The mask filter must never drop a dominator: unfiltered count
+			// with an unbounded budget matches the brute-force total.
+			var dts2 uint64
+			unf := CountDominatorsInFlatRunMasked(rows, d, 0, n, q, masks, qm, n+1, &dts2)
+			brute := countOracle(rows, d, 0, n, q, 0, nil, nil, n+1)
+			if unf != brute {
+				t.Fatalf("d=%d mask filter dropped dominators: %d vs %d", d, unf, brute)
+			}
+		}
+	}
+}
+
+func TestAppendDominatorsInFlatRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, d := range []int{1, 2, 4, 6, 8} {
+		for trial := 0; trial < 300; trial++ {
+			n := 1 + rng.Intn(24)
+			rows, q := randRun(rng, n, d)
+			qL1 := L1(q)
+			l1 := make([]float64, n)
+			for j := 0; j < n; j++ {
+				l1[j] = L1(rows[j*d : (j+1)*d])
+			}
+			budget := 1 + rng.Intn(4)
+
+			var dts uint64
+			got := AppendDominatorsInFlatRun(nil, rows, d, 0, n, q, qL1, l1, budget, &dts)
+
+			var want []int32
+			for j := 0; j < n && len(want) < budget; j++ {
+				if Dominates(rows[j*d:(j+1)*d], q) {
+					want = append(want, int32(j))
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("d=%d budget=%d: got %v want %v", d, budget, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("d=%d budget=%d: got %v want %v", d, budget, got, want)
+				}
+			}
+
+			// Budget 1 agrees with FirstDominatorInFlatRun.
+			var a, b uint64
+			one := AppendDominatorsInFlatRun(nil, rows, d, 0, n, q, qL1, l1, 1, &a)
+			first := FirstDominatorInFlatRun(rows, d, 0, n, q, qL1, l1, &b)
+			if (len(one) == 0) != (first < 0) || (first >= 0 && one[0] != int32(first)) {
+				t.Fatalf("d=%d: Append budget-1 %v disagrees with FirstDominator %d", d, one, first)
+			}
+		}
+	}
+}

@@ -34,6 +34,7 @@ type Runner struct {
 	m    point.Matrix
 	l1   []float64
 	beta int
+	k    int // dominator budget: prune only points with ≥ k dominators
 	nq   int
 	dts  *stats.DTCounters
 
@@ -58,13 +59,26 @@ func NewRunner() *Runner {
 // budget can be smaller than the pool. The passes run without a
 // cancellation flag on purpose: skipping one would leave stale queue
 // indices from a previous (possibly larger) dataset to be consumed below.
-func (r *Runner) Filter(m point.Matrix, l1 []float64, beta int, pool *par.Pool, threads int, dts *stats.DTCounters) []int {
+//
+// k is the dominator budget of the run (≤ 1 selects the skyline): for a
+// k-skyband computation the filter may only discard points that already
+// have ≥ k dominators among the queue points, so both passes count
+// dominators up to k instead of aborting on the first, and the queue
+// union is pruned to its own k-skyband rather than its skyline. The
+// counts themselves are discarded: queue points survive into the main
+// algorithm's working set, which recounts every survivor's dominators
+// exactly — carrying partial counts out of the filter would double-count
+// them.
+func (r *Runner) Filter(m point.Matrix, l1 []float64, beta, k int, pool *par.Pool, threads int, dts *stats.DTCounters) []int {
 	n := m.N()
 	if n == 0 {
 		return nil
 	}
 	if beta <= 0 {
 		beta = DefaultBeta
+	}
+	if k < 1 {
+		k = 1
 	}
 	if threads <= 0 || threads > pool.Threads() {
 		threads = pool.Threads()
@@ -92,7 +106,7 @@ func (r *Runner) Filter(m point.Matrix, l1 []float64, beta int, pool *par.Pool, 
 		r.qcount[i] = 0
 	}
 
-	r.m, r.l1, r.beta, r.dts = m, l1, beta, dts
+	r.m, r.l1, r.beta, r.k, r.dts = m, l1, beta, k, dts
 
 	// Pass 1: per-thread β-queues; non-queue points tested against the
 	// local queue.
@@ -116,28 +130,30 @@ func (r *Runner) Filter(m point.Matrix, l1 []float64, beta int, pool *par.Pool, 
 		}
 		allq[j+1] = v
 	}
-	// Prune the union to its own skyline: a dominated queue point's
-	// victims are also its dominator's victims (transitivity), so
-	// dropping it leaves the surviving set unchanged while shrinking
-	// every pass-2 scan. With t threads the union holds t·β points whose
-	// mutual redundancy grows with t. L1 order means dominators precede.
+	// Prune the union to its own k-skyband (its skyline when k = 1): a
+	// probe with ≥ k dominators in the union always has ≥ k dominators in
+	// the union's k-skyband (every dominator of a band point is itself a
+	// band point, by transitivity), so dropping the out-of-band queue
+	// points leaves the surviving set unchanged while shrinking every
+	// pass-2 scan. With t threads the union holds t·β points whose mutual
+	// redundancy grows with t. L1 order means dominators precede, so
+	// counting against the already-kept prefix is exact.
 	flat := m.Flat()
 	var unionDTs uint64
 	kept := 0
 	for i := 0; i < nq; i++ {
 		p := allq[i]
-		dominated := false
-		for k := 0; k < kept; k++ {
-			if l1[allq[k]] == l1[p] {
+		doms := 0
+		for j := 0; j < kept && doms < k; j++ {
+			if l1[allq[j]] == l1[p] {
 				continue
 			}
 			unionDTs++
-			if point.DominatesFlat(flat, allq[k]*d, p*d, d) {
-				dominated = true
-				break
+			if point.DominatesFlat(flat, allq[j]*d, p*d, d) {
+				doms++
 			}
 		}
-		if !dominated {
+		if doms < k {
 			allq[kept] = p
 			kept++
 		}
@@ -215,7 +231,11 @@ func (r *Runner) runPass1(tid, lo, hi int) {
 			continue
 		}
 		q := flat[i*d : (i+1)*d : (i+1)*d]
-		if point.DominatedInFlatRun(dense, d, 0, cnt, q, l1[i], nil, nil, &localDTs) {
+		if k := r.k; k == 1 {
+			if point.DominatedInFlatRun(dense, d, 0, cnt, q, l1[i], nil, nil, &localDTs) {
+				r.pruned[i] = true
+			}
+		} else if point.CountDominatorsInFlatRun(dense, d, 0, cnt, q, l1[i], nil, nil, k, &localDTs) >= k {
 			r.pruned[i] = true
 		}
 	}
@@ -276,7 +296,11 @@ func (r *Runner) runPass2(tid, lo, hi int) {
 			}
 		}
 		q := flat[i*d : (i+1)*d : (i+1)*d]
-		if point.DominatedInFlatRun(qrows, d, 0, a, q, myL1, nil, nil, &localDTs) {
+		if k := r.k; k == 1 {
+			if point.DominatedInFlatRun(qrows, d, 0, a, q, myL1, nil, nil, &localDTs) {
+				r.pruned[i] = true
+			}
+		} else if point.CountDominatorsInFlatRun(qrows, d, 0, a, q, myL1, nil, nil, k, &localDTs) >= k {
 			r.pruned[i] = true
 		}
 	}

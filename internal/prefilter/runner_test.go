@@ -22,7 +22,7 @@ func TestRunnerMatchesFilter(t *testing.T) {
 				l1 := make([]float64, n)
 				m.L1All(l1)
 				want := Filter(m, l1, 0, threads, nil)
-				got := r.Filter(m, l1, 0, pool, 0, nil)
+				got := r.Filter(m, l1, 0, 1, pool, 0, nil)
 				if len(got) != len(want) {
 					t.Fatalf("%s n=%d t=%d: runner kept %d, filter kept %d",
 						dist, n, threads, len(got), len(want))
@@ -49,9 +49,9 @@ func TestRunnerZeroAlloc(t *testing.T) {
 	defer pool.Close()
 	dts := stats.NewDTCounters(4)
 	r := NewRunner()
-	r.Filter(m, l1, 0, pool, 0, dts) // warm scratch
+	r.Filter(m, l1, 0, 1, pool, 0, dts) // warm scratch
 	allocs := testing.AllocsPerRun(20, func() {
-		r.Filter(m, l1, 0, pool, 0, dts)
+		r.Filter(m, l1, 0, 1, pool, 0, dts)
 	})
 	if allocs != 0 {
 		t.Errorf("Runner.Filter allocates %.1f per call, want 0", allocs)
@@ -66,7 +66,7 @@ func TestRunnerNeverPrunesSkyline(t *testing.T) {
 	m.L1All(l1)
 	pool := par.NewPool(3)
 	defer pool.Close()
-	surv := NewRunner().Filter(m, l1, 4, pool, 0, nil)
+	surv := NewRunner().Filter(m, l1, 4, 1, pool, 0, nil)
 	kept := make(map[int]bool, len(surv))
 	for _, i := range surv {
 		kept[i] = true

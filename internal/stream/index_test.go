@@ -10,24 +10,32 @@ import (
 	"skybench/internal/point"
 )
 
-// bruteSkyline computes the exact skyline slots of the live set by the
-// n² definition, as the oracle for the maintained structure.
-func bruteSkyline(ix *Index, liveSlots []int32) []int32 {
-	var sky []int32
+// bruteBand computes the exact k-skyband slots of the live set by the
+// n² definition, with each member's dominator count, as the oracle for
+// the maintained structure. k = 1 degenerates to the skyline.
+func bruteBand(ix *Index, liveSlots []int32, k int) ([]int32, map[int32]int32) {
+	var band []int32
+	counts := make(map[int32]int32)
 	for _, s := range liveSlots {
-		dominated := false
+		doms := 0
 		for _, t := range liveSlots {
 			if t != s && point.DominatesFlat(ix.vals, int(t)*ix.d, int(s)*ix.d, ix.d) {
-				dominated = true
-				break
+				doms++
 			}
 		}
-		if !dominated {
-			sky = append(sky, s)
+		if doms < k {
+			band = append(band, s)
+			counts[s] = int32(doms)
 		}
 	}
-	slices.Sort(sky)
-	return sky
+	slices.Sort(band)
+	return band, counts
+}
+
+// bruteSkyline is bruteBand at k = 1, without the counts.
+func bruteSkyline(ix *Index, liveSlots []int32) []int32 {
+	band, _ := bruteBand(ix, liveSlots, 1)
+	return band
 }
 
 func sortedSkyline(ix *Index) []int32 {
@@ -86,9 +94,14 @@ func runRandomOps(t *testing.T, dist dataset.Distribution, d, nOps int, churn fl
 		if op%16 == 15 || op == nOps-1 {
 			ix.Validate()
 			got := sortedSkyline(ix)
-			want := bruteSkyline(ix, live)
+			want, wantCnt := bruteBand(ix, live, ix.K())
 			if !slices.Equal(got, want) {
-				t.Fatalf("op %d (%s d=%d): skyline %v, oracle %v", op, dist, d, got, want)
+				t.Fatalf("op %d (%s d=%d k=%d): band %v, oracle %v", op, dist, d, ix.K(), got, want)
+			}
+			for _, s := range got {
+				if c := ix.DominatorCount(s); c != wantCnt[s] {
+					t.Fatalf("op %d (%s d=%d k=%d): slot %d count %d, oracle %d", op, dist, d, ix.K(), s, c, wantCnt[s])
+				}
 			}
 			var fromEvents []int32
 			for s := range inSky {
@@ -96,7 +109,7 @@ func runRandomOps(t *testing.T, dist dataset.Distribution, d, nOps int, churn fl
 			}
 			slices.Sort(fromEvents)
 			if !slices.Equal(fromEvents, want) {
-				t.Fatalf("op %d: event-tracked skyline %v, oracle %v", op, fromEvents, want)
+				t.Fatalf("op %d: event-tracked band %v, oracle %v", op, fromEvents, want)
 			}
 		}
 	}
@@ -138,7 +151,7 @@ func TestIndexRebuildHook(t *testing.T) {
 	calls := 0
 	opt := Options{
 		RebuildFraction: 0.05,
-		Rebuild: func(vals []float64, n int) []int {
+		Rebuild: func(vals []float64, n int) ([]int, []int32) {
 			calls++
 			var sky []int
 			for i := 0; i < n; i++ {
@@ -150,7 +163,7 @@ func TestIndexRebuildHook(t *testing.T) {
 					sky = append(sky, i)
 				}
 			}
-			return sky
+			return sky, nil
 		},
 	}
 	// Enough points that rebuilds exceed rebuildMinEngine and actually
@@ -186,6 +199,96 @@ func TestIndexRebuildPreservesMembership(t *testing.T) {
 	}
 	if ix.Stats().Rebuilds == 0 {
 		t.Fatalf("rebuild not counted")
+	}
+}
+
+// TestIndexSkybandMatchesBruteForce drives the k > 1 maintenance —
+// multi-owner registrations, count decrements, delete promotions —
+// through the same random-churn harness, which cross-checks membership
+// AND exact dominator counts against the n² oracle.
+func TestIndexSkybandMatchesBruteForce(t *testing.T) {
+	for _, dist := range dataset.AllDistributions {
+		for _, d := range []int{1, 2, 4, 7} {
+			for _, k := range []int{2, 3, 5} {
+				runRandomOps(t, dist, d, 350, 0.35, 0, Options{K: k}, int64(1000*d+10*k)+int64(dist))
+			}
+		}
+	}
+}
+
+func TestIndexSkybandDuplicateHeavy(t *testing.T) {
+	// Coincident points never dominate each other, so duplicates on the
+	// band boundary must all stay in (or out) together.
+	runRandomOps(t, dataset.Independent, 3, 400, 0.4, 3, Options{K: 2}, 29)
+	runRandomOps(t, dataset.Anticorrelated, 4, 350, 0.3, 4, Options{K: 4}, 31)
+}
+
+func TestIndexSkybandFrequentRebuilds(t *testing.T) {
+	runRandomOps(t, dataset.Independent, 5, 350, 0.45, 0, Options{K: 3, RebuildFraction: 0.01}, 37)
+}
+
+func TestIndexSkybandNoRebuilds(t *testing.T) {
+	runRandomOps(t, dataset.Anticorrelated, 4, 350, 0.45, 0, Options{K: 2, RebuildFraction: math.Inf(1)}, 41)
+}
+
+// TestIndexSkybandRebuildHook drives escalation through an external
+// k-skyband hook that returns counts, as the public Engine-backed hook
+// does.
+func TestIndexSkybandRebuildHook(t *testing.T) {
+	const d, k = 4, 3
+	calls := 0
+	opt := Options{
+		K:               k,
+		RebuildFraction: 0.05,
+		Rebuild: func(vals []float64, n int) ([]int, []int32) {
+			calls++
+			var band []int
+			var counts []int32
+			for i := 0; i < n; i++ {
+				doms := 0
+				for j := 0; j < n && doms < k; j++ {
+					if j != i && point.DominatesFlat(vals, j*d, i*d, d) {
+						doms++
+					}
+				}
+				if doms < k {
+					band = append(band, i)
+					counts = append(counts, int32(doms))
+				}
+			}
+			return band, counts
+		},
+	}
+	runRandomOps(t, dataset.Independent, d, 900, 0.25, 0, opt, 43)
+	if calls == 0 {
+		t.Fatalf("rebuild hook never invoked")
+	}
+}
+
+// TestIndexKGENn checks k ≥ n: with more budget than points, everything
+// is in the band and deletes never promote (there is nothing out of
+// band to promote).
+func TestIndexKGENn(t *testing.T) {
+	m := dataset.Generate(dataset.Anticorrelated, 40, 3, 5)
+	ix := New(3, Options{K: 1000})
+	var slots []int32
+	for i := 0; i < m.N(); i++ {
+		slot, entered := ix.Insert(m.Row(i))
+		if !entered {
+			t.Fatalf("insert %d left the band with k=1000 > n", i)
+		}
+		slots = append(slots, slot)
+	}
+	if ix.SkylineSize() != m.N() {
+		t.Fatalf("band size %d, want %d", ix.SkylineSize(), m.N())
+	}
+	ix.Validate()
+	for _, s := range slots {
+		ix.Delete(s)
+		ix.Validate()
+	}
+	if ix.Len() != 0 || ix.SkylineSize() != 0 {
+		t.Fatalf("index not empty after deleting everything")
 	}
 }
 

@@ -32,6 +32,76 @@ func BruteForce(m point.Matrix) []int {
 	return out
 }
 
+// BruteForceSkyband computes the k-skyband of m by the O(n²)
+// definition: every point strictly dominated by fewer than k other
+// points, together with each member's exact dominator count. It returns
+// ascending indices into m with counts parallel to them, and is the
+// correctness oracle for the SkybandK query path and the stream
+// maintenance tests. k ≤ 1 degenerates to the skyline with all-zero
+// counts.
+func BruteForceSkyband(m point.Matrix, k int) ([]int, []int32) {
+	if k < 1 {
+		k = 1
+	}
+	n := m.N()
+	var out []int
+	var counts []int32
+	for i := 0; i < n; i++ {
+		p := m.Row(i)
+		doms := 0
+		for j := 0; j < n && doms < k; j++ {
+			if j != i && point.Dominates(m.Row(j), p) {
+				doms++
+			}
+		}
+		if doms < k {
+			out = append(out, i)
+			counts = append(counts, int32(doms))
+		}
+	}
+	return out, counts
+}
+
+// SameBand reports whether two k-skyband results select the same set of
+// input positions with the same per-point dominator counts. Order is
+// ignored. Counts must be nil on both sides (skyline results carry no
+// counts) or on neither — one-sided nil is a contract violation, not a
+// skipped comparison, so a path that loses its counts cannot pass.
+func SameBand(aIdx []int, aCnt []int32, bIdx []int, bCnt []int32) bool {
+	if len(aIdx) != len(bIdx) {
+		return false
+	}
+	if (aCnt == nil) != (bCnt == nil) {
+		return false
+	}
+	am := make(map[int]int32, len(aIdx))
+	for i, j := range aIdx {
+		c := int32(-1)
+		if aCnt != nil {
+			c = aCnt[i]
+		}
+		am[j] = c
+	}
+	if len(am) != len(aIdx) {
+		return false // duplicate indices
+	}
+	seen := make(map[int]bool, len(bIdx))
+	for i, j := range bIdx {
+		if seen[j] {
+			return false // duplicate indices on the b side
+		}
+		seen[j] = true
+		c, ok := am[j]
+		if !ok {
+			return false
+		}
+		if aCnt != nil && bCnt != nil && c != bCnt[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // SameSkyline reports whether two skyline results over the same matrix
 // select exactly the same set of input positions. Order is ignored.
 func SameSkyline(a, b []int) bool {

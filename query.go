@@ -62,6 +62,15 @@ type Query struct {
 	// and at least one of them must not be Ignore. Result indices always
 	// refer to the original dataset rows, whatever the preferences.
 	Prefs []Pref
+	// SkybandK generalizes the query from the skyline to the k-skyband:
+	// the result is every point strictly dominated by fewer than
+	// SkybandK others (under the query's preferences), with exact
+	// per-point dominator counts in Result.Counts and Result.TopK
+	// ranking the band. 0 and 1 both select the plain skyline path —
+	// bit-identical results, no counts. Values ≥ 2 are served by the
+	// Hybrid and QFlow algorithms only; other algorithms return an
+	// error. Negative values are invalid.
+	SkybandK int
 	// Threads caps the worker count for this query (≤ 0 uses the
 	// Engine's thread budget; values above it are clamped to it).
 	Threads int

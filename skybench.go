@@ -280,16 +280,59 @@ type Result struct {
 	// for callers that serialize their queries. Clone detaches a result
 	// from that storage.
 	Indices []int
+	// Counts holds the exact dominator count of each returned point,
+	// parallel to Indices, for k-skyband queries (Query.SkybandK ≥ 2):
+	// Counts[i] is the number of input points that strictly dominate
+	// Indices[i] under the query's preferences, always < SkybandK.
+	// Skyline queries leave Counts nil — every skyline point trivially
+	// has zero dominators. Counts follows the same aliasing rule as
+	// Indices.
+	Counts []int32
 	// Stats holds measurements of the run.
 	Stats Stats
 }
 
-// Clone returns a deep copy of the Result whose Indices are caller-owned
-// regardless of which entry point produced them — the escape hatch for
-// holding onto a zero-copy result past the producer's next query.
+// Clone returns a deep copy of the Result whose Indices and Counts are
+// caller-owned regardless of which entry point produced them — the
+// escape hatch for holding onto a zero-copy result past the producer's
+// next query.
 func (r Result) Clone() Result {
 	r.Indices = append([]int(nil), r.Indices...)
+	if r.Counts != nil {
+		r.Counts = append([]int32(nil), r.Counts...)
+	}
 	return r
+}
+
+// TopK returns the indices of the w result points with the fewest
+// dominators — the top-k dominance cut of a skyband result, the ranking
+// behind paginated "best, then next-best" serving. Ties keep the
+// result's own order (the ranking is stable), and w larger than the
+// band returns every member. For a skyline result (nil Counts) every
+// point has zero dominators, so TopK is simply the first w indices. The
+// returned slice is freshly allocated and caller-owned.
+func (r Result) TopK(w int) []int {
+	if w > len(r.Indices) {
+		w = len(r.Indices)
+	}
+	if w <= 0 {
+		return nil
+	}
+	if r.Counts == nil {
+		return append([]int(nil), r.Indices[:w]...)
+	}
+	order := make([]int, len(r.Indices))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return r.Counts[order[a]] < r.Counts[order[b]]
+	})
+	out := make([]int, w)
+	for i := 0; i < w; i++ {
+		out[i] = r.Indices[order[i]]
+	}
+	return out
 }
 
 // Compute runs the selected skyline algorithm over data, a slice of

@@ -66,6 +66,16 @@ type Config struct {
 	// Preferences are fixed for the life of the index — the points are
 	// stored pre-staged so the per-update hot path never sees them.
 	Prefs []skybench.Pref
+	// SkybandK generalizes the index from the skyline to the k-skyband,
+	// exactly as skybench.Query.SkybandK: the maintained set is every
+	// live point strictly dominated by fewer than SkybandK others, with
+	// exact per-point dominator counts in Snapshot.Count. 0 and 1 both
+	// select the plain skyline. Fixed for the life of the index; a
+	// deletion that drops an excluded point's dominator count below
+	// SkybandK promotes it back into the band. Per-point bookkeeping is
+	// O(SkybandK), so very large values are better served by whole-set
+	// queries. Negative values are invalid.
+	SkybandK int
 	// RecomputeThreshold tunes escalation: when the work accrued by
 	// bucket re-resolutions (plus the next delete's pending bucket)
 	// exceeds this fraction of the live point count, the index escalates
@@ -92,6 +102,7 @@ type Config struct {
 // incrementally. See the package comment for the concurrency contract.
 type SkylineIndex struct {
 	d, de    int
+	k        int // band parameter (1 = skyline)
 	ops      []point.PrefOp
 	identity bool
 
@@ -125,9 +136,17 @@ func New(d int, cfg Config) (*SkylineIndex, error) {
 	if d > point.MaxDims {
 		return nil, fmt.Errorf("stream: at most %d dimensions supported, got %d", point.MaxDims, d)
 	}
+	if cfg.SkybandK < 0 {
+		return nil, fmt.Errorf("stream: negative SkybandK %d", cfg.SkybandK)
+	}
+	k := cfg.SkybandK
+	if k < 1 {
+		k = 1
+	}
 	x := &SkylineIndex{
 		d:        d,
 		de:       d,
+		k:        k,
 		identity: true,
 		loc:      make(map[ID]int32),
 		next:     1,
@@ -156,6 +175,7 @@ func New(d int, cfg Config) (*SkylineIndex, error) {
 		threshold = math.Inf(1)
 	}
 	x.core = istream.New(x.de, istream.Options{
+		K:               k,
 		RebuildFraction: threshold,
 		Rebuild:         x.engineRebuild,
 		OnEnter: func(slot int32) {
@@ -189,29 +209,37 @@ func prefOps(prefs []skybench.Pref) ([]point.PrefOp, error) {
 }
 
 // engineRebuild is the escalation hook handed to the core: one full
-// skyline recompute over the staged live set, served by the Engine's
-// context free-list so repeated escalations reuse warm scratch.
-func (x *SkylineIndex) engineRebuild(vals []float64, n int) []int {
+// skyline (or k-skyband) recompute over the staged live set, served by
+// the Engine's context free-list so repeated escalations reuse warm
+// scratch.
+func (x *SkylineIndex) engineRebuild(vals []float64, n int) ([]int, []int32) {
 	ds, err := skybench.DatasetFromFlat(vals, n, x.de)
 	if err != nil {
-		return nil // fall back to the core's sequential rebuild
+		return nil, nil // fall back to the core's sequential rebuild
 	}
 	if x.eng == nil {
 		x.eng = skybench.NewEngine(0)
 		x.ownEng = true
 	}
-	// ReuseIndices is safe here: the core consumes the indices before
-	// this Engine serves its next query, and the index lock serializes
-	// escalations.
-	res, err := x.eng.Run(context.Background(), ds, skybench.Query{ReuseIndices: true})
-	if err != nil {
-		return nil
+	q := skybench.Query{ReuseIndices: true}
+	if x.k > 1 {
+		q.SkybandK = x.k
 	}
-	return res.Indices
+	// ReuseIndices is safe here: the core consumes the indices (and
+	// counts) before this Engine serves its next query, and the index
+	// lock serializes escalations.
+	res, err := x.eng.Run(context.Background(), ds, q)
+	if err != nil {
+		return nil, nil
+	}
+	return res.Indices, res.Counts
 }
 
 // D returns the dimensionality of the indexed points.
 func (x *SkylineIndex) D() int { return x.d }
+
+// BandK returns the band parameter the index maintains (1 = skyline).
+func (x *SkylineIndex) BandK() int { return x.k }
 
 // Insert adds a point (copying p) and returns its ID. The point must
 // have exactly D finite values.
@@ -377,8 +405,9 @@ func (x *SkylineIndex) Contains(id ID) bool {
 	return ok
 }
 
-// InSkyline reports whether the ID is live and currently a skyline
-// point.
+// InSkyline reports whether the ID is live and currently a member of
+// the maintained set — the skyline, or the k-skyband when
+// Config.SkybandK ≥ 2.
 func (x *SkylineIndex) InSkyline(id ID) bool {
 	x.mu.Lock()
 	defer x.mu.Unlock()
@@ -449,14 +478,15 @@ func (x *SkylineIndex) Close() {
 	x.eng = nil
 }
 
-// Snapshot is an immutable copy of the skyline at one epoch. It is safe
-// to read from any goroutine, forever; it just stops being current once
-// the index mutates past it.
+// Snapshot is an immutable copy of the skyline (or k-skyband) at one
+// epoch. It is safe to read from any goroutine, forever; it just stops
+// being current once the index mutates past it.
 type Snapshot struct {
-	epoch uint64
-	d     int
-	ids   []ID
-	vals  []float64
+	epoch  uint64
+	d      int
+	ids    []ID
+	vals   []float64
+	counts []int32 // per-point dominator counts (k-skyband indexes only)
 }
 
 // Snapshot returns the current skyline. Consecutive calls with no
@@ -481,9 +511,15 @@ func (x *SkylineIndex) Snapshot() *Snapshot {
 		ids:   make([]ID, len(sky)),
 		vals:  make([]float64, len(sky)*x.d),
 	}
+	if x.k > 1 {
+		s.counts = make([]int32, len(sky))
+	}
 	for i, slot := range sky {
 		s.ids[i] = x.ids[slot]
 		copy(s.vals[i*x.d:(i+1)*x.d], x.origRow(slot))
+		if s.counts != nil {
+			s.counts[i] = x.core.DominatorCount(slot)
+		}
 	}
 	x.snap.Store(s)
 	return s
@@ -502,6 +538,16 @@ func (s *Snapshot) ID(i int) ID { return s.ids[i] }
 // aliases the snapshot's storage: treat it as read-only.
 func (s *Snapshot) Row(i int) []float64 {
 	return s.vals[i*s.d : (i+1)*s.d : (i+1)*s.d]
+}
+
+// Count returns the i-th point's exact dominator count for a k-skyband
+// index (always < SkybandK); for a skyline index it is always 0, every
+// skyline point being undominated.
+func (s *Snapshot) Count(i int) int {
+	if s.counts == nil {
+		return 0
+	}
+	return int(s.counts[i])
 }
 
 // IDs returns all skyline IDs in snapshot order (aliasing the

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"slices"
@@ -12,33 +13,52 @@ import (
 	"skybench/internal/dataset"
 )
 
-// oracleCheck recomputes the skyline of the surviving rows with a fresh
-// Engine.Run under the same preferences and compares ID sets with the
-// index's snapshot.
+// oracleCheck recomputes the skyline — or the k-skyband, when the index
+// maintains one — of the surviving rows with a fresh Engine.Run under
+// the same preferences, and compares ID sets (and exact dominator
+// counts) with the index's snapshot.
 func oracleCheck(t *testing.T, eng *skybench.Engine, ix *SkylineIndex, prefs []skybench.Pref, liveIDs []ID, liveRows [][]float64) {
 	t.Helper()
 	ds, err := skybench.NewDataset(liveRows)
 	if err != nil {
 		t.Fatalf("oracle dataset: %v", err)
 	}
-	res, err := eng.Run(context.Background(), ds, skybench.Query{Prefs: prefs})
+	q := skybench.Query{Prefs: prefs}
+	if k := ix.BandK(); k > 1 {
+		q.SkybandK = k
+	}
+	res, err := eng.Run(context.Background(), ds, q)
 	if err != nil {
 		t.Fatalf("oracle run: %v", err)
 	}
 	want := make([]ID, len(res.Indices))
+	wantCnt := make(map[ID]int32, len(res.Indices))
 	for i, idx := range res.Indices {
 		want[i] = liveIDs[idx]
+		if res.Counts != nil {
+			wantCnt[liveIDs[idx]] = res.Counts[i]
+		}
 	}
 	slices.Sort(want)
 
+	if ix.BandK() > 1 && len(res.Indices) > 0 && res.Counts == nil {
+		t.Fatalf("skyband oracle query returned nil Counts")
+	}
 	snap := ix.Snapshot()
 	got := slices.Clone(snap.IDs())
 	slices.Sort(got)
 	if !slices.Equal(got, want) {
-		t.Fatalf("skyline IDs %v, oracle %v (live %d)", got, want, len(liveIDs))
+		t.Fatalf("band IDs %v, oracle %v (live %d)", got, want, len(liveIDs))
 	}
 	if got := ix.SkylineSize(); got != len(want) {
 		t.Fatalf("SkylineSize %d, oracle %d", got, len(want))
+	}
+	if res.Counts != nil {
+		for i := 0; i < snap.Len(); i++ {
+			if c, w := int32(snap.Count(i)), wantCnt[snap.ID(i)]; c != w {
+				t.Fatalf("id %d dominator count %d, oracle %d", snap.ID(i), c, w)
+			}
+		}
 	}
 }
 
@@ -65,46 +85,82 @@ func TestSkylineIndexMatchesEngineOracle(t *testing.T) {
 	for _, tc := range cases {
 		for _, dist := range []dataset.Distribution{dataset.Independent, dataset.Anticorrelated} {
 			t.Run(tc.name+"-"+dist.String(), func(t *testing.T) {
-				const nOps = 600
-				m := dataset.Generate(dist, nOps, tc.d, int64(tc.d)*17+int64(dist))
-				rng := rand.New(rand.NewSource(int64(tc.d) + 31))
-
-				ix, err := New(tc.d, Config{Prefs: tc.prefs, Engine: eng, RecomputeThreshold: 0.3})
-				if err != nil {
-					t.Fatalf("New: %v", err)
-				}
-				defer ix.Close()
-
-				var liveIDs []ID
-				var liveRows [][]float64
-				next := 0
-				for op := 0; op < nOps; op++ {
-					if len(liveIDs) > 0 && rng.Float64() < 0.35 {
-						i := rng.Intn(len(liveIDs))
-						if !ix.Delete(liveIDs[i]) {
-							t.Fatalf("delete of live id %d failed", liveIDs[i])
-						}
-						last := len(liveIDs) - 1
-						liveIDs[i], liveRows[i] = liveIDs[last], liveRows[last]
-						liveIDs, liveRows = liveIDs[:last], liveRows[:last]
-					} else if next < m.N() {
-						row := m.Row(next)
-						next++
-						id, err := ix.Insert(row)
-						if err != nil {
-							t.Fatalf("insert: %v", err)
-						}
-						liveIDs = append(liveIDs, id)
-						liveRows = append(liveRows, row)
-					}
-					if op%40 == 39 || op == nOps-1 {
-						oracleCheck(t, eng, ix, tc.prefs, liveIDs, liveRows)
-					}
-				}
-				if ix.Len() != len(liveIDs) {
-					t.Fatalf("Len %d, want %d", ix.Len(), len(liveIDs))
-				}
+				runEngineOracleOps(t, eng, tc.d, 0, tc.prefs, dist, 600)
 			})
+		}
+	}
+}
+
+// runEngineOracleOps drives one SkylineIndex (band parameter k; 0 =
+// skyline) through a random insert/delete mix, cross-checking the
+// snapshot against a fresh Engine.Run every few operations.
+func runEngineOracleOps(t *testing.T, eng *skybench.Engine, d, k int, prefs []skybench.Pref, dist dataset.Distribution, nOps int) {
+	t.Helper()
+	m := dataset.Generate(dist, nOps, d, int64(d)*17+int64(k)*101+int64(dist))
+	rng := rand.New(rand.NewSource(int64(d) + int64(k)*7 + 31))
+
+	ix, err := New(d, Config{Prefs: prefs, SkybandK: k, Engine: eng, RecomputeThreshold: 0.3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer ix.Close()
+
+	var liveIDs []ID
+	var liveRows [][]float64
+	next := 0
+	for op := 0; op < nOps; op++ {
+		if len(liveIDs) > 0 && rng.Float64() < 0.35 {
+			i := rng.Intn(len(liveIDs))
+			if !ix.Delete(liveIDs[i]) {
+				t.Fatalf("delete of live id %d failed", liveIDs[i])
+			}
+			last := len(liveIDs) - 1
+			liveIDs[i], liveRows[i] = liveIDs[last], liveRows[last]
+			liveIDs, liveRows = liveIDs[:last], liveRows[:last]
+		} else if next < m.N() {
+			row := m.Row(next)
+			next++
+			id, err := ix.Insert(row)
+			if err != nil {
+				t.Fatalf("insert: %v", err)
+			}
+			liveIDs = append(liveIDs, id)
+			liveRows = append(liveRows, row)
+		}
+		if op%40 == 39 || op == nOps-1 {
+			oracleCheck(t, eng, ix, prefs, liveIDs, liveRows)
+		}
+	}
+	if ix.Len() != len(liveIDs) {
+		t.Fatalf("Len %d, want %d", ix.Len(), len(liveIDs))
+	}
+}
+
+// TestSkybandIndexMatchesEngineOracle extends the cross-surface
+// property test to incremental k-skyband maintenance: the maintained
+// band and its per-point dominator counts must match a fresh
+// Engine.Run skyband query over the surviving rows, across preference
+// sets × distributions × k.
+func TestSkybandIndexMatchesEngineOracle(t *testing.T) {
+	eng := skybench.NewEngine(0)
+	defer eng.Close()
+
+	cases := []struct {
+		name  string
+		d     int
+		prefs []skybench.Pref
+	}{
+		{"min-d4", 4, nil},
+		{"mixed-d5", 5, []skybench.Pref{skybench.Min, skybench.Max, skybench.Min, skybench.Max, skybench.Min}},
+		{"subspace-d6", 6, []skybench.Pref{skybench.Ignore, skybench.Min, skybench.Ignore, skybench.Max, skybench.Min, skybench.Ignore}},
+	}
+	for _, tc := range cases {
+		for _, dist := range []dataset.Distribution{dataset.Independent, dataset.Anticorrelated} {
+			for _, k := range []int{2, 4} {
+				t.Run(fmt.Sprintf("%s-%s-k%d", tc.name, dist, k), func(t *testing.T) {
+					runEngineOracleOps(t, eng, tc.d, k, tc.prefs, dist, 450)
+				})
+			}
 		}
 	}
 }
