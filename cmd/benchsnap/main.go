@@ -32,6 +32,7 @@ type entry struct {
 	N         int     `json:"n"`
 	D         int     `json:"d"`
 	K         int     `json:"skyband_k,omitempty"` // ≥ 2 marks a skyband cell
+	Shards    int     `json:"shards,omitempty"`    // ≥ 1 marks a store-served sharded cell
 	Threads   int     `json:"threads"`
 	Reps      int     `json:"reps"`
 	BestMs    float64 `json:"best_ms"`
@@ -62,6 +63,7 @@ func main() {
 		note  = flag.String("note", "", "freeform note stored in the snapshot")
 		full  = flag.Bool("full", false, "also measure the parallel baselines (slower)")
 		kList = flag.String("k", "4,16", "comma-separated skyband k values also measured for hybrid/qflow (empty = none)")
+		pList = flag.String("shards", "1,2,4", "comma-separated shard counts measured through a Store collection into BENCH_<date>_shard.json (empty = skip)")
 	)
 	flag.Parse()
 
@@ -89,6 +91,17 @@ func main() {
 				os.Exit(1)
 			}
 			ks = append(ks, k)
+		}
+	}
+	var shardPs []int
+	if *pList != "" {
+		for _, part := range strings.Split(*pList, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || p < 1 {
+				fmt.Fprintf(os.Stderr, "benchsnap: -shards entries must be integers >= 1, got %q\n", part)
+				os.Exit(1)
+			}
+			shardPs = append(shardPs, p)
 		}
 	}
 
@@ -171,7 +184,75 @@ func main() {
 	if path == "" {
 		path = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("2006-01-02"))
 	}
-	blob, err := json.MarshalIndent(&snap, "", "  ")
+	writeSnap(path, &snap)
+
+	// Sharded serving rows: the same workloads through a Store
+	// collection (caching disabled so every rep measures real fan-out +
+	// merge work), recorded as a separate BENCH_<date>_shard.json so the
+	// sharded trajectory is comparable PR over PR on its own.
+	if len(shardPs) == 0 {
+		return
+	}
+	shardSnap := snapshot{
+		Date: snap.Date, GoVersion: snap.GoVersion, GOOS: snap.GOOS,
+		GOARCH: snap.GOARCH, NumCPU: snap.NumCPU, GOMAXPROCS: snap.GOMAXPROCS,
+		Note: *note,
+	}
+	st := skybench.NewStore(*t)
+	defer st.Close()
+	cctx := context.Background()
+	for _, dist := range dataset.AllDistributions {
+		m := dataset.Generate(dist, *n, *d, *seed)
+		ds, err := skybench.DatasetFromFlat(m.Flat(), m.N(), m.D())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		for _, alg := range []skybench.Algorithm{skybench.Hybrid, skybench.QFlow} {
+			for _, p := range shardPs {
+				col, err := st.Attach(fmt.Sprintf("%s-%s-p%d", dist, alg, p), ds,
+					skybench.CollectionOptions{Shards: p, CacheCapacity: -1})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "benchsnap:", err)
+					os.Exit(1)
+				}
+				e := entry{
+					Algorithm: alg.String(), Dist: dist.String(),
+					N: *n, D: *d, Shards: p, Threads: *t, Reps: *reps,
+				}
+				q := skybench.Query{Algorithm: alg}
+				var total time.Duration
+				best := time.Duration(0)
+				for r := 0; r < *reps; r++ {
+					start := time.Now()
+					res, err := col.Run(cctx, q)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "benchsnap: %s/%s shards=%d: %v\n", alg, dist, p, err)
+						os.Exit(1)
+					}
+					el := time.Since(start)
+					total += el
+					if best == 0 || el < best {
+						best = el
+					}
+					e.DTs = res.Stats.DominanceTests
+					e.Skyline = len(res.Indices)
+				}
+				e.BestMs = float64(best.Nanoseconds()) / 1e6
+				e.AvgMs = float64(total.Nanoseconds()) / float64(*reps) / 1e6
+				shardSnap.Entries = append(shardSnap.Entries, e)
+				fmt.Printf("%-10s %-14s n=%d d=%d shards=%d t=%d  best=%.2fms avg=%.2fms |SKY|=%d\n",
+					e.Algorithm, e.Dist, e.N, e.D, e.Shards, e.Threads, e.BestMs, e.AvgMs, e.Skyline)
+			}
+		}
+	}
+	shardPath := strings.TrimSuffix(path, ".json") + "_shard.json"
+	writeSnap(shardPath, &shardSnap)
+}
+
+// writeSnap marshals a snapshot to disk.
+func writeSnap(path string, snap *snapshot) {
+	blob, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
 		os.Exit(1)

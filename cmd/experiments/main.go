@@ -39,6 +39,7 @@ func main() {
 		churn      = flag.Float64("churn", -1, "override the stream experiment's delete fraction [0,1]")
 		kList      = flag.String("k", "", "comma-separated k sweep for the skyband experiment (default 1,2,4,8,16)")
 		streamK    = flag.Int("streamk", 0, "band parameter maintained by the stream experiment (0/1 = skyline)")
+		shardList  = flag.String("shards", "", "comma-separated shard-count sweep for the shard experiment (default 1,2,4,8)")
 	)
 	flag.Parse()
 
@@ -102,7 +103,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: -dims: %v\n", err)
 		os.Exit(1)
 	}
-	if cfg.SkybandKs, err = parseDimList(*kList); err != nil {
+	if cfg.SkybandKs, err = parseIntList(*kList, "k value"); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: -k: %v\n", err)
 		os.Exit(1)
 	}
@@ -113,6 +114,16 @@ func main() {
 		}
 	}
 	cfg.StreamSkybandK = *streamK
+	if cfg.Shards, err = parseIntList(*shardList, "shard count"); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: -shards: %v\n", err)
+		os.Exit(1)
+	}
+	for _, p := range cfg.Shards {
+		if p < 1 {
+			fmt.Fprintf(os.Stderr, "experiments: -shards entries must be >= 1, got %d\n", p)
+			os.Exit(1)
+		}
+	}
 
 	ran := false
 	for _, exp := range bench.Experiments() {
@@ -132,6 +143,12 @@ func main() {
 // range-checked here: each experiment picks its own dimensionality, so
 // the harness validates per sweep (and refuses empty subspaces).
 func parseDimList(list string) ([]int, error) {
+	return parseIntList(list, "dimension index")
+}
+
+// parseIntList parses a comma-separated list of non-negative integers,
+// naming the entries in diagnostics ("" is nil).
+func parseIntList(list, what string) ([]int, error) {
 	if list == "" {
 		return nil, nil
 	}
@@ -140,10 +157,10 @@ func parseDimList(list string) ([]int, error) {
 	for _, p := range parts {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil {
-			return nil, fmt.Errorf("bad dimension index %q", p)
+			return nil, fmt.Errorf("bad %s %q", what, p)
 		}
 		if v < 0 {
-			return nil, fmt.Errorf("negative dimension index %d", v)
+			return nil, fmt.Errorf("negative %s %d", what, v)
 		}
 		out = append(out, v)
 	}

@@ -8,6 +8,7 @@
 //	skybench -n 100000 -d 6 -max 2,5 -dims 0,2,3,5   # maximize & project
 //	skybench -n 1000000 -d 10 -timeout 500ms         # deadline-bounded
 //	skybench -n 100000 -d 8 -k 4 -top 10             # 4-skyband, 10 best
+//	skybench -n 1000000 -d 8 -shards 4 -cache        # sharded store serving
 package main
 
 import (
@@ -40,6 +41,8 @@ func main() {
 		dimsList  = flag.String("dims", "", "comma-separated dimension indices to keep (subspace skyline; others are ignored)")
 		kband     = flag.Int("k", 1, "k-skyband parameter: report points with fewer than k dominators (1 = skyline; k >= 2 needs hybrid or qflow)")
 		topW      = flag.Int("top", 0, "print the w band members with fewest dominators (requires -k >= 2)")
+		shards    = flag.Int("shards", 1, "serve through a Store collection split into this many partitions (fan out + exact merge; 1 = direct engine)")
+		useCache  = flag.Bool("cache", false, "serve through a Store collection with result caching, run the query twice, and report hit/miss stats")
 		timeout   = flag.Duration("timeout", 0, "cancel the query after this duration (0 = no deadline)")
 		printSky  = flag.Bool("print", false, "print skyline points")
 		check     = flag.Bool("check", false, "verify the result against a brute-force oracle (O(n²); small inputs only)")
@@ -81,8 +84,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	eng := skybench.NewEngine(*threads)
-	defer eng.Close()
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -91,16 +92,52 @@ func main() {
 		defer cancel()
 	}
 
-	res, err := eng.Run(ctx, ds, skybench.Query{
+	q := skybench.Query{
 		Algorithm: alg,
 		Prefs:     prefs,
 		Alpha:     *alpha,
 		Pivot:     pv,
 		Seed:      *seed,
 		SkybandK:  *kband,
-	})
-	if err != nil {
-		fatal(err)
+	}
+
+	var res skybench.Result
+	var cacheStats skybench.CacheStats
+	storeServed := *shards > 1 || *useCache
+	if storeServed {
+		// Store-served path: one named collection, sharded fan-out with
+		// exact merge, optional result caching.
+		st := skybench.NewStore(*threads)
+		defer st.Close()
+		cacheCap := -1
+		if *useCache {
+			cacheCap = 0 // default capacity
+		}
+		col, err := st.Attach("cli", ds, skybench.CollectionOptions{
+			Shards:        *shards,
+			CacheCapacity: cacheCap,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		qr, err := col.Run(ctx, q)
+		if err != nil {
+			fatal(err)
+		}
+		if *useCache {
+			// Second identical run: an unchanged collection must hit.
+			if qr, err = col.Run(ctx, q); err != nil {
+				fatal(err)
+			}
+			cacheStats = col.CacheStats()
+		}
+		res = qr.Result
+	} else {
+		eng := skybench.NewEngine(*threads)
+		defer eng.Close()
+		if res, err = eng.Run(ctx, ds, q); err != nil {
+			fatal(err)
+		}
 	}
 
 	s := res.Stats
@@ -114,6 +151,13 @@ func main() {
 		fmt.Printf("preferences : %s\n", describePrefs(prefs))
 	}
 	fmt.Printf("%s : %d points (%.2f%%)\n", label, s.SkylineSize, 100*float64(s.SkylineSize)/float64(s.InputSize))
+	if storeServed {
+		fmt.Printf("shards      : %d (store-served)\n", *shards)
+	}
+	if *useCache {
+		fmt.Printf("cache       : hits=%d misses=%d entries=%d\n",
+			cacheStats.Hits, cacheStats.Misses, cacheStats.Entries)
+	}
 	fmt.Printf("elapsed     : %v\n", s.Elapsed)
 	fmt.Printf("dom. tests  : %d\n", s.DominanceTests)
 	tm := s.Timings

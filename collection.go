@@ -1,0 +1,575 @@
+package skybench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skybench/internal/point"
+	"skybench/internal/shard"
+)
+
+// DefaultCacheCapacity is the per-collection result-cache size used
+// when CollectionOptions.CacheCapacity is zero.
+const DefaultCacheCapacity = 64
+
+// CollectionOptions configures a collection at Attach time.
+type CollectionOptions struct {
+	// Shards splits the collection into that many contiguous partitions
+	// (≤ 1 keeps it unsharded). Queries fan out one Engine run per
+	// shard, concurrently, and the per-shard results are merged into
+	// the exact global result — identical, as a set, to the unsharded
+	// answer, with exact dominator counts for k-skyband queries (the
+	// soundness argument is in DESIGN.md §10). Shards larger than the
+	// row count are clamped so every shard is non-empty.
+	Shards int
+	// CacheCapacity bounds the collection's result cache: 0 selects
+	// DefaultCacheCapacity, negative disables caching entirely.
+	CacheCapacity int
+}
+
+// StreamSource is the live backing a Collection accepts in place of an
+// immutable Dataset — the read-side contract stream.SkylineIndex (and
+// anything shaped like it) satisfies. A source owns a mutating set of
+// d-dimensional points and can materialize it consistently.
+type StreamSource interface {
+	// D returns the dimensionality of the source's points.
+	D() int
+	// LiveEpoch returns the membership epoch of the live point set: a
+	// counter that advances on every mutation that changes which points
+	// are live (every insert and every successful delete). It must be
+	// safe to call concurrently with mutations and must not block on
+	// the source's write lock, so cached-result revalidation stays
+	// cheap.
+	LiveEpoch() uint64
+	// LiveSnapshot atomically materializes the live set: n×D original
+	// (un-staged) coordinates in row-major vals, per-row stable IDs,
+	// and the LiveEpoch value the materialization corresponds to. The
+	// returned slices are caller-owned. Row order must be deterministic
+	// for an unchanged epoch.
+	LiveSnapshot() (vals []float64, ids []uint64, epoch uint64)
+}
+
+// colSnapshot freezes one membership epoch of a collection: the rows as
+// an immutable Dataset, the per-shard partitions aliasing it, and (for
+// stream-backed collections) the stable ID of each row. Static
+// collections have exactly one snapshot for their whole life.
+type colSnapshot struct {
+	epoch uint64
+	ds    *Dataset
+	ids   []uint64 // stream-backed only; nil for static collections
+	parts []*Dataset
+	offs  []int // global row offset of each part
+}
+
+// partition splits the snapshot into p contiguous shard datasets
+// aliasing the snapshot's storage (no copying).
+func (s *colSnapshot) partition(p int) {
+	ranges := shard.Split(s.ds.n, p)
+	if len(ranges) <= 1 {
+		return
+	}
+	s.parts = make([]*Dataset, len(ranges))
+	s.offs = make([]int, len(ranges))
+	d := s.ds.d
+	for i, r := range ranges {
+		s.parts[i] = &Dataset{vals: s.ds.vals[r.Lo*d : r.Hi*d : r.Hi*d], n: r.Len(), d: d}
+		s.offs[i] = r.Lo
+	}
+}
+
+// Collection is one named queryable point set inside a Store: an
+// immutable Dataset or a live StreamSource behind a single query
+// surface, optionally sharded, with epoch-keyed result caching.
+//
+// Run and Submit are safe for concurrent use by any number of
+// goroutines. Results are *QueryResult handles that may be shared by
+// the cache across callers: they are immutable — never write to their
+// Indices or Counts; use Result.Clone for a mutable copy.
+type Collection struct {
+	name   string
+	eng    *Engine
+	shards int
+
+	src    StreamSource // nil for static collections
+	static *colSnapshot // non-nil for static collections
+
+	snapMu sync.Mutex                  // serializes stream materialization
+	snap   atomic.Pointer[colSnapshot] // current stream snapshot
+
+	cmu      sync.Mutex
+	entries  map[fingerprint]cacheEntry
+	cacheCap int // ≤ 0 disables caching
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+
+	dropped atomic.Bool
+}
+
+type cacheEntry struct {
+	epoch uint64
+	r     *QueryResult
+}
+
+// Name returns the name the collection is attached under.
+func (c *Collection) Name() string { return c.name }
+
+// Shards returns the partition count queries fan out over (1 =
+// unsharded).
+func (c *Collection) Shards() int { return c.shards }
+
+// StreamBacked reports whether the collection is backed by a live
+// StreamSource rather than an immutable Dataset.
+func (c *Collection) StreamBacked() bool { return c.src != nil }
+
+// Epoch returns the collection's current membership epoch: always 0
+// for a static collection, the backing source's LiveEpoch for a
+// stream-backed one. Cached results are keyed by it.
+func (c *Collection) Epoch() uint64 {
+	if c.src == nil {
+		return 0
+	}
+	return c.src.LiveEpoch()
+}
+
+// N returns the current number of points (taking a fresh stream
+// snapshot if the backing mutated since the last query).
+func (c *Collection) N() (int, error) {
+	snap, err := c.snapshot()
+	if err != nil {
+		return 0, err
+	}
+	return snap.ds.n, nil
+}
+
+// D returns the dimensionality of the collection's points.
+func (c *Collection) D() int {
+	if c.src != nil {
+		return c.src.D()
+	}
+	return c.static.ds.d
+}
+
+// snapshot returns the collection's current frozen membership,
+// materializing the stream backing only when its epoch advanced. The
+// fast path (static, or stream with unchanged epoch) allocates nothing.
+func (c *Collection) snapshot() (*colSnapshot, error) {
+	if c.static != nil {
+		return c.static, nil
+	}
+	if s := c.snap.Load(); s != nil && s.epoch == c.src.LiveEpoch() {
+		return s, nil
+	}
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	if s := c.snap.Load(); s != nil && s.epoch == c.src.LiveEpoch() {
+		return s, nil
+	}
+	vals, ids, epoch := c.src.LiveSnapshot()
+	n := len(ids)
+	ds, err := DatasetFromFlat(vals, n, c.src.D())
+	if err != nil {
+		return nil, err
+	}
+	s := &colSnapshot{epoch: epoch, ds: ds, ids: ids}
+	s.partition(c.shards)
+	c.snap.Store(s)
+	return s, nil
+}
+
+// fingerprint is the canonical cache key of a query: every field that
+// can change the result, canonicalized (k ≤ 1 → 1, all-Min preference
+// vectors → empty) so equivalent queries share an entry. Threads,
+// ReuseIndices, and Progressive never enter the key — the first two
+// don't change the result, and progressive queries bypass the cache
+// because their callbacks must fire on every Run.
+type fingerprint struct {
+	algo   Algorithm
+	k      int
+	alpha  int
+	beta   int
+	pivot  PivotStrategy
+	seed   int64
+	abl    Ablation
+	nprefs int8
+	prefs  [point.MaxDims]int8
+}
+
+// queryFingerprint canonicalizes q into a cache key for a d-dimensional
+// collection, reporting false for queries that must not be cached:
+// progressive delivery, and invalid shapes the execution path rejects —
+// a wrong-length preference vector in particular must not be cacheable,
+// or its all-Min spelling would collapse into the valid empty-prefs key
+// and serve a cached success where a cold Run errors.
+func queryFingerprint(q *Query, d int) (fingerprint, bool) {
+	var fp fingerprint
+	if q.Progressive != nil || q.SkybandK < 0 || len(q.Prefs) > point.MaxDims {
+		return fp, false
+	}
+	if len(q.Prefs) != 0 && len(q.Prefs) != d {
+		return fp, false
+	}
+	fp.algo = q.Algorithm
+	fp.k = q.SkybandK
+	if fp.k < 1 {
+		fp.k = 1
+	}
+	if q.Alpha > 0 {
+		fp.alpha = q.Alpha
+	}
+	if q.Beta > 0 {
+		fp.beta = q.Beta
+	}
+	fp.pivot = q.Pivot
+	fp.seed = q.Seed
+	fp.abl = q.Ablation
+	for i, p := range q.Prefs {
+		fp.prefs[i] = int8(p)
+		if p != Min {
+			fp.nprefs = int8(len(q.Prefs))
+		}
+	}
+	if fp.nprefs == 0 {
+		// All-Min (or empty) preference vectors are the same query;
+		// clear the scratch so the two spellings share one key.
+		fp.prefs = [point.MaxDims]int8{}
+	}
+	return fp, true
+}
+
+// QueryResult is the outcome of a Collection query: the Result plus the
+// membership epoch it answers for and accessors resolving result
+// positions back to rows and stream IDs.
+//
+// Aliasing rule: a QueryResult may be shared by the collection's cache
+// across any number of callers — it is immutable. Read Indices, Counts,
+// and Stats freely from any goroutine; never write to them. Clone (on
+// the embedded Result) detaches mutable copies.
+type QueryResult struct {
+	Result
+	// Epoch is the collection membership epoch the result was computed
+	// at; it matches Collection.Epoch() for as long as the result is
+	// current.
+	Epoch uint64
+
+	snap *colSnapshot
+}
+
+// Len returns the number of result points.
+func (r *QueryResult) Len() int { return len(r.Indices) }
+
+// Row returns the coordinates of the p-th result point (original,
+// un-staged values, whatever the query's preferences). The slice
+// aliases the result's frozen snapshot: read-only, valid forever.
+func (r *QueryResult) Row(p int) []float64 {
+	return r.snap.ds.Row(r.Indices[p])
+}
+
+// ID returns the stable stream ID of the p-th result point of a
+// stream-backed collection (it matches stream.ID). For static
+// collections there are no IDs and ok is false — Indices themselves
+// are the stable handle there.
+func (r *QueryResult) ID(p int) (id uint64, ok bool) {
+	if r.snap.ids == nil {
+		return 0, false
+	}
+	return r.snap.ids[r.Indices[p]], true
+}
+
+// Run answers one query over the collection's current membership.
+// Identical queries against an unchanged collection are served from the
+// epoch-keyed cache without recomputing (and without allocating); a
+// membership change invalidates automatically because the stale epoch
+// no longer matches. See the immutability rule on QueryResult.
+//
+// For sharded collections the query fans out per shard over the
+// Engine and the per-shard results are merged exactly; Result.Indices
+// come back in ascending row order. Progressive delivery needs an
+// unsharded collection (batches from concurrent shards would interleave
+// meaninglessly) and bypasses the cache.
+func (c *Collection) Run(ctx context.Context, q Query) (*QueryResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, canceledErr(err)
+	}
+	if c.dropped.Load() {
+		return nil, fmt.Errorf("%w: collection %q", ErrClosed, c.name)
+	}
+	snap, err := c.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	fp, cacheable := fingerprint{}, false
+	if c.cacheCap > 0 {
+		fp, cacheable = queryFingerprint(&q, snap.ds.d)
+	}
+	if cacheable {
+		if r := c.lookup(fp, snap.epoch); r != nil {
+			return r, nil
+		}
+	}
+	res, err := c.execute(ctx, snap, q)
+	if err != nil {
+		return nil, err
+	}
+	r := &QueryResult{Result: res, Epoch: snap.epoch, snap: snap}
+	if cacheable {
+		c.store(fp, snap.epoch, r)
+	}
+	return r, nil
+}
+
+// lookup serves a cache hit, or nil on miss/stale. The hit path is
+// allocation-free.
+func (c *Collection) lookup(fp fingerprint, epoch uint64) *QueryResult {
+	c.cmu.Lock()
+	e, ok := c.entries[fp]
+	c.cmu.Unlock()
+	if ok && e.epoch == epoch {
+		c.hits.Add(1)
+		return e.r
+	}
+	c.misses.Add(1)
+	return nil
+}
+
+// store inserts a freshly computed result. Entries at other epochs are
+// purged on every insert, not just at capacity: a stale entry can never
+// hit again (lookup requires the current epoch) yet pins its epoch's
+// whole materialized snapshot — for stream-backed collections that is a
+// full copy of the live set. If the cache is still full afterwards an
+// arbitrary current-epoch entry is evicted.
+func (c *Collection) store(fp fingerprint, epoch uint64, r *QueryResult) {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	for k, e := range c.entries {
+		if e.epoch != epoch {
+			delete(c.entries, k)
+		}
+	}
+	if len(c.entries) >= c.cacheCap {
+		for k := range c.entries {
+			delete(c.entries, k)
+			break
+		}
+	}
+	c.entries[fp] = cacheEntry{epoch: epoch, r: r}
+}
+
+// CacheStats reports a collection's result-cache counters.
+type CacheStats struct {
+	// Hits counts queries served from the cache; Misses counts cache
+	// lookups that had to compute (stale epochs included).
+	Hits, Misses uint64
+	// Entries is the current number of cached results.
+	Entries int
+}
+
+// CacheStats returns the collection's cache counters.
+func (c *Collection) CacheStats() CacheStats {
+	c.cmu.Lock()
+	n := len(c.entries)
+	c.cmu.Unlock()
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}
+
+// execute computes a query over one frozen snapshot: directly for
+// unsharded collections, fan-out + exact merge for sharded ones.
+func (c *Collection) execute(ctx context.Context, snap *colSnapshot, q Query) (Result, error) {
+	if len(snap.parts) <= 1 {
+		q.ReuseIndices = false // results may outlive any engine context
+		return c.eng.exec(ctx, snap.ds, q)
+	}
+	if q.Progressive != nil {
+		return Result{}, fmt.Errorf("%w: progressive delivery needs an unsharded collection", ErrBadQuery)
+	}
+	start := time.Now()
+
+	// Fan out one engine run per shard; each leases its own computation
+	// context from the engine's free-list.
+	q.ReuseIndices = false
+	results := make([]Result, len(snap.parts))
+	errs := make([]error, len(snap.parts))
+	var wg sync.WaitGroup
+	for i := range snap.parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.eng.exec(ctx, snap.parts[i], q)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Candidates: the union of per-shard results, as global row indices.
+	k := q.SkybandK
+	if k < 1 {
+		k = 1
+	}
+	total := 0
+	var dts uint64
+	for _, r := range results {
+		total += len(r.Indices)
+		dts += r.Stats.DominanceTests
+	}
+	cand := make([]int, 0, total)
+	for si, r := range results {
+		off := snap.offs[si]
+		for _, li := range r.Indices {
+			cand = append(cand, off+li)
+		}
+	}
+
+	// Re-stage the candidate rows under the query's preferences — the
+	// merge recount must compare in the same transformed space the
+	// shards computed in.
+	d := snap.ds.d
+	ops, err := q.opsInto(nil)
+	if err != nil {
+		return Result{}, err
+	}
+	de := d
+	staged := len(ops) > 0 && !point.IdentityOps(ops)
+	if staged {
+		de = point.EffectiveDims(ops)
+	}
+	raw := make([]float64, len(cand)*d)
+	for p, gi := range cand {
+		copy(raw[p*d:(p+1)*d], snap.ds.vals[gi*d:(gi+1)*d])
+	}
+	buf := raw
+	if staged {
+		buf = make([]float64, len(cand)*de)
+		point.StagePrefs(buf, raw, len(cand), d, ops)
+	}
+
+	keep, counts, err := c.mergeCandidates(ctx, buf, len(cand), de, k, &dts)
+	if err != nil {
+		return Result{}, err
+	}
+	idx := make([]int, len(keep))
+	for j, p := range keep {
+		idx[j] = cand[p]
+	}
+	sortMerged(idx, counts)
+
+	res := Result{Indices: idx, Counts: counts}
+	res.Stats = Stats{
+		DominanceTests: dts,
+		SkylineSize:    len(idx),
+		InputSize:      snap.ds.n,
+		Threads:        c.eng.threads,
+		Elapsed:        time.Since(start),
+	}
+	return res, nil
+}
+
+// mergeCandidates computes the exact k-skyband of the nc staged
+// candidates (the union of per-shard bands), returning candidate
+// positions and exact counts (nil for k ≤ 1), by whichever merge path
+// fits the union size (shard.MergeKernelMax). Both paths implement the
+// same DESIGN.md §10 recount; shard.MergeBand is the reference the
+// property tests pin.
+func (c *Collection) mergeCandidates(ctx context.Context, buf []float64, nc, de, k int, dts *uint64) ([]int, []int32, error) {
+	if nc <= shard.MergeKernelMax {
+		keep, counts := shard.MergeBand(buf, nc, de, k, dts)
+		return keep, counts, nil
+	}
+	ds, err := DatasetFromFlat(buf, nc, de)
+	if err != nil {
+		return nil, nil, err
+	}
+	q := Query{}
+	if k > 1 {
+		q.SkybandK = k
+	}
+	res, err := c.eng.exec(ctx, ds, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	*dts += res.Stats.DominanceTests
+	return res.Indices, res.Counts, nil
+}
+
+// sortMerged orders the merged result by ascending global row index,
+// keeping counts parallel — the documented deterministic order of
+// sharded results.
+func sortMerged(idx []int, counts []int32) {
+	if counts == nil {
+		sort.Ints(idx)
+		return
+	}
+	order := make([]int, len(idx))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return idx[order[a]] < idx[order[b]] })
+	idx2 := make([]int, len(idx))
+	cnt2 := make([]int32, len(counts))
+	for p, o := range order {
+		idx2[p] = idx[o]
+		cnt2[p] = counts[o]
+	}
+	copy(idx, idx2)
+	copy(counts, cnt2)
+}
+
+// Future is the handle of one asynchronously submitted query. Wait (or
+// Done + Result) delivers the outcome exactly as Run would have.
+type Future struct {
+	done chan struct{}
+	res  *QueryResult
+	err  error
+}
+
+// Done returns a channel closed when the query has finished.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Result blocks until the query finishes and returns its outcome.
+func (f *Future) Result() (*QueryResult, error) {
+	<-f.done
+	return f.res, f.err
+}
+
+// Wait blocks until the query finishes or ctx is done, whichever comes
+// first. A ctx abort abandons only the wait — the submitted query keeps
+// running under its own context and the Future stays usable.
+func (f *Future) Wait(ctx context.Context) (*QueryResult, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		return nil, canceledErr(ctx.Err())
+	}
+}
+
+// Submit starts the query on its own goroutine and returns a Future for
+// it — the async form of Run, sharing the same cache and shard fan-out.
+// The query runs under ctx: cancel it to abandon the computation.
+func (c *Collection) Submit(ctx context.Context, q Query) *Future {
+	f := &Future{done: make(chan struct{})}
+	go func() {
+		defer close(f.done)
+		f.res, f.err = c.Run(ctx, q)
+	}()
+	return f
+}
+
+// SubmitBatch submits every query concurrently and returns their
+// Futures in order — the batch form of Submit for callers answering
+// one request with several queries (multiple k cuts, several subspace
+// preferences, …). The engine's context free-list and shared worker
+// pool keep the fan-out from oversubscribing the machine.
+func (c *Collection) SubmitBatch(ctx context.Context, qs []Query) []*Future {
+	fs := make([]*Future, len(qs))
+	for i, q := range qs {
+		fs[i] = c.Submit(ctx, q)
+	}
+	return fs
+}

@@ -49,20 +49,20 @@ func NewDataset(rows [][]float64) (*Dataset, error) {
 func validateRows(rows [][]float64) (int, error) {
 	d := len(rows[0])
 	if d == 0 {
-		return 0, fmt.Errorf("skybench: points must have at least one dimension")
+		return 0, fmt.Errorf("%w: points must have at least one dimension", ErrBadDataset)
 	}
 	for i, row := range rows {
 		if len(row) != d {
-			return 0, fmt.Errorf("skybench: point %d has %d dimensions, want %d", i, len(row), d)
+			return 0, fmt.Errorf("%w: point %d has %d dimensions, want %d", ErrBadDataset, i, len(row), d)
 		}
 		for j, v := range row {
 			if !point.Finite(v) {
-				return 0, fmt.Errorf("skybench: point %d has non-finite value %v on dimension %d", i, v, j)
+				return 0, fmt.Errorf("%w: point %d has non-finite value %v on dimension %d", ErrBadDataset, i, v, j)
 			}
 		}
 	}
 	if d > point.MaxDims {
-		return 0, fmt.Errorf("skybench: at most %d dimensions supported, got %d", point.MaxDims, d)
+		return 0, fmt.Errorf("%w: at most %d dimensions supported, got %d", ErrBadDataset, point.MaxDims, d)
 	}
 	return d, nil
 }
@@ -94,17 +94,17 @@ func DatasetFromFlat(vals []float64, n, d int) (*Dataset, error) {
 // Shared by DatasetFromFlat and the legacy Context.ComputeFlat.
 func validateFlat(vals []float64, n, d int) error {
 	if d <= 0 {
-		return fmt.Errorf("skybench: points must have at least one dimension")
+		return fmt.Errorf("%w: points must have at least one dimension", ErrBadDataset)
 	}
 	if len(vals) != n*d {
-		return fmt.Errorf("skybench: flat input has %d values, want n*d = %d", len(vals), n*d)
+		return fmt.Errorf("%w: flat input has %d values, want n*d = %d", ErrBadDataset, len(vals), n*d)
 	}
 	if d > point.MaxDims {
-		return fmt.Errorf("skybench: at most %d dimensions supported, got %d", point.MaxDims, d)
+		return fmt.Errorf("%w: at most %d dimensions supported, got %d", ErrBadDataset, point.MaxDims, d)
 	}
 	for i, v := range vals {
 		if !point.Finite(v) {
-			return fmt.Errorf("skybench: point %d has non-finite value %v on dimension %d", i/d, v, i%d)
+			return fmt.Errorf("%w: point %d has non-finite value %v on dimension %d", ErrBadDataset, i/d, v, i%d)
 		}
 	}
 	return nil

@@ -88,7 +88,7 @@ func (e *Engine) acquire() (*engineCtx, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
-		return nil, fmt.Errorf("skybench: Engine used after Close")
+		return nil, fmt.Errorf("%w: Engine", ErrClosed)
 	}
 	if n := len(e.free); n > 0 {
 		ec := e.free[n-1]
@@ -102,13 +102,32 @@ func (e *Engine) acquire() (*engineCtx, error) {
 	return &engineCtx{core: core.NewContextShared(e.pool)}, nil
 }
 
+// Prewarm pre-creates n computation contexts on the free-list so a
+// burst of concurrent queries — a sharded Collection fanning out P
+// shard runs at once — leases warm scratch instead of allocating
+// contexts under load. It is never required; the free-list grows on
+// demand anyway.
+func (e *Engine) Prewarm(n int) {
+	warm := make([]*engineCtx, 0, n)
+	for i := 0; i < n; i++ {
+		ec, err := e.acquire()
+		if err != nil {
+			break
+		}
+		warm = append(warm, ec)
+	}
+	for _, ec := range warm {
+		e.release(ec)
+	}
+}
+
 // checkOpen reports an error once the Engine has been closed (the
 // pool-less baseline path does not go through acquire).
 func (e *Engine) checkOpen() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
-		return fmt.Errorf("skybench: Engine used after Close")
+		return fmt.Errorf("%w: Engine", ErrClosed)
 	}
 	return nil
 }
@@ -127,15 +146,29 @@ func (e *Engine) release(ec *engineCtx) {
 // Run answers one query over ds. Result.Indices are positions in ds
 // (also under Max/Ignore preferences — staging preserves row order) and
 // are caller-owned unless q.ReuseIndices is set. When ctx is canceled
-// or its deadline passes, Run returns ctx.Err() promptly — before
-// starting any work if ctx is already dead, and from the hot paths'
-// cancellation checkpoints otherwise.
+// or its deadline passes, Run returns an error wrapping both
+// ErrCanceled and ctx.Err() promptly — before starting any work if ctx
+// is already dead, and from the hot paths' cancellation checkpoints
+// otherwise. All other errors wrap the typed sentinels in errors.go.
+//
+// Run is the single-partition primitive of the serving stack: it
+// executes exactly what one shard of a Store collection executes, and
+// is equivalent to querying a single-shard anonymous Collection with
+// result caching disabled. Services hosting several datasets, sharding
+// large ones, or wanting cross-query caching should front the Engine
+// with a Store.
 func (e *Engine) Run(ctx context.Context, ds *Dataset, q Query) (Result, error) {
+	return e.exec(ctx, ds, q)
+}
+
+// exec is the execution core behind Engine.Run and behind every shard
+// run a Collection fans out.
+func (e *Engine) exec(ctx context.Context, ds *Dataset, q Query) (Result, error) {
 	if err := ctx.Err(); err != nil {
-		return Result{}, err
+		return Result{}, canceledErr(err)
 	}
 	if ds == nil {
-		return Result{}, fmt.Errorf("skybench: nil Dataset")
+		return Result{}, fmt.Errorf("%w: nil Dataset", ErrBadDataset)
 	}
 	// An empty Dataset has no dimensionality to validate preferences
 	// against; every query over it is an empty skyline.
@@ -143,7 +176,7 @@ func (e *Engine) Run(ctx context.Context, ds *Dataset, q Query) (Result, error) 
 		return Result{}, nil
 	}
 	if len(q.Prefs) != 0 && len(q.Prefs) != ds.d {
-		return Result{}, fmt.Errorf("skybench: query has %d preferences for %d dimensions", len(q.Prefs), ds.d)
+		return Result{}, fmt.Errorf("%w: %d preferences for %d dimensions", ErrBadQuery, len(q.Prefs), ds.d)
 	}
 
 	// Only the Hybrid/Q-Flow hot paths use the pool-backed contexts;
@@ -151,10 +184,10 @@ func (e *Engine) Run(ctx context.Context, ds *Dataset, q Query) (Result, error) 
 	// run anyway, so they skip the pool and scratch entirely.
 	hot := q.Algorithm == Hybrid || q.Algorithm == QFlow
 	if q.SkybandK < 0 {
-		return Result{}, fmt.Errorf("skybench: negative SkybandK %d", q.SkybandK)
+		return Result{}, fmt.Errorf("%w: negative SkybandK %d", ErrBadQuery, q.SkybandK)
 	}
 	if q.SkybandK > 1 && !hot {
-		return Result{}, fmt.Errorf("skybench: algorithm %s does not support k-skyband queries (SkybandK=%d); use %s or %s", q.Algorithm, q.SkybandK, Hybrid, QFlow)
+		return Result{}, fmt.Errorf("%w: algorithm %s does not support k-skyband queries (SkybandK=%d); use %s or %s", ErrBadQuery, q.Algorithm, q.SkybandK, Hybrid, QFlow)
 	}
 	var ec *engineCtx
 	if hot {
@@ -184,7 +217,7 @@ func (e *Engine) Run(ctx context.Context, ds *Dataset, q Query) (Result, error) 
 	if len(ops) > 0 && !point.IdentityOps(ops) {
 		de := point.EffectiveDims(ops)
 		if de == 0 {
-			return Result{}, fmt.Errorf("skybench: query ignores every dimension")
+			return Result{}, fmt.Errorf("%w: query ignores every dimension", ErrBadQuery)
 		}
 		var dst []float64
 		if hot {
@@ -237,7 +270,7 @@ func (e *Engine) Run(ctx context.Context, ds *Dataset, q Query) (Result, error) 
 	if cerr := ctx.Err(); cerr != nil {
 		// The run may have been abandoned mid-flight; its partial result
 		// must not escape.
-		return Result{}, cerr
+		return Result{}, canceledErr(cerr)
 	}
 	if err != nil {
 		return Result{}, err
@@ -309,7 +342,7 @@ func (q *Query) opsInto(scratch []point.PrefOp) ([]point.PrefOp, error) {
 	for i, p := range q.Prefs {
 		op, err := p.op()
 		if err != nil {
-			return nil, fmt.Errorf("skybench: %v on dimension %d", err, i)
+			return nil, fmt.Errorf("%w: %v on dimension %d", ErrBadQuery, err, i)
 		}
 		ops = append(ops, op)
 	}

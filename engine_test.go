@@ -2,6 +2,7 @@ package skybench_test
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -174,8 +175,8 @@ func TestEngineCanceledBeforeStart(t *testing.T) {
 	start := time.Now()
 	_, err = eng.Run(ctx, ds, skybench.Query{})
 	elapsed := time.Since(start)
-	if err != context.Canceled {
-		t.Fatalf("err = %v, want context.Canceled", err)
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, skybench.ErrCanceled) {
+		t.Fatalf("err = %v, want context.Canceled wrapped in skybench.ErrCanceled", err)
 	}
 	if elapsed > 50*time.Millisecond {
 		t.Errorf("canceled Run took %v, want < 50ms", elapsed)
@@ -211,8 +212,8 @@ func TestEngineCancelMidFlight(t *testing.T) {
 	start := time.Now()
 	res, err := eng.Run(ctx, ds, q)
 	elapsed := time.Since(start)
-	if err != context.Canceled {
-		t.Fatalf("err = %v, want context.Canceled", err)
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, skybench.ErrCanceled) {
+		t.Fatalf("err = %v, want context.Canceled wrapped in skybench.ErrCanceled", err)
 	}
 	if len(res.Indices) != 0 {
 		t.Errorf("canceled Run leaked %d indices", len(res.Indices))
@@ -269,19 +270,19 @@ func TestEngineErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Run(ctx, nil, skybench.Query{}); err == nil {
-		t.Error("nil dataset accepted")
+	if _, err := eng.Run(ctx, nil, skybench.Query{}); !errors.Is(err, skybench.ErrBadDataset) {
+		t.Errorf("nil dataset: err = %v, want ErrBadDataset", err)
 	}
-	if _, err := eng.Run(ctx, ds, skybench.Query{Prefs: []skybench.Pref{skybench.Min}}); err == nil {
-		t.Error("mismatched preference length accepted")
+	if _, err := eng.Run(ctx, ds, skybench.Query{Prefs: []skybench.Pref{skybench.Min}}); !errors.Is(err, skybench.ErrBadQuery) {
+		t.Errorf("mismatched preference length: err = %v, want ErrBadQuery", err)
 	}
 	allIgnore := []skybench.Pref{skybench.Ignore, skybench.Ignore, skybench.Ignore}
-	if _, err := eng.Run(ctx, ds, skybench.Query{Prefs: allIgnore}); err == nil {
-		t.Error("all-Ignore query accepted")
+	if _, err := eng.Run(ctx, ds, skybench.Query{Prefs: allIgnore}); !errors.Is(err, skybench.ErrBadQuery) {
+		t.Errorf("all-Ignore query: err = %v, want ErrBadQuery", err)
 	}
 	bad := []skybench.Pref{skybench.Min, skybench.Pref(42), skybench.Min}
-	if _, err := eng.Run(ctx, ds, skybench.Query{Prefs: bad}); err == nil {
-		t.Error("invalid preference value accepted")
+	if _, err := eng.Run(ctx, ds, skybench.Query{Prefs: bad}); !errors.Is(err, skybench.ErrBadQuery) {
+		t.Errorf("invalid preference value: err = %v, want ErrBadQuery", err)
 	}
 	empty, err := skybench.NewDataset(nil)
 	if err != nil {
@@ -296,9 +297,42 @@ func TestEngineErrors(t *testing.T) {
 	if res, err := eng.Run(ctx, empty, withPrefs); err != nil || len(res.Indices) != 0 {
 		t.Errorf("empty dataset with prefs: res=%v err=%v, want empty success", res.Indices, err)
 	}
+	if _, err := eng.Run(ctx, ds, skybench.Query{Algorithm: skybench.Algorithm(99)}); !errors.Is(err, skybench.ErrUnknownAlgorithm) {
+		t.Errorf("unknown algorithm: err = %v, want ErrUnknownAlgorithm", err)
+	}
 	eng.Close()
-	if _, err := eng.Run(ctx, ds, skybench.Query{}); err == nil {
-		t.Error("Run after Close accepted")
+	if _, err := eng.Run(ctx, ds, skybench.Query{}); !errors.Is(err, skybench.ErrClosed) {
+		t.Errorf("Run after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestEnginePrewarm checks that pre-leased contexts serve queries (the
+// sharded-attach path pre-warms one per shard) and that Prewarm after
+// Close is a harmless no-op.
+func TestEnginePrewarm(t *testing.T) {
+	data := contextTestData(t, 2000, 4)
+	ds, err := skybench.NewDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := skybench.NewEngine(2)
+	eng.Prewarm(3)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := eng.Run(ctx, ds, skybench.Query{}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	eng.Close()
+	eng.Prewarm(2) // must not panic or resurrect the pool
+	if _, err := eng.Run(ctx, ds, skybench.Query{}); !errors.Is(err, skybench.ErrClosed) {
+		t.Errorf("Run after Close+Prewarm: err = %v, want ErrClosed", err)
 	}
 }
 

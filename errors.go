@@ -1,0 +1,65 @@
+package skybench
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed sentinel errors for every failure class the serving surfaces
+// report. All API-boundary errors — Engine, Store/Collection, and the
+// skybench/stream package — wrap exactly one of these, so callers
+// branch with errors.Is instead of matching message strings:
+//
+//	res, err := col.Run(ctx, q)
+//	switch {
+//	case errors.Is(err, skybench.ErrCanceled):   // deadline or cancel
+//	case errors.Is(err, skybench.ErrBadQuery):   // fix the query
+//	case errors.Is(err, skybench.ErrClosed):     // handle shutdown
+//	}
+//
+// The dynamic message carries the diagnostic detail (which dimension,
+// which algorithm, …); the sentinel carries the class.
+var (
+	// ErrClosed reports use of an Engine, Store, Collection, or stream
+	// index after its Close (or after the collection was dropped).
+	ErrClosed = errors.New("skybench: used after Close")
+
+	// ErrBadDataset reports input data that cannot form a Dataset:
+	// inconsistent or unsupported dimensionality, non-finite values, or
+	// a shape mismatch in the flat constructors.
+	ErrBadDataset = errors.New("skybench: invalid dataset")
+
+	// ErrBadPoint reports a single invalid point handed to a mutating
+	// stream operation (wrong dimensionality or non-finite values).
+	ErrBadPoint = errors.New("skybench: invalid point")
+
+	// ErrBadQuery reports a query (or stream/collection configuration)
+	// that is inconsistent with its target: wrong preference count,
+	// every dimension ignored, negative or unsupported SkybandK, and
+	// the like.
+	ErrBadQuery = errors.New("skybench: invalid query")
+
+	// ErrUnknownAlgorithm reports an Algorithm value or CLI name that
+	// does not identify any implemented algorithm.
+	ErrUnknownAlgorithm = errors.New("skybench: unknown algorithm")
+
+	// ErrCanceled reports a query abandoned because its context was
+	// canceled or its deadline passed. Errors wrapping it also wrap the
+	// context's own error, so errors.Is(err, context.Canceled) and
+	// errors.Is(err, context.DeadlineExceeded) keep working.
+	ErrCanceled = errors.New("skybench: query canceled")
+
+	// ErrUnknownCollection reports a Store lookup or drop of a name no
+	// collection is attached under.
+	ErrUnknownCollection = errors.New("skybench: unknown collection")
+
+	// ErrDuplicateCollection reports an Attach under a name that is
+	// already taken.
+	ErrDuplicateCollection = errors.New("skybench: duplicate collection")
+)
+
+// canceledErr wraps a context error so it satisfies both
+// errors.Is(err, ErrCanceled) and errors.Is(err, cause).
+func canceledErr(cause error) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}

@@ -62,6 +62,10 @@ type Config struct {
 	// StreamSkybandK is the band parameter of the stream maintenance
 	// experiment (≤ 1 maintains the plain skyline).
 	StreamSkybandK int
+	// Shards is the partition sweep of the sharded-serving experiment
+	// (empty selects 1,2,4,8; the leading 1 anchors the exactness
+	// cross-check).
+	Shards []int
 }
 
 // Default returns the laptop-scale defaults documented in DESIGN.md.

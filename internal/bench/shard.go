@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"skybench"
+
+	"skybench/internal/dataset"
+)
+
+// defaultShardPs is the partition sweep of the shard experiment when
+// the config leaves it empty: the unsharded baseline plus doubling
+// fan-outs.
+var defaultShardPs = []int{1, 2, 4, 8}
+
+// Shard is the serving-facade experiment: the cost of partitioned
+// fan-out + exact merge against the single-partition engine, per
+// distribution, for skylines and a k-skyband cut. Every sharded row is
+// cross-checked for set-identity against the unsharded answer (column
+// "exact"), and the merge's share of the dominance tests shows what the
+// union recount costs.
+func (cfg Config) Shard(w io.Writer) {
+	ps := cfg.Shards
+	if len(ps) == 0 {
+		ps = defaultShardPs
+	}
+	header(w, "sharded serving: fan-out + merge vs single partition (extension)",
+		fmt.Sprintf("Store collection over shard counts; n=%d d=%d t=%d", cfg.N, cfg.D, cfg.MaxThreads))
+	fmt.Fprintf(w, "%-16s %6s %6s %12s %12s %14s %6s\n",
+		"distribution", "shards", "k", "band", "ms", "dom. tests", "exact")
+
+	st := skybench.NewStore(cfg.MaxThreads)
+	defer st.Close()
+	reps := cfg.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	ctx := context.Background()
+	for _, dist := range dataset.AllDistributions {
+		m := cfg.gen(dist, cfg.N, cfg.D)
+		ds, err := skybench.DatasetFromFlat(m.Flat(), m.N(), m.D())
+		if err != nil {
+			panic(fmt.Sprintf("bench: shard dataset: %v", err))
+		}
+		for _, k := range []int{1, 4} {
+			var baseline map[int]int32
+			for _, p := range ps {
+				col, err := st.Attach(fmt.Sprintf("%s-k%d-p%d", dist, k, p), ds,
+					skybench.CollectionOptions{Shards: p, CacheCapacity: -1})
+				if err != nil {
+					panic(fmt.Sprintf("bench: shard attach: %v", err))
+				}
+				q := skybench.Query{SkybandK: k}
+				var total time.Duration
+				var last *skybench.QueryResult
+				for r := 0; r < reps; r++ {
+					start := time.Now()
+					res, err := col.Run(ctx, q)
+					if err != nil {
+						panic(fmt.Sprintf("bench: shard %s p=%d k=%d: %v", dist, p, k, err))
+					}
+					total += time.Since(start)
+					last = res
+				}
+				exact := "-"
+				got := make(map[int]int32, last.Len())
+				for pos, i := range last.Indices {
+					if last.Counts != nil {
+						got[i] = last.Counts[pos]
+					} else {
+						got[i] = 0
+					}
+				}
+				if p == ps[0] && ps[0] == 1 {
+					baseline = got
+				} else if baseline != nil {
+					exact = "yes"
+					if len(got) != len(baseline) {
+						exact = "NO"
+					} else {
+						for i, c := range baseline {
+							// Membership must be checked explicitly: at
+							// k=1 all counts are 0, so a missing row's
+							// map zero value would masquerade as a match.
+							if gc, ok := got[i]; !ok || gc != c {
+								exact = "NO"
+								break
+							}
+						}
+					}
+				}
+				fmt.Fprintf(w, "%-16s %6d %6d %12d %12s %14d %6s\n",
+					dist, p, k, last.Len(), ms(total/time.Duration(reps)),
+					last.Stats.DominanceTests, exact)
+			}
+		}
+	}
+}

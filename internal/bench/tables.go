@@ -163,5 +163,6 @@ func Experiments() []struct {
 		{"multicore", "all six multicore algorithms (extension)", Config.Multicore},
 		{"stream", "incremental maintenance vs recompute (extension)", Config.StreamMaintenance},
 		{"skyband", "k-skyband cost curve over k (extension)", Config.Skyband},
+		{"shard", "sharded serving fan-out + merge vs single partition (extension)", Config.Shard},
 	}
 }

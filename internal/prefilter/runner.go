@@ -163,8 +163,13 @@ func (r *Runner) Filter(m point.Matrix, l1 []float64, beta, k int, pool *par.Poo
 	if dts != nil {
 		dts.Inc(0, unionDTs)
 	}
+	// qrows and ql1 are sized independently: a context warmed on a
+	// high-d dataset can have qrows capacity to spare while a larger
+	// queue union still outgrows ql1.
 	if cap(r.qrows) < nq*d {
 		r.qrows = make([]float64, nq*d)
+	}
+	if cap(r.ql1) < nq {
 		r.ql1 = make([]float64, nq)
 	}
 	r.qrows, r.ql1 = r.qrows[:nq*d], r.ql1[:nq]

@@ -1,0 +1,155 @@
+// Package shard partitions a dataset into contiguous row ranges and
+// merges per-shard skyline / k-skyband results back into the exact
+// global result.
+//
+// The merge is sound because per-shard results over-approximate the
+// global one and the union carries every dominator that matters:
+//
+//   - Skyline: a global skyline point is undominated in the whole set,
+//     hence undominated within its own shard, hence in that shard's
+//     skyline. The union U of per-shard skylines therefore contains the
+//     global skyline, and any point that dominates a member of U is
+//     itself in U's own shard skyline or dominated by something that
+//     is — so skyline(U) = global skyline.
+//
+//   - k-skyband: a point with fewer than k global dominators has fewer
+//     than k dominators within its own shard, so the union U of
+//     per-shard bands contains the global band. Counting dominators of
+//     a candidate c over U alone is exact: every dominator p of c has
+//     dom(p) ⊆ dom(c) \ {p} (transitivity), so if c has < k global
+//     dominators then each of them has < k−1 and is in the global band
+//     ⊆ U; and if c has ≥ k global dominators, its k smallest-L1
+//     dominators each have all their own dominators strictly earlier in
+//     L1 order inside dom(c), hence < k of them — all k are band
+//     members, all in U, and the recount reaches k and discards c.
+//
+// DESIGN.md §10 states the argument in full. Like every L1-pruned path
+// in this repository, the merge inherits the numeric precondition of
+// DESIGN.md §9: "p dominates q ⟹ L1(p) < L1(q)" must hold, which exact
+// arithmetic guarantees and float absorption can break.
+package shard
+
+import (
+	"sort"
+
+	"skybench/internal/point"
+)
+
+// MergeKernelMax is the union size above which callers should recount
+// through a full engine run over the candidate union instead of
+// MergeBand's quadratic prefix scan — on low-correlation data the band
+// is a large fraction of the input and the engine's partition index
+// prunes the cross-candidate tests the flat scan cannot. Both merge
+// call sites (the Collection fan-out and the stream's shard-aware
+// rebuild) share this cutoff so the two paths cannot drift.
+const MergeKernelMax = 1024
+
+// Range is one contiguous shard of dataset rows: [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of rows in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Split partitions [0, n) into p contiguous, non-empty, balanced
+// ranges. p is clamped to [1, n]; n = 0 yields no ranges. The first
+// n mod p ranges are one row longer, mirroring par.staticRange.
+func Split(n, p int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p > n {
+		p = n
+	}
+	out := make([]Range, p)
+	size, rem := n/p, n%p
+	lo := 0
+	for i := range out {
+		hi := lo + size
+		if i < rem {
+			hi++
+		}
+		out[i] = Range{Lo: lo, Hi: hi}
+		lo = hi
+	}
+	return out
+}
+
+// MergeBand computes the exact k-skyband of the nc candidate points
+// (row-major flat values, d columns per row) — intended for candidates
+// that are the union of per-shard bands, where the package comment's
+// argument makes the result the exact global band with exact global
+// dominator counts.
+//
+// It returns the positions (into the candidate ordering) of the
+// surviving points, ascending, plus each survivor's dominator count
+// when k ≥ 2 (nil when k ≤ 1, where every survivor has zero). When dts
+// is non-nil it is advanced by the dominance tests performed.
+func MergeBand(vals []float64, nc, d, k int, dts *uint64) ([]int, []int32) {
+	if nc == 0 {
+		return nil, nil
+	}
+	if k < 1 {
+		k = 1
+	}
+
+	// Sort candidates by ascending L1 so only strictly earlier rows can
+	// dominate a probe (equal norms preclude strict dominance — the
+	// kernels' l1 filter skips them).
+	l1 := make([]float64, nc)
+	for i := 0; i < nc; i++ {
+		l1[i] = point.L1(vals[i*d : (i+1)*d])
+	}
+	order := make([]int, nc)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return l1[order[a]] < l1[order[b]] })
+	sVals := make([]float64, nc*d)
+	sL1 := make([]float64, nc)
+	for p, i := range order {
+		copy(sVals[p*d:(p+1)*d], vals[i*d:(i+1)*d])
+		sL1[p] = l1[i]
+	}
+
+	var tests uint64
+	kept := make([]bool, nc)
+	var cnt []int32
+	if k > 1 {
+		cnt = make([]int32, nc)
+	}
+	nKept := 0
+	for p, i := range order {
+		q := sVals[p*d : (p+1)*d : (p+1)*d]
+		c := point.CountDominatorsInFlatRun(sVals, d, 0, p, q, sL1[p], sL1, nil, k, &tests)
+		if c < k {
+			kept[i] = true
+			if cnt != nil {
+				cnt[i] = int32(c)
+			}
+			nKept++
+		}
+	}
+	if dts != nil {
+		*dts += tests
+	}
+
+	keep := make([]int, 0, nKept)
+	var counts []int32
+	if k > 1 {
+		counts = make([]int32, 0, nKept)
+	}
+	for i := 0; i < nc; i++ {
+		if kept[i] {
+			keep = append(keep, i)
+			if counts != nil {
+				counts = append(counts, cnt[i])
+			}
+		}
+	}
+	return keep, counts
+}

@@ -1,0 +1,125 @@
+package shard
+
+import (
+	"slices"
+	"testing"
+
+	"skybench/internal/dataset"
+	"skybench/internal/point"
+	"skybench/internal/verify"
+)
+
+func TestSplit(t *testing.T) {
+	for _, tc := range []struct{ n, p, want int }{
+		{0, 4, 0},  // empty input → no ranges
+		{10, 1, 1}, // unsharded
+		{10, 3, 3}, // uneven split
+		{10, 10, 10},
+		{3, 8, 3},  // p clamped to n
+		{10, 0, 1}, // p clamped up to 1
+		{10, -2, 1},
+	} {
+		ranges := Split(tc.n, tc.p)
+		if len(ranges) != tc.want {
+			t.Fatalf("Split(%d, %d) = %d ranges, want %d", tc.n, tc.p, len(ranges), tc.want)
+		}
+		next := 0
+		for i, r := range ranges {
+			if r.Lo != next {
+				t.Fatalf("Split(%d, %d): range %d starts at %d, want %d", tc.n, tc.p, i, r.Lo, next)
+			}
+			if r.Len() < 1 {
+				t.Fatalf("Split(%d, %d): empty range %d", tc.n, tc.p, i)
+			}
+			next = r.Hi
+		}
+		if tc.n > 0 && next != tc.n {
+			t.Fatalf("Split(%d, %d) covers [0, %d), want [0, %d)", tc.n, tc.p, next, tc.n)
+		}
+		// Balance: range lengths differ by at most one.
+		lo, hi := tc.n, 0
+		for _, r := range ranges {
+			lo, hi = min(lo, r.Len()), max(hi, r.Len())
+		}
+		if tc.n > 0 && hi-lo > 1 {
+			t.Fatalf("Split(%d, %d) unbalanced: lengths in [%d, %d]", tc.n, tc.p, lo, hi)
+		}
+	}
+}
+
+// TestMergeBandOracle is the soundness check of the shard merge: for
+// every distribution, dimensionality, k, and shard count, the k-skyband
+// of the union of per-shard k-skybands (with recounted dominators) must
+// equal the global brute-force k-skyband with exact counts.
+func TestMergeBandOracle(t *testing.T) {
+	const n = 400
+	for _, dist := range dataset.AllDistributions {
+		for _, d := range []int{2, 5, 8} {
+			m := dataset.Generate(dist, n, d, 99)
+			flat := m.Flat()
+			for _, k := range []int{1, 2, 4} {
+				wantIdx, wantCnt := verify.BruteForceSkyband(m, k)
+				for _, p := range []int{1, 2, 3, 7} {
+					ranges := Split(n, p)
+					// Union of per-shard brute-force bands, as global rows.
+					var cand []int
+					for _, r := range ranges {
+						sub := point.FromFlat(flat[r.Lo*d:r.Hi*d], r.Len(), d)
+						idx, _ := verify.BruteForceSkyband(sub, k)
+						for _, li := range idx {
+							cand = append(cand, r.Lo+li)
+						}
+					}
+					buf := make([]float64, len(cand)*d)
+					for pos, gi := range cand {
+						copy(buf[pos*d:(pos+1)*d], flat[gi*d:(gi+1)*d])
+					}
+					var dts uint64
+					keep, counts := MergeBand(buf, len(cand), d, k, &dts)
+					got := make([]int, len(keep))
+					for j, pos := range keep {
+						got[j] = cand[pos]
+					}
+					// keep is ascending in candidate position and cand is
+					// ascending (shards in order, ascending within), so got
+					// is ascending like the oracle's output.
+					if !slices.Equal(got, wantIdx) {
+						t.Fatalf("%s d=%d k=%d p=%d: merged band %v, want %v", dist, d, k, p, got, wantIdx)
+					}
+					if k > 1 && !slices.Equal(counts, wantCnt) {
+						t.Fatalf("%s d=%d k=%d p=%d: merged counts %v, want %v", dist, d, k, p, counts, wantCnt)
+					}
+					if k == 1 && counts != nil {
+						t.Fatalf("%s d=%d k=%d p=%d: skyline merge returned counts", dist, d, k, p)
+					}
+					if len(cand) > 1 && dts == 0 {
+						t.Fatalf("%s d=%d k=%d p=%d: merge reported zero dominance tests over %d candidates", dist, d, k, p, len(cand))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMergeBandDegenerate covers the edges the property loop skips.
+func TestMergeBandDegenerate(t *testing.T) {
+	if keep, counts := MergeBand(nil, 0, 3, 2, nil); keep != nil || counts != nil {
+		t.Fatalf("empty merge = (%v, %v), want (nil, nil)", keep, counts)
+	}
+	// Identical points never dominate each other: all survive any k.
+	vals := []float64{1, 2, 1, 2, 1, 2}
+	keep, counts := MergeBand(vals, 3, 2, 2, nil)
+	if len(keep) != 3 {
+		t.Fatalf("identical points: kept %v, want all 3", keep)
+	}
+	for _, c := range counts {
+		if c != 0 {
+			t.Fatalf("identical points: counts %v, want zeros", counts)
+		}
+	}
+	// k clamps up to 1.
+	keep, counts = MergeBand(vals, 3, 2, 0, nil)
+	if len(keep) != 3 || counts != nil {
+		t.Fatalf("k=0 merge = (%v, %v), want all three, nil counts", keep, counts)
+	}
+}

@@ -186,6 +186,18 @@ func (ix *Index) Stats() Stats { return ix.stats }
 // is unspecified.
 func (ix *Index) Skyline() []int32 { return ix.skySlots }
 
+// AppendLiveSlots appends every live slot (band member or bucketed) to
+// dst in ascending slot order — the deterministic enumeration behind
+// live-set materialization — and returns the extended slice.
+func (ix *Index) AppendLiveSlots(dst []int32) []int32 {
+	for slot, owner := range ix.owner {
+		if owner != ownerFree {
+			dst = append(dst, int32(slot))
+		}
+	}
+	return dst
+}
+
 // Row returns the staged values of a live slot (aliasing the arena).
 func (ix *Index) Row(slot int32) []float64 {
 	return ix.vals[int(slot)*ix.d : (int(slot)+1)*ix.d : (int(slot)+1)*ix.d]

@@ -34,6 +34,19 @@
 // deadlines, and supports per-dimension preferences (maximize, ignore)
 // without caller-side column rewrites. Compute, Skyline, and Context are
 // retained as thin compatibility wrappers over the same machinery.
+//
+// Services hosting several datasets front the engine with a Store: named
+// Collections (immutable Datasets or live stream indexes via
+// AttachStream), optional sharded fan-out with exact merge, epoch-keyed
+// result caching, and async futures:
+//
+//	st := skybench.NewStore(0)
+//	defer st.Close()
+//	hotels, _ := st.Attach("hotels", ds, skybench.CollectionOptions{Shards: 4})
+//	res, err := hotels.Run(ctx, skybench.Query{SkybandK: 2})
+//
+// All API errors wrap the typed sentinels in errors.go (ErrBadQuery,
+// ErrCanceled, ErrUnknownCollection, …) for errors.Is dispatch.
 package skybench
 
 import (
@@ -115,7 +128,7 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 			return a, nil
 		}
 	}
-	return 0, fmt.Errorf("skybench: unknown algorithm %q (known: %v)", s, AlgorithmNames())
+	return 0, fmt.Errorf("%w: %q (known: %v)", ErrUnknownAlgorithm, s, AlgorithmNames())
 }
 
 // AlgorithmNames returns the CLI names of every available algorithm in
@@ -189,7 +202,7 @@ func ParsePivot(s string) (PivotStrategy, error) {
 	for i, p := range pivotNames {
 		names[i] = p.String()
 	}
-	return 0, fmt.Errorf("skybench: unknown pivot strategy %q (known: %v)", s, names)
+	return 0, fmt.Errorf("%w: unknown pivot strategy %q (known: %v)", ErrBadQuery, s, names)
 }
 
 // Options configures Compute. The zero value runs Hybrid with the
@@ -398,7 +411,7 @@ func runBaseline(m point.Matrix, q Query, threads int) (Result, error) {
 	case APSkyline:
 		idx, st.DominanceTests = apskyline.SkylineDT(m, threads)
 	default:
-		return Result{}, fmt.Errorf("skybench: unknown algorithm %d", int(q.Algorithm))
+		return Result{}, fmt.Errorf("%w: %d", ErrUnknownAlgorithm, int(q.Algorithm))
 	}
 	return assembleResult(idx, &st, m.N(), time.Since(start)), nil
 }

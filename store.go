@@ -1,0 +1,182 @@
+package skybench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Store is the multi-collection serving facade: one handle hosting any
+// number of named Collections — each an immutable Dataset or a live
+// stream source, optionally sharded — over a single shared Engine (one
+// worker pool, one context free-list) so concurrent queries across
+// every collection share warm scratch and one thread team.
+//
+//	st := skybench.NewStore(0)
+//	defer st.Close()
+//	hotels, _ := st.Attach("hotels", ds, skybench.CollectionOptions{Shards: 4})
+//	res, err := hotels.Run(ctx, skybench.Query{SkybandK: 2})
+//
+// A Store is safe for concurrent use: attach, drop, and query from any
+// number of goroutines. Dropping or closing marks the affected
+// collections closed; queries already holding a *Collection fail with
+// ErrClosed instead of touching freed state.
+type Store struct {
+	eng    *Engine
+	ownEng bool
+
+	mu     sync.RWMutex
+	cols   map[string]*Collection
+	closed bool
+}
+
+// NewStore creates a Store whose shared Engine has the given thread
+// budget (≤ 0 selects all usable CPUs).
+func NewStore(threads int) *Store {
+	return &Store{eng: NewEngine(threads), ownEng: true, cols: make(map[string]*Collection)}
+}
+
+// NewStoreWithEngine creates a Store serving through an existing Engine
+// (shared with whatever other load it carries). The caller keeps
+// ownership: Store.Close does not close it.
+func NewStoreWithEngine(eng *Engine) *Store {
+	return &Store{eng: eng, cols: make(map[string]*Collection)}
+}
+
+// Engine returns the Store's shared Engine.
+func (s *Store) Engine() *Engine { return s.eng }
+
+// Attach registers ds as a named collection and returns its handle.
+// The Dataset is adopted as-is (immutable, shareable); opts selects
+// sharding and caching. Attaching a name twice fails with
+// ErrDuplicateCollection.
+func (s *Store) Attach(name string, ds *Dataset, opts CollectionOptions) (*Collection, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("%w: nil Dataset", ErrBadDataset)
+	}
+	c := s.newCollection(name, opts)
+	c.static = &colSnapshot{ds: ds}
+	c.static.partition(c.shards)
+	if err := s.add(name, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// AttachStream registers a live source (typically a
+// *stream.SkylineIndex) as a named collection. Queries run over the
+// source's full live point set, materialized at most once per
+// membership epoch; cached results invalidate automatically when the
+// epoch advances.
+func (s *Store) AttachStream(name string, src StreamSource, opts CollectionOptions) (*Collection, error) {
+	if src == nil {
+		return nil, fmt.Errorf("%w: nil StreamSource", ErrBadDataset)
+	}
+	c := s.newCollection(name, opts)
+	c.src = src
+	if err := s.add(name, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// newCollection builds a collection shell with normalized options.
+func (s *Store) newCollection(name string, opts CollectionOptions) *Collection {
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	cacheCap := opts.CacheCapacity
+	if cacheCap == 0 {
+		cacheCap = DefaultCacheCapacity
+	}
+	c := &Collection{name: name, eng: s.eng, shards: shards}
+	if cacheCap > 0 {
+		c.cacheCap = cacheCap
+		c.entries = make(map[fingerprint]cacheEntry)
+	}
+	// A sharded collection's first query fans out `shards` concurrent
+	// engine runs at once; pre-lease that many contexts so the burst
+	// hits warm scratch instead of allocating under load.
+	if shards > 1 {
+		s.eng.Prewarm(shards)
+	}
+	return c
+}
+
+// add registers the collection under its name.
+func (s *Store) add(name string, c *Collection) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("%w: Store", ErrClosed)
+	}
+	if _, ok := s.cols[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateCollection, name)
+	}
+	s.cols[name] = c
+	return nil
+}
+
+// Collection returns the named collection, or ErrUnknownCollection.
+func (s *Store) Collection(name string) (*Collection, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, fmt.Errorf("%w: Store", ErrClosed)
+	}
+	c, ok := s.cols[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownCollection, name)
+	}
+	return c, nil
+}
+
+// Names returns the attached collection names, sorted.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.cols))
+	for name := range s.cols {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Drop detaches the named collection; subsequent queries on handles to
+// it fail with ErrClosed. The backing Dataset or stream source is
+// untouched (it belongs to the caller).
+func (s *Store) Drop(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("%w: Store", ErrClosed)
+	}
+	c, ok := s.cols[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownCollection, name)
+	}
+	delete(s.cols, name)
+	c.dropped.Store(true)
+	return nil
+}
+
+// Close drops every collection and, when the Store owns its Engine
+// (NewStore), closes it. In-flight queries must have completed, as for
+// Engine.Close.
+func (s *Store) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for name, c := range s.cols {
+		c.dropped.Store(true)
+		delete(s.cols, name)
+	}
+	if s.ownEng {
+		s.eng.Close()
+	}
+}

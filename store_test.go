@@ -1,0 +1,675 @@
+package skybench_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+
+	"skybench"
+	"skybench/stream"
+)
+
+// storeTestData builds a deterministic synthetic dataset through the
+// public generator.
+func storeTestData(t testing.TB, dist string, n, d int, seed int64) [][]float64 {
+	t.Helper()
+	rows, err := skybench.GenerateDataset(dist, n, d, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// bandMap keys a band result by row index for order-insensitive
+// comparison of membership and counts.
+func bandMap(idx []int, counts []int32) map[int]int32 {
+	m := make(map[int]int32, len(idx))
+	for p, i := range idx {
+		if counts != nil {
+			m[i] = counts[p]
+		} else {
+			m[i] = 0
+		}
+	}
+	return m
+}
+
+// TestStoreShardedMatchesUnsharded is the acceptance property: for
+// every distribution × preference vector × k × shard count, the sharded
+// collection's result must be set-identical to the unsharded Engine
+// answer, with identical dominator counts for skybands.
+func TestStoreShardedMatchesUnsharded(t *testing.T) {
+	const n, d = 2500, 5
+	st := skybench.NewStore(4)
+	defer st.Close()
+	ctx := context.Background()
+
+	prefsCases := map[string][]skybench.Pref{
+		"all-min": nil,
+		"mixed":   {skybench.Min, skybench.Max, skybench.Min, skybench.Max, skybench.Min},
+		"subspace": {skybench.Min, skybench.Ignore, skybench.Max,
+			skybench.Ignore, skybench.Min},
+	}
+
+	for _, dist := range []string{"correlated", "independent", "anticorrelated"} {
+		rows := storeTestData(t, dist, n, d, 7)
+		ds, err := skybench.NewDataset(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := st.Attach(dist+"-ref", ds, skybench.CollectionOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{2, 4, 7} {
+			col, err := st.Attach(fmt.Sprintf("%s-%d", dist, shards), ds,
+				skybench.CollectionOptions{Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, prefs := range prefsCases {
+				for _, k := range []int{1, 2, 4} {
+					q := skybench.Query{Prefs: prefs, SkybandK: k}
+					want, err := ref.Run(ctx, q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := col.Run(ctx, q)
+					if err != nil {
+						t.Fatalf("%s/%s shards=%d k=%d: %v", dist, name, shards, k, err)
+					}
+					wm, gm := bandMap(want.Indices, want.Counts), bandMap(got.Indices, got.Counts)
+					if len(wm) != len(gm) {
+						t.Fatalf("%s/%s shards=%d k=%d: %d points sharded, %d unsharded",
+							dist, name, shards, k, len(gm), len(wm))
+					}
+					for i, c := range wm {
+						if gc, ok := gm[i]; !ok || gc != c {
+							t.Fatalf("%s/%s shards=%d k=%d: row %d count %d vs unsharded %d (present=%v)",
+								dist, name, shards, k, i, gm[i], c, ok)
+						}
+					}
+					if !slices.IsSorted(got.Indices) {
+						t.Fatalf("%s/%s shards=%d k=%d: sharded indices not ascending", dist, name, shards, k)
+					}
+					if got.Stats.InputSize != n {
+						t.Fatalf("%s/%s shards=%d k=%d: InputSize %d, want %d", dist, name, shards, k, got.Stats.InputSize, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStoreShardedLargeUnion forces the merge's engine path (union
+// larger than the kernel cutoff): anticorrelated data whose skyline is
+// a large fraction of the input. Sharded results must still match.
+func TestStoreShardedLargeUnion(t *testing.T) {
+	const n, d = 8000, 7
+	rows := storeTestData(t, "anticorrelated", n, d, 13)
+	ds, err := skybench.NewDataset(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := skybench.NewStore(4)
+	defer st.Close()
+	ref, err := st.Attach("ref", ds, skybench.CollectionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := st.Attach("sharded", ds, skybench.CollectionOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, k := range []int{1, 2} {
+		q := skybench.Query{SkybandK: k}
+		want, err := ref.Run(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Len() <= 1024 {
+			t.Fatalf("k=%d: band has %d points — workload too small to exercise the engine merge", k, want.Len())
+		}
+		got, err := col.Run(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wm, gm := bandMap(want.Indices, want.Counts), bandMap(got.Indices, got.Counts)
+		if len(wm) != len(gm) {
+			t.Fatalf("k=%d: %d points sharded, %d unsharded", k, len(gm), len(wm))
+		}
+		for i, c := range wm {
+			if gm[i] != c {
+				t.Fatalf("k=%d: row %d count %d, unsharded %d", k, i, gm[i], c)
+			}
+		}
+	}
+}
+
+// TestStoreShardedGolden pins sharded results to the committed golden
+// files: P=4 skylines and k-skybands must reproduce the brute-force
+// oracle's membership and counts index-for-index.
+func TestStoreShardedGolden(t *testing.T) {
+	st := skybench.NewStore(2)
+	defer st.Close()
+	ctx := context.Background()
+	for _, c := range goldenCases {
+		g := loadGolden(t, c.name)
+		ds, err := skybench.NewDataset(g.Rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col, err := st.Attach(c.name, ds, skybench.CollectionOptions{Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := col.Run(ctx, skybench.Query{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sortedInts(res.Indices); !slices.Equal(got, g.Skyline) {
+			t.Fatalf("%s: sharded skyline %v, golden %v", c.name, got, g.Skyline)
+		}
+		for _, k := range goldenKs {
+			want := g.Skyband[fmt.Sprint(k)]
+			res, err := col.Run(ctx, skybench.Query{SkybandK: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gm, wm := bandMap(res.Indices, res.Counts), bandMap(want.Indices, want.Counts)
+			if len(gm) != len(wm) {
+				t.Fatalf("%s k=%d: sharded band size %d, golden %d", c.name, k, len(gm), len(wm))
+			}
+			for i, cnt := range wm {
+				if gm[i] != cnt {
+					t.Fatalf("%s k=%d: row %d count %d, golden %d", c.name, k, i, gm[i], cnt)
+				}
+			}
+		}
+	}
+}
+
+// TestStoreCacheHitZeroAlloc is the acceptance bound on the cache: a
+// repeated identical query on an unchanged collection must be a hit
+// that performs zero shard work — same immutable result handle, no
+// allocations at all.
+func TestStoreCacheHitZeroAlloc(t *testing.T) {
+	rows := storeTestData(t, "independent", 5000, 6, 3)
+	ds, err := skybench.NewDataset(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := skybench.NewStore(4)
+	defer st.Close()
+	col, err := st.Attach("hot", ds, skybench.CollectionOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := skybench.Query{SkybandK: 2}
+	first, err := col.Run(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := col.CacheStats()
+
+	var got *skybench.QueryResult
+	allocs := testing.AllocsPerRun(100, func() {
+		r, err := col.Run(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = r
+	})
+	if allocs != 0 {
+		t.Errorf("cache hit allocates %.1f per call, want 0", allocs)
+	}
+	if got != first {
+		t.Error("cache hit returned a different result handle — shard work was redone")
+	}
+	stats := col.CacheStats()
+	if stats.Hits <= base.Hits {
+		t.Errorf("hits did not advance: %+v -> %+v", base, stats)
+	}
+	if stats.Misses != base.Misses {
+		t.Errorf("repeated identical query counted a miss: %+v -> %+v", base, stats)
+	}
+
+	// An equivalent canonical spelling (k=0 vs k=1, explicit all-Min
+	// prefs vs empty) shares the cache entry.
+	r0, err := col.Run(ctx, skybench.Query{SkybandK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := col.Run(ctx, skybench.Query{
+		Prefs: []skybench.Pref{skybench.Min, skybench.Min, skybench.Min,
+			skybench.Min, skybench.Min, skybench.Min}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0 != r1 {
+		t.Error("canonically equivalent queries did not share a cache entry")
+	}
+
+	// A wrong-length all-Min preference vector is invalid and must stay
+	// invalid with a warm cache — it must not collapse into the valid
+	// empty-prefs entry.
+	badPrefs := skybench.Query{Prefs: []skybench.Pref{skybench.Min, skybench.Min}}
+	if _, err := col.Run(ctx, badPrefs); !errors.Is(err, skybench.ErrBadQuery) {
+		t.Errorf("wrong-length all-Min prefs on a warm cache: err = %v, want ErrBadQuery", err)
+	}
+}
+
+// TestStoreStreamCacheInvalidation drives a stream-backed collection
+// through inserts and deletes and checks that every membership change
+// invalidates cached results, while unchanged epochs keep serving the
+// same handle — and that every answer matches a fresh Engine run over
+// the live set.
+func TestStoreStreamCacheInvalidation(t *testing.T) {
+	ix, err := stream.New(3, stream.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	rng := rand.New(rand.NewSource(11))
+	var ids []stream.ID
+	for i := 0; i < 300; i++ {
+		id, err := ix.Insert([]float64{rng.Float64(), rng.Float64(), rng.Float64()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	st := skybench.NewStore(2)
+	defer st.Close()
+	col, err := st.AttachStream("live", ix, skybench.CollectionOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := skybench.Query{SkybandK: 2}
+
+	oracle := func() map[string]int32 {
+		vals, _, _ := ix.LiveSnapshot()
+		n := len(vals) / 3
+		ds, err := skybench.DatasetFromFlat(vals, n, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := st.Engine().Run(ctx, ds, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := make(map[string]int32, len(res.Indices))
+		for p, i := range res.Indices {
+			m[fmt.Sprint(ds.Row(i))] = res.Counts[p]
+		}
+		return m
+	}
+	check := func(r *skybench.QueryResult) {
+		t.Helper()
+		want := bandByCoords(t, r)
+		w := oracle()
+		if len(want) != len(w) {
+			t.Fatalf("stream query: %d band points, oracle %d", len(want), len(w))
+		}
+		for key, c := range w {
+			if want[key] != c {
+				t.Fatalf("stream query: point %s count %d, oracle %d", key, want[key], c)
+			}
+		}
+	}
+
+	r1, err := col.Run(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(r1)
+	r2, err := col.Run(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 != r1 {
+		t.Error("unchanged stream collection recomputed instead of hitting the cache")
+	}
+
+	// A dominated insert changes no skyline membership but does change
+	// the live set — the cache must still invalidate (a k=2 band can
+	// change, and so can other cached fingerprints).
+	if _, err := ix.Insert([]float64{0.99, 0.99, 0.99}); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := col.Run(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Error("insert did not invalidate the cached result")
+	}
+	if r3.Epoch == r1.Epoch {
+		t.Error("epoch did not advance across an insert")
+	}
+	check(r3)
+
+	for _, id := range ids[:40] {
+		if !ix.Delete(id) {
+			t.Fatalf("delete of live id %d failed", id)
+		}
+	}
+	r4, err := col.Run(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4 == r3 {
+		t.Error("deletes did not invalidate the cached result")
+	}
+	check(r4)
+
+	// Result positions resolve to stable stream IDs.
+	for p := 0; p < r4.Len(); p++ {
+		id, ok := r4.ID(p)
+		if !ok {
+			t.Fatal("stream-backed result has no IDs")
+		}
+		vals, ok := ix.Values(stream.ID(id))
+		if !ok {
+			t.Fatalf("result ID %d is not live", id)
+		}
+		if fmt.Sprint(vals) != fmt.Sprint(r4.Row(p)) {
+			t.Fatalf("result ID %d values %v, row %v", id, vals, r4.Row(p))
+		}
+	}
+}
+
+// bandByCoords keys a QueryResult's band by coordinate string — stream
+// row order and dataset row order differ, so comparisons go by value.
+func bandByCoords(t *testing.T, r *skybench.QueryResult) map[string]int32 {
+	t.Helper()
+	m := make(map[string]int32, r.Len())
+	for p := 0; p < r.Len(); p++ {
+		var c int32
+		if r.Counts != nil {
+			c = r.Counts[p]
+		}
+		m[fmt.Sprint(r.Row(p))] = c
+	}
+	return m
+}
+
+// TestStoreErrors exercises the typed sentinel errors across the Store
+// surface.
+func TestStoreErrors(t *testing.T) {
+	rows := storeTestData(t, "independent", 100, 3, 5)
+	ds, err := skybench.NewDataset(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := skybench.NewStore(2)
+	ctx := context.Background()
+
+	if _, err := st.Attach("a", nil, skybench.CollectionOptions{}); !errors.Is(err, skybench.ErrBadDataset) {
+		t.Errorf("nil dataset: err = %v, want ErrBadDataset", err)
+	}
+	if _, err := st.AttachStream("a", nil, skybench.CollectionOptions{}); !errors.Is(err, skybench.ErrBadDataset) {
+		t.Errorf("nil source: err = %v, want ErrBadDataset", err)
+	}
+	col, err := st.Attach("a", ds, skybench.CollectionOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Attach("a", ds, skybench.CollectionOptions{}); !errors.Is(err, skybench.ErrDuplicateCollection) {
+		t.Errorf("duplicate attach: err = %v, want ErrDuplicateCollection", err)
+	}
+	if _, err := st.Collection("missing"); !errors.Is(err, skybench.ErrUnknownCollection) {
+		t.Errorf("unknown lookup: err = %v, want ErrUnknownCollection", err)
+	}
+	if err := st.Drop("missing"); !errors.Is(err, skybench.ErrUnknownCollection) {
+		t.Errorf("unknown drop: err = %v, want ErrUnknownCollection", err)
+	}
+	if got, err := st.Collection("a"); err != nil || got != col {
+		t.Errorf("lookup = (%v, %v), want the attached handle", got, err)
+	}
+	if names := st.Names(); !slices.Equal(names, []string{"a"}) {
+		t.Errorf("Names() = %v, want [a]", names)
+	}
+
+	// Progressive delivery is incompatible with sharded fan-out.
+	prog := skybench.Query{Progressive: func([]int) {}}
+	if _, err := col.Run(ctx, prog); !errors.Is(err, skybench.ErrBadQuery) {
+		t.Errorf("progressive sharded query: err = %v, want ErrBadQuery", err)
+	}
+	// Bad queries surface the engine's typed errors through the shards.
+	if _, err := col.Run(ctx, skybench.Query{SkybandK: -3}); !errors.Is(err, skybench.ErrBadQuery) {
+		t.Errorf("negative k: err = %v, want ErrBadQuery", err)
+	}
+	if _, err := col.Run(ctx, skybench.Query{Algorithm: skybench.Algorithm(77)}); !errors.Is(err, skybench.ErrUnknownAlgorithm) {
+		t.Errorf("unknown algorithm: err = %v, want ErrUnknownAlgorithm", err)
+	}
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := col.Run(canceled, skybench.Query{}); !errors.Is(err, skybench.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled query: err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+
+	if err := st.Drop("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := col.Run(ctx, skybench.Query{}); !errors.Is(err, skybench.ErrClosed) {
+		t.Errorf("dropped collection query: err = %v, want ErrClosed", err)
+	}
+	st.Close()
+	if _, err := st.Attach("b", ds, skybench.CollectionOptions{}); !errors.Is(err, skybench.ErrClosed) {
+		t.Errorf("attach after Close: err = %v, want ErrClosed", err)
+	}
+	if _, err := st.Collection("a"); !errors.Is(err, skybench.ErrClosed) {
+		t.Errorf("lookup after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestCollectionSubmit covers the async surface: futures deliver what
+// Run would, batches fan out, and Wait detaches on a dead context
+// without killing the query.
+func TestCollectionSubmit(t *testing.T) {
+	rows := storeTestData(t, "anticorrelated", 2000, 4, 9)
+	ds, err := skybench.NewDataset(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := skybench.NewStore(2)
+	defer st.Close()
+	col, err := st.Attach("async", ds, skybench.CollectionOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	want, err := col.Run(ctx, skybench.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := col.Submit(ctx, skybench.Query{})
+	got, err := f.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Error("future did not serve the cached handle Run produced")
+	}
+
+	qs := []skybench.Query{{}, {SkybandK: 2}, {Algorithm: skybench.QFlow}}
+	for i, f := range col.SubmitBatch(ctx, qs) {
+		res, err := f.Wait(ctx)
+		if err != nil {
+			t.Fatalf("batch query %d: %v", i, err)
+		}
+		if res.Len() == 0 {
+			t.Fatalf("batch query %d: empty result", i)
+		}
+	}
+
+	// Wait with a dead context abandons the wait, not the future.
+	slow := col.Submit(ctx, skybench.Query{SkybandK: 4})
+	deadCtx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := slow.Wait(deadCtx); !errors.Is(err, skybench.ErrCanceled) {
+		t.Errorf("Wait on dead context: err = %v, want ErrCanceled", err)
+	}
+	if res, err := slow.Result(); err != nil || res == nil {
+		t.Errorf("future died with its waiter: (%v, %v)", res, err)
+	}
+}
+
+// TestStoreConcurrent is the race-detector workload named in CI: many
+// goroutines querying a Store hosting a sharded static collection and a
+// stream-backed collection, while a writer mutates the stream — cache
+// hits, invalidations, snapshot materialization, and shard fan-out all
+// interleaving.
+func TestStoreConcurrent(t *testing.T) {
+	rows := storeTestData(t, "independent", 4000, 4, 21)
+	ds, err := skybench.NewDataset(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := stream.New(4, stream.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	var mu sync.Mutex
+	var live []stream.ID
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 1000; i++ {
+		id, err := ix.Insert([]float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, id)
+	}
+
+	st := skybench.NewStore(4)
+	defer st.Close()
+	static, err := st.Attach("static", ds, skybench.CollectionOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := st.AttachStream("live", ix, skybench.CollectionOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writer: continuous inserts and deletes on the stream collection,
+	// running until the readers are done.
+	go func() {
+		defer close(writerDone)
+		wrng := rand.New(rand.NewSource(99))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if wrng.Float64() < 0.4 {
+				mu.Lock()
+				if len(live) > 0 {
+					p := wrng.Intn(len(live))
+					id := live[p]
+					live[p] = live[len(live)-1]
+					live = live[:len(live)-1]
+					mu.Unlock()
+					ix.Delete(id)
+					continue
+				}
+				mu.Unlock()
+			}
+			id, err := ix.Insert([]float64{wrng.Float64(), wrng.Float64(), wrng.Float64(), wrng.Float64()})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			live = append(live, id)
+			mu.Unlock()
+		}
+	}()
+
+	queries := []skybench.Query{{}, {SkybandK: 2}, {Algorithm: skybench.QFlow},
+		{Prefs: []skybench.Pref{skybench.Min, skybench.Max, skybench.Min, skybench.Ignore}}}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				q := queries[(g+i)%len(queries)]
+				if res, err := static.Run(ctx, q); err != nil || res.Len() == 0 {
+					t.Errorf("static query: (%v, %v)", res, err)
+					return
+				}
+				if res, err := streamed.Run(ctx, q); err != nil {
+					t.Errorf("stream query: %v", err)
+					return
+				} else if res.Len() == 0 {
+					t.Error("stream query: empty result over a non-empty live set")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait() // readers finish first; then stop the writer
+	close(stop)
+	<-writerDone
+
+	if hits := static.CacheStats().Hits; hits == 0 {
+		t.Error("concurrent identical static queries never hit the cache")
+	}
+}
+
+// TestStoreLegacyEquivalence pins the layering contract: Engine.Run and
+// an unsharded, cache-disabled collection answer identically.
+func TestStoreLegacyEquivalence(t *testing.T) {
+	rows := storeTestData(t, "correlated", 1500, 4, 17)
+	ds, err := skybench.NewDataset(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := skybench.NewEngine(2)
+	defer eng.Close()
+	st := skybench.NewStoreWithEngine(eng)
+	defer st.Close()
+	col, err := st.Attach("plain", ds, skybench.CollectionOptions{CacheCapacity: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, q := range []skybench.Query{{}, {SkybandK: 3}, {Algorithm: skybench.BNL}} {
+		want, err := eng.Run(ctx, ds, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := col.Run(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(got.Indices, want.Indices) || !slices.Equal(got.Counts, want.Counts) {
+			t.Fatalf("query %+v: collection diverges from Engine.Run", q)
+		}
+		if got.Epoch != 0 {
+			t.Fatalf("static collection epoch = %d, want 0", got.Epoch)
+		}
+	}
+	// NewStoreWithEngine leaves the engine to its owner.
+	st.Close()
+	if _, err := eng.Run(ctx, ds, skybench.Query{}); err != nil {
+		t.Fatalf("store close killed the caller-owned engine: %v", err)
+	}
+}

@@ -1,0 +1,197 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"skybench"
+)
+
+// TestLiveEpochAdvances checks the live-set membership epoch: every
+// insert and successful delete advances it — including mutations the
+// band-membership (Snapshot) epoch never sees.
+func TestLiveEpochAdvances(t *testing.T) {
+	ix, err := New(2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if ix.LiveEpoch() != 0 {
+		t.Fatalf("fresh index LiveEpoch = %d, want 0", ix.LiveEpoch())
+	}
+	if _, err := ix.Insert([]float64{0.1, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	e1 := ix.LiveEpoch()
+	if e1 == 0 {
+		t.Fatal("insert did not advance LiveEpoch")
+	}
+	bandEpoch := ix.Snapshot().Epoch()
+
+	// A dominated insert changes the live set but not the band.
+	id, err := ix.Insert([]float64{0.9, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.LiveEpoch() <= e1 {
+		t.Fatal("dominated insert did not advance LiveEpoch")
+	}
+	if got := ix.Snapshot().Epoch(); got != bandEpoch {
+		t.Fatalf("dominated insert advanced the band epoch %d -> %d", bandEpoch, got)
+	}
+	e2 := ix.LiveEpoch()
+
+	// Deleting a non-band point likewise.
+	if !ix.Delete(id) {
+		t.Fatal("delete failed")
+	}
+	if ix.LiveEpoch() <= e2 {
+		t.Fatal("dominated-point delete did not advance LiveEpoch")
+	}
+	e3 := ix.LiveEpoch()
+	// A failed delete must not.
+	if ix.Delete(id) {
+		t.Fatal("double delete succeeded")
+	}
+	if ix.LiveEpoch() != e3 {
+		t.Fatal("failed delete advanced LiveEpoch")
+	}
+}
+
+// TestLiveSnapshotContents checks that LiveSnapshot returns every live
+// point (band member or not) with its original coordinates and ID,
+// deterministically for an unchanged epoch, under non-identity prefs.
+func TestLiveSnapshotContents(t *testing.T) {
+	ix, err := New(3, Config{Prefs: []skybench.Pref{skybench.Min, skybench.Max, skybench.Ignore}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	rng := rand.New(rand.NewSource(5))
+	want := make(map[ID][]float64)
+	for i := 0; i < 200; i++ {
+		p := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		id, err := ix.Insert(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[id] = p
+	}
+	for id := range want {
+		if len(want) <= 150 {
+			break
+		}
+		if !ix.Delete(id) {
+			t.Fatalf("delete of %d failed", id)
+		}
+		delete(want, id)
+	}
+
+	vals, ids, epoch := ix.LiveSnapshot()
+	if epoch != ix.LiveEpoch() {
+		t.Fatalf("snapshot epoch %d, LiveEpoch %d", epoch, ix.LiveEpoch())
+	}
+	if len(ids) != len(want) || len(vals) != len(want)*3 {
+		t.Fatalf("snapshot has %d ids / %d vals, want %d live points", len(ids), len(vals), len(want))
+	}
+	for i, id := range ids {
+		p, ok := want[ID(id)]
+		if !ok {
+			t.Fatalf("snapshot row %d has unknown id %d", i, id)
+		}
+		if fmt.Sprint(vals[i*3:(i+1)*3]) != fmt.Sprint(p) {
+			t.Fatalf("id %d: snapshot row %v, want original %v", id, vals[i*3:(i+1)*3], p)
+		}
+	}
+
+	// Determinism at an unchanged epoch.
+	vals2, ids2, epoch2 := ix.LiveSnapshot()
+	if epoch2 != epoch || fmt.Sprint(ids2) != fmt.Sprint(ids) || fmt.Sprint(vals2) != fmt.Sprint(vals) {
+		t.Fatal("repeated LiveSnapshot at an unchanged epoch differs")
+	}
+}
+
+// TestShardedRebuildOracle forces escalated recomputes through the
+// shard-aware rebuild path (RebuildShards = 3) and checks the
+// maintained band stays exactly the brute-force band of the live set,
+// counts included.
+func TestShardedRebuildOracle(t *testing.T) {
+	for _, k := range []int{1, 3} {
+		ix, err := New(4, Config{
+			SkybandK:           k,
+			RecomputeThreshold: 0.05, // escalate eagerly
+			RebuildShards:      3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(77 + k)))
+		var live []ID
+		for i := 0; i < 600; i++ {
+			id, err := ix.Insert([]float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, id)
+		}
+		for i := 0; i < 400; i++ {
+			p := rng.Intn(len(live))
+			if !ix.Delete(live[p]) {
+				t.Fatal("delete failed")
+			}
+			live[p] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if rng.Float64() < 0.5 {
+				id, err := ix.Insert([]float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, id)
+			}
+		}
+		if ix.Stats().Rebuilds == 0 {
+			t.Fatalf("k=%d: workload never escalated — the sharded rebuild path went unexercised", k)
+		}
+
+		// Oracle: a fresh engine run over the live set.
+		vals, ids, _ := ix.LiveSnapshot()
+		ds, err := skybench.DatasetFromFlat(vals, len(ids), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := skybench.NewEngine(2)
+		q := skybench.Query{}
+		if k > 1 {
+			q.SkybandK = k
+		}
+		res, err := eng.Run(context.Background(), ds, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make(map[ID]int32, len(res.Indices))
+		for p, i := range res.Indices {
+			var c int32
+			if res.Counts != nil {
+				c = res.Counts[p]
+			}
+			want[ID(ids[i])] = c
+		}
+		snap := ix.Snapshot()
+		if snap.Len() != len(want) {
+			t.Fatalf("k=%d: maintained band has %d points, oracle %d", k, snap.Len(), len(want))
+		}
+		for i := 0; i < snap.Len(); i++ {
+			c, ok := want[snap.ID(i)]
+			if !ok {
+				t.Fatalf("k=%d: band point %d not in oracle band", k, snap.ID(i))
+			}
+			if int32(snap.Count(i)) != c {
+				t.Fatalf("k=%d: band point %d count %d, oracle %d", k, snap.ID(i), snap.Count(i), c)
+			}
+		}
+		eng.Close()
+		ix.Close()
+	}
+}

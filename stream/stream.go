@@ -43,6 +43,7 @@ import (
 
 	"skybench"
 	"skybench/internal/point"
+	"skybench/internal/shard"
 	istream "skybench/internal/stream"
 )
 
@@ -88,6 +89,13 @@ type Config struct {
 	// When nil the index lazily creates a private Engine on first
 	// escalation and closes it on Close.
 	Engine *skybench.Engine
+	// RebuildShards, when ≥ 2, makes escalated recomputes shard-aware:
+	// the staged live set is split into that many contiguous partitions,
+	// one Engine run is fanned out per partition, and the per-shard
+	// bands are merged exactly (the same fan-out/merge a sharded
+	// skybench.Collection performs; soundness in DESIGN.md §10). ≤ 1
+	// keeps the single full recompute.
+	RebuildShards int
 	// OnDelta, when non-nil, receives every skyline membership change:
 	// points that entered and points that left, after each mutating
 	// operation that changed the skyline (for InsertBatch, after each
@@ -106,8 +114,11 @@ type SkylineIndex struct {
 	ops      []point.PrefOp
 	identity bool
 
-	epoch atomic.Uint64
-	snap  atomic.Pointer[Snapshot]
+	epoch   atomic.Uint64
+	version atomic.Uint64 // live-set membership epoch (every insert/delete)
+	snap    atomic.Pointer[Snapshot]
+
+	rebuildShards int
 
 	mu      sync.Mutex
 	core    *istream.Index
@@ -131,31 +142,32 @@ type SkylineIndex struct {
 // New creates an empty SkylineIndex over d-dimensional points.
 func New(d int, cfg Config) (*SkylineIndex, error) {
 	if d < 1 {
-		return nil, fmt.Errorf("stream: points must have at least one dimension")
+		return nil, fmt.Errorf("%w: stream points must have at least one dimension", skybench.ErrBadDataset)
 	}
 	if d > point.MaxDims {
-		return nil, fmt.Errorf("stream: at most %d dimensions supported, got %d", point.MaxDims, d)
+		return nil, fmt.Errorf("%w: at most %d dimensions supported, got %d", skybench.ErrBadDataset, point.MaxDims, d)
 	}
 	if cfg.SkybandK < 0 {
-		return nil, fmt.Errorf("stream: negative SkybandK %d", cfg.SkybandK)
+		return nil, fmt.Errorf("%w: negative SkybandK %d", skybench.ErrBadQuery, cfg.SkybandK)
 	}
 	k := cfg.SkybandK
 	if k < 1 {
 		k = 1
 	}
 	x := &SkylineIndex{
-		d:        d,
-		de:       d,
-		k:        k,
-		identity: true,
-		loc:      make(map[ID]int32),
-		next:     1,
-		eng:      cfg.Engine,
-		onDelta:  cfg.OnDelta,
+		d:             d,
+		de:            d,
+		k:             k,
+		identity:      true,
+		loc:           make(map[ID]int32),
+		next:          1,
+		eng:           cfg.Engine,
+		onDelta:       cfg.OnDelta,
+		rebuildShards: cfg.RebuildShards,
 	}
 	if len(cfg.Prefs) != 0 {
 		if len(cfg.Prefs) != d {
-			return nil, fmt.Errorf("stream: %d preferences for %d dimensions", len(cfg.Prefs), d)
+			return nil, fmt.Errorf("%w: %d preferences for %d dimensions", skybench.ErrBadQuery, len(cfg.Prefs), d)
 		}
 		ops, err := prefOps(cfg.Prefs)
 		if err != nil {
@@ -164,7 +176,7 @@ func New(d int, cfg Config) (*SkylineIndex, error) {
 		if !point.IdentityOps(ops) {
 			de := point.EffectiveDims(ops)
 			if de == 0 {
-				return nil, fmt.Errorf("stream: preferences ignore every dimension")
+				return nil, fmt.Errorf("%w: preferences ignore every dimension", skybench.ErrBadQuery)
 			}
 			x.ops, x.de, x.identity = ops, de, false
 			x.stage = make([]float64, de)
@@ -202,24 +214,28 @@ func prefOps(prefs []skybench.Pref) ([]point.PrefOp, error) {
 		case skybench.Ignore:
 			ops[i] = point.PrefDrop
 		default:
-			return nil, fmt.Errorf("stream: invalid preference %d on dimension %d", int(p), i)
+			return nil, fmt.Errorf("%w: invalid preference %d on dimension %d", skybench.ErrBadQuery, int(p), i)
 		}
 	}
 	return ops, nil
 }
 
-// engineRebuild is the escalation hook handed to the core: one full
+// engineRebuild is the escalation hook handed to the core: a full
 // skyline (or k-skyband) recompute over the staged live set, served by
 // the Engine's context free-list so repeated escalations reuse warm
-// scratch.
+// scratch. With Config.RebuildShards ≥ 2 the recompute is shard-aware:
+// per-partition runs fan out concurrently and merge exactly.
 func (x *SkylineIndex) engineRebuild(vals []float64, n int) ([]int, []int32) {
-	ds, err := skybench.DatasetFromFlat(vals, n, x.de)
-	if err != nil {
-		return nil, nil // fall back to the core's sequential rebuild
-	}
 	if x.eng == nil {
 		x.eng = skybench.NewEngine(0)
 		x.ownEng = true
+	}
+	if p := x.rebuildShards; p > 1 && n > 1 {
+		return x.shardedRebuild(vals, n, p)
+	}
+	ds, err := skybench.DatasetFromFlat(vals, n, x.de)
+	if err != nil {
+		return nil, nil // fall back to the core's sequential rebuild
 	}
 	q := skybench.Query{ReuseIndices: true}
 	if x.k > 1 {
@@ -235,6 +251,79 @@ func (x *SkylineIndex) engineRebuild(vals []float64, n int) ([]int, []int32) {
 	return res.Indices, res.Counts
 }
 
+// shardedRebuild splits the staged live set into p contiguous
+// partitions, computes each partition's band through the Engine
+// concurrently (each run leasing its own context), and merges the
+// union exactly — the same merge a sharded Collection performs, on
+// already-staged values.
+func (x *SkylineIndex) shardedRebuild(vals []float64, n, p int) ([]int, []int32) {
+	ranges := shard.Split(n, p)
+	results := make([]skybench.Result, len(ranges))
+	errs := make([]error, len(ranges))
+	q := skybench.Query{}
+	if x.k > 1 {
+		q.SkybandK = x.k
+	}
+	var wg sync.WaitGroup
+	for i, r := range ranges {
+		wg.Add(1)
+		go func(i int, r shard.Range) {
+			defer wg.Done()
+			ds, err := skybench.DatasetFromFlat(vals[r.Lo*x.de:r.Hi*x.de:r.Hi*x.de], r.Len(), x.de)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = x.eng.Run(context.Background(), ds, q)
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil // fall back to the core's sequential rebuild
+		}
+	}
+	var cand []int
+	for i, r := range ranges {
+		for _, li := range results[i].Indices {
+			cand = append(cand, r.Lo+li)
+		}
+	}
+	buf := make([]float64, len(cand)*x.de)
+	for pos, gi := range cand {
+		copy(buf[pos*x.de:(pos+1)*x.de], vals[gi*x.de:(gi+1)*x.de])
+	}
+	// Small unions merge through the flat prefix-scan kernel; large ones
+	// (high-skyline-fraction data) recount through one engine run over
+	// the union, whose partition index prunes the cross-candidate tests
+	// the quadratic scan cannot. Same recount either way (DESIGN.md §10),
+	// same cutoff as the Collection merge.
+	var keep []int
+	var counts []int32
+	if len(cand) <= shard.MergeKernelMax {
+		keep, counts = shard.MergeBand(buf, len(cand), x.de, x.k, nil)
+	} else {
+		ds, err := skybench.DatasetFromFlat(buf, len(cand), x.de)
+		if err != nil {
+			return nil, nil
+		}
+		mq := skybench.Query{}
+		if x.k > 1 {
+			mq.SkybandK = x.k
+		}
+		res, err := x.eng.Run(context.Background(), ds, mq)
+		if err != nil {
+			return nil, nil
+		}
+		keep, counts = res.Indices, res.Counts
+	}
+	idx := make([]int, len(keep))
+	for j, pos := range keep {
+		idx[j] = cand[pos]
+	}
+	return idx, counts
+}
+
 // D returns the dimensionality of the indexed points.
 func (x *SkylineIndex) D() int { return x.d }
 
@@ -247,7 +336,7 @@ func (x *SkylineIndex) Insert(p []float64) (ID, error) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	if x.closed {
-		return 0, fmt.Errorf("stream: SkylineIndex used after Close")
+		return 0, fmt.Errorf("%w: stream.SkylineIndex", skybench.ErrClosed)
 	}
 	if err := x.validatePoint(p); err != nil {
 		return 0, err
@@ -261,7 +350,7 @@ func (x *SkylineIndex) InsertBatch(rows [][]float64) ([]ID, error) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	if x.closed {
-		return nil, fmt.Errorf("stream: SkylineIndex used after Close")
+		return nil, fmt.Errorf("%w: stream.SkylineIndex", skybench.ErrClosed)
 	}
 	for i, p := range rows {
 		if err := x.validatePoint(p); err != nil {
@@ -288,6 +377,7 @@ func (x *SkylineIndex) insertLocked(p []float64) ID {
 	id := x.noteSlot(slot, p)
 	x.core.Place(slot)
 	x.inserts++
+	x.version.Add(1)
 	x.finishOp()
 	return id
 }
@@ -337,6 +427,7 @@ func (x *SkylineIndex) Delete(id ID) bool {
 	x.core.Delete(slot)
 	delete(x.loc, id)
 	x.deletes++
+	x.version.Add(1)
 	x.finishOp()
 	return true
 }
@@ -373,11 +464,11 @@ func (x *SkylineIndex) finishOp() {
 // immutable fields, so Window can call it before taking the lock.
 func (x *SkylineIndex) validatePoint(p []float64) error {
 	if len(p) != x.d {
-		return fmt.Errorf("stream: point has %d dimensions, want %d", len(p), x.d)
+		return fmt.Errorf("%w: %d dimensions, want %d", skybench.ErrBadPoint, len(p), x.d)
 	}
 	for i, v := range p {
 		if !point.Finite(v) {
-			return fmt.Errorf("stream: non-finite value %v on dimension %d", v, i)
+			return fmt.Errorf("%w: non-finite value %v on dimension %d", skybench.ErrBadPoint, v, i)
 		}
 	}
 	return nil
@@ -477,6 +568,37 @@ func (x *SkylineIndex) Close() {
 	}
 	x.eng = nil
 }
+
+// LiveEpoch returns the membership epoch of the live point set: it
+// advances on every successful Insert and Delete (whether or not band
+// membership changed), unlike the Snapshot epoch, which tracks only
+// band membership. It is the invalidation key a skybench.Store uses
+// for cached whole-set query results, and is safe to call concurrently
+// with mutations.
+func (x *SkylineIndex) LiveEpoch() uint64 { return x.version.Load() }
+
+// LiveSnapshot materializes the full live point set — every point, band
+// member or not — as caller-owned row-major original coordinates with
+// per-row IDs, plus the LiveEpoch the materialization corresponds to.
+// Rows come back in ascending slot order, deterministic for an
+// unchanged epoch. Together with D and LiveEpoch this implements
+// skybench.StreamSource, so an index can back a Store collection.
+func (x *SkylineIndex) LiveSnapshot() (vals []float64, ids []uint64, epoch uint64) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	slots := x.core.AppendLiveSlots(nil)
+	vals = make([]float64, len(slots)*x.d)
+	ids = make([]uint64, len(slots))
+	for i, slot := range slots {
+		copy(vals[i*x.d:(i+1)*x.d], x.origRow(slot))
+		ids[i] = uint64(x.ids[slot])
+	}
+	return vals, ids, x.version.Load()
+}
+
+// SkylineIndex satisfies skybench.StreamSource, the live-backing
+// contract of Store collections.
+var _ skybench.StreamSource = (*SkylineIndex)(nil)
 
 // Snapshot is an immutable copy of the skyline (or k-skyband) at one
 // epoch. It is safe to read from any goroutine, forever; it just stops

@@ -1,6 +1,10 @@
 package stream
 
-import "fmt"
+import (
+	"fmt"
+
+	"skybench"
+)
 
 // Window is a sliding-window skyline: a SkylineIndex fed through a
 // fixed-capacity ring buffer, so Push evicts the oldest point once the
@@ -24,7 +28,7 @@ type Window struct {
 // NewWindow creates a sliding window holding at most capacity points.
 func NewWindow(capacity, d int, cfg Config) (*Window, error) {
 	if capacity < 1 {
-		return nil, fmt.Errorf("stream: window capacity must be at least 1, got %d", capacity)
+		return nil, fmt.Errorf("%w: window capacity must be at least 1, got %d", skybench.ErrBadQuery, capacity)
 	}
 	x, err := New(d, cfg)
 	if err != nil {
