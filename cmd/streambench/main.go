@@ -8,12 +8,22 @@
 // recomputes over the same live set to price the recompute-per-update
 // baseline the index replaces.
 //
+// With -wal the index runs durably: every update is written ahead to a
+// segmented WAL (with periodic checkpoints) in the given directory, so
+// the run also prices crash safety against the in-memory numbers. A
+// killed durable run is recovered and verified by -recover, which
+// restores the directory, cross-checks the restored band against a
+// fresh Engine.Run over the recovered live set, and exits non-zero on
+// any mismatch — the CI kill-and-recover step drives exactly that.
+//
 // Usage:
 //
 //	streambench -dist independent -n 100000 -updates 100000 -d 8
 //	streambench -churn 0.2 -readers 2 -json result.json
 //	streambench -window 10000 -updates 100000 -d 8
 //	streambench -input trace.csv -baseline-samples 8
+//	streambench -wal /tmp/sb-wal -fsync os -updates 200000
+//	streambench -wal /tmp/sb-wal -recover
 package main
 
 import (
@@ -45,6 +55,8 @@ type result struct {
 	Threads   int     `json:"threads"`
 	Seed      int64   `json:"seed"`
 	Threshold float64 `json:"recompute_threshold"`
+	WAL       string  `json:"wal,omitempty"`
+	Fsync     string  `json:"fsync,omitempty"`
 
 	WarmSeconds    float64 `json:"warm_seconds"`
 	WarmPerSec     float64 `json:"warm_ops_per_sec"`
@@ -85,8 +97,20 @@ func main() {
 		samples   = flag.Int("baseline-samples", 16, "sampled Engine.Run recomputes pricing the baseline (0 = skip)")
 		input     = flag.String("input", "", "replay a datagen -stream trace file instead of generating one")
 		jsonOut   = flag.String("json", "", "also write the result as JSON to this path")
+		walDir    = flag.String("wal", "", "durable mode: write-ahead log + checkpoints in this directory")
+		fsyncStr  = flag.String("fsync", "os", "durable fsync policy: os|always|interval")
+		ckEvery   = flag.Int("checkpoint-every", 0, "checkpoint after this many applied records (0 = default, <0 = never)")
+		doRecover = flag.Bool("recover", false, "recover the -wal directory, verify it against a fresh recompute, and exit")
 	)
 	flag.Parse()
+
+	if *doRecover {
+		if *walDir == "" {
+			fatal(fmt.Errorf("-recover requires -wal"))
+		}
+		recoverAndVerify(*walDir, *threads)
+		return
+	}
 
 	var tr *istream.Trace
 	dist := *distName
@@ -114,6 +138,13 @@ func main() {
 	eng := skybench.NewEngine(*threads)
 	defer eng.Close()
 	cfg := stream.Config{Engine: eng, RecomputeThreshold: *threshold, SkybandK: *kband}
+	if *walDir != "" {
+		fs, err := parseFsync(*fsyncStr)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Durable = &stream.Durability{Dir: *walDir, Fsync: fs, CheckpointEvery: *ckEvery}
+	}
 
 	var ix *stream.SkylineIndex
 	var win *stream.Window
@@ -247,6 +278,8 @@ func main() {
 		K:      *kband,
 		Window: *window, Threads: eng.Threads(), Seed: *seed,
 		Threshold:     *threshold,
+		WAL:           *walDir,
+		Fsync:         fsyncName(*walDir, *fsyncStr),
 		WarmSeconds:   warmSecs,
 		UpdateSeconds: updateTotal.Seconds(),
 		SnapshotsRead: snapsRead.Load(),
@@ -417,6 +450,9 @@ func report(r result) {
 		r.Updates, r.UpdateSeconds, r.UpdatePerSec, r.P50Micros, r.P90Micros, r.P99Micros, r.MaxMicros)
 	fmt.Printf("  state:    live=%d skyline=%d rebuilds=%d resurrections=%d entered=%d left=%d dts=%d\n",
 		r.Live, r.SkylineSize, r.Rebuilds, r.Resurrections, r.Entered, r.Left, r.DominanceTests)
+	if r.WAL != "" {
+		fmt.Printf("  durable:  wal=%s fsync=%s\n", r.WAL, r.Fsync)
+	}
 	if r.SnapshotsRead > 0 {
 		fmt.Printf("  readers:  %d snapshots read concurrently\n", r.SnapshotsRead)
 	}
@@ -425,6 +461,86 @@ func report(r result) {
 			r.BaselineMeanMS, r.BaselinePerSec, r.BaselineSamples)
 		fmt.Printf("  speedup:  %.0fx incremental vs recompute-per-update\n", r.Speedup)
 	}
+}
+
+// parseFsync maps the -fsync flag onto the stream package's policies.
+func parseFsync(s string) (stream.Fsync, error) {
+	switch s {
+	case "os":
+		return stream.FsyncOS, nil
+	case "always":
+		return stream.FsyncAlways, nil
+	case "interval":
+		return stream.FsyncInterval, nil
+	}
+	return 0, fmt.Errorf("unknown -fsync policy %q (want os|always|interval)", s)
+}
+
+// fsyncName reports the fsync policy for the result record: empty when
+// the run was not durable (so the field is omitted from JSON).
+func fsyncName(walDir, fsync string) string {
+	if walDir == "" {
+		return ""
+	}
+	return fsync
+}
+
+// recoverAndVerify restores a durable directory and cross-checks the
+// recovered band against a fresh Engine.Run over the recovered live
+// set. Any divergence — recovery error, corrupt state, band mismatch —
+// exits non-zero; this is the oracle the CI kill-and-recover step
+// relies on.
+func recoverAndVerify(dir string, threads int) {
+	eng := skybench.NewEngine(threads)
+	defer eng.Close()
+
+	t0 := time.Now()
+	ix, err := stream.Recover(dir, stream.Config{Engine: eng})
+	if err != nil {
+		fatal(err)
+	}
+	defer ix.Close()
+	recSecs := time.Since(t0).Seconds()
+
+	vals, ids, _ := ix.LiveSnapshot()
+	snap := ix.Snapshot()
+	fmt.Printf("streambench: recovered %s in %.3fs: live=%d band=%d d=%d k=%d epoch=%d\n",
+		dir, recSecs, len(ids), snap.Len(), ix.D(), ix.BandK(), ix.LiveEpoch())
+
+	if len(ids) == 0 {
+		if snap.Len() != 0 {
+			fatal(fmt.Errorf("recovered band has %d entries over an empty live set", snap.Len()))
+		}
+		fmt.Println("  verify:   empty live set, nothing to cross-check")
+		return
+	}
+
+	ds, err := skybench.DatasetFromFlat(vals, len(ids), ix.D())
+	if err != nil {
+		fatal(err)
+	}
+	q := skybench.Query{Prefs: ix.Prefs()}
+	if k := ix.BandK(); k > 1 {
+		q.SkybandK = k
+	}
+	res, err := eng.Run(context.Background(), ds, q)
+	if err != nil {
+		fatal(err)
+	}
+
+	want := make(map[uint64]struct{}, len(res.Indices))
+	for _, i := range res.Indices {
+		want[ids[i]] = struct{}{}
+	}
+	if len(want) != snap.Len() {
+		fatal(fmt.Errorf("recovered band has %d entries, fresh recompute found %d", snap.Len(), len(want)))
+	}
+	for i := 0; i < snap.Len(); i++ {
+		if _, ok := want[uint64(snap.ID(i))]; !ok {
+			fatal(fmt.Errorf("recovered band contains id %d, which a fresh recompute excludes", snap.ID(i)))
+		}
+	}
+	fmt.Printf("  verify:   band matches a fresh recompute over %d live points\n", len(ids))
 }
 
 func fatal(err error) {

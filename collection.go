@@ -2,7 +2,9 @@ package skybench
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -29,6 +31,16 @@ type CollectionOptions struct {
 	// CacheCapacity bounds the collection's result cache: 0 selects
 	// DefaultCacheCapacity, negative disables caching entirely.
 	CacheCapacity int
+	// DefaultTimeout overrides the Store's StoreOptions.DefaultTimeout
+	// for this collection: 0 inherits the Store's, negative disables the
+	// default deadline entirely. A deadline already on the query's
+	// context always wins.
+	DefaultTimeout time.Duration
+	// CloseOnDrop transfers ownership of the backing StreamSource to the
+	// Store: dropping the collection (or closing the Store) calls the
+	// source's Close method, if it has one. This is how durable stream
+	// collections get their WAL cleanly closed at Store shutdown.
+	CloseOnDrop bool
 }
 
 // StreamSource is the live backing a Collection accepts in place of an
@@ -94,6 +106,10 @@ type Collection struct {
 	eng    *Engine
 	shards int
 
+	owner       *Store        // nil for collections outside a Store
+	timeout     time.Duration // default per-query deadline (0 = none)
+	closeOnDrop bool          // Drop/Close also closes the source
+
 	src    StreamSource // nil for static collections
 	static *colSnapshot // non-nil for static collections
 
@@ -102,11 +118,26 @@ type Collection struct {
 
 	cmu      sync.Mutex
 	entries  map[fingerprint]cacheEntry
-	cacheCap int // ≤ 0 disables caching
+	stale    map[fingerprint]cacheEntry // last result per fingerprint, any epoch
+	cacheCap int                        // ≤ 0 disables caching
 	hits     atomic.Uint64
 	misses   atomic.Uint64
 
 	dropped atomic.Bool
+	srcOnce sync.Once
+}
+
+// closeSource closes the backing StreamSource if the collection owns it
+// (CollectionOptions.CloseOnDrop) and it is closeable. Idempotent.
+func (c *Collection) closeSource() {
+	if !c.closeOnDrop || c.src == nil {
+		return
+	}
+	c.srcOnce.Do(func() {
+		if cl, ok := c.src.(interface{ Close() }); ok {
+			cl.Close()
+		}
+	})
 }
 
 type cacheEntry struct {
@@ -178,6 +209,49 @@ func (c *Collection) snapshot() (*colSnapshot, error) {
 	s.partition(c.shards)
 	c.snap.Store(s)
 	return s, nil
+}
+
+// snapRes carries a materialized snapshot across the goroutine boundary
+// in snapshotCtx.
+type snapRes struct {
+	s   *colSnapshot
+	err error
+}
+
+// snapshotCtx is snapshot with deadline awareness: materializing a
+// stream snapshot blocks on the source's write lock (a rebuilding
+// stream can hold it for a while), so when ctx can expire the wait
+// happens on a side goroutine and the query abandons it on time. The
+// abandoned materialization still completes in the background and is
+// cached, so the next query finds it warm. The fast paths — static
+// collection, unchanged epoch, or an un-cancelable context — stay
+// inline and allocation-free.
+func (c *Collection) snapshotCtx(ctx context.Context) (*colSnapshot, error) {
+	if c.static != nil {
+		return c.static, nil
+	}
+	if s := c.snap.Load(); s != nil && s.epoch == c.src.LiveEpoch() {
+		return s, nil
+	}
+	if ctx.Done() == nil {
+		return c.snapshot()
+	}
+	ch := make(chan snapRes, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- snapRes{err: panicErr(r, debug.Stack())}
+			}
+		}()
+		s, err := c.snapshot()
+		ch <- snapRes{s: s, err: err}
+	}()
+	select {
+	case r := <-ch:
+		return r.s, r.err
+	case <-ctx.Done():
+		return nil, canceledErr(ctx.Err())
+	}
 }
 
 // fingerprint is the canonical cache key of a query: every field that
@@ -254,6 +328,12 @@ type QueryResult struct {
 	// at; it matches Collection.Epoch() for as long as the result is
 	// current.
 	Epoch uint64
+	// Stale marks a result served by graceful degradation: the query
+	// opted in with Query.AllowStale and the collection answered from
+	// the last cached result for this query shape — possibly computed at
+	// an earlier epoch — because computing fresh failed with overload or
+	// a missed deadline.
+	Stale bool
 
 	snap *colSnapshot
 }
@@ -291,13 +371,31 @@ func (r *QueryResult) ID(p int) (id uint64, ok bool) {
 // unsharded collection (batches from concurrent shards would interleave
 // meaninglessly) and bypasses the cache.
 func (c *Collection) Run(ctx context.Context, q Query) (*QueryResult, error) {
+	// Apply the collection's default deadline when the caller's context
+	// carries none; an explicit caller deadline always wins.
+	if c.timeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.timeout)
+			defer cancel()
+		}
+	}
+	r, err := c.run(ctx, q)
+	if err != nil {
+		return c.staleFallback(&q, err)
+	}
+	return r, nil
+}
+
+// run is Run without the deadline and graceful-degradation wrappers.
+func (c *Collection) run(ctx context.Context, q Query) (*QueryResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, canceledErr(err)
 	}
 	if c.dropped.Load() {
 		return nil, fmt.Errorf("%w: collection %q", ErrClosed, c.name)
 	}
-	snap, err := c.snapshot()
+	snap, err := c.snapshotCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -319,6 +417,36 @@ func (c *Collection) Run(ctx context.Context, q Query) (*QueryResult, error) {
 		c.store(fp, snap.epoch, r)
 	}
 	return r, nil
+}
+
+// staleFallback is graceful degradation: when a query that opted in
+// with AllowStale fails because the Store is overloaded or its deadline
+// passed (a mid-rebuild stream holding its lock past the deadline looks
+// identical from here), serve the last cached result for the same query
+// shape — possibly from an earlier epoch — marked Stale. Hard failures
+// (bad query, closed collection, panic) never degrade.
+func (c *Collection) staleFallback(q *Query, err error) (*QueryResult, error) {
+	if !q.AllowStale || c.cacheCap <= 0 {
+		return nil, err
+	}
+	if !errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrDeadlineExceeded) {
+		return nil, err
+	}
+	fp, ok := queryFingerprint(q, c.D())
+	if !ok {
+		return nil, err
+	}
+	c.cmu.Lock()
+	e, ok := c.stale[fp]
+	c.cmu.Unlock()
+	if !ok {
+		return nil, err
+	}
+	// Shallow copy so the Stale mark never taints the shared cached
+	// entry (which may still be current and served fresh by lookup).
+	r := *e.r
+	r.Stale = true
+	return &r, nil
 }
 
 // lookup serves a cache hit, or nil on miss/stale. The hit path is
@@ -356,6 +484,16 @@ func (c *Collection) store(fp fingerprint, epoch uint64, r *QueryResult) {
 		}
 	}
 	c.entries[fp] = cacheEntry{epoch: epoch, r: r}
+	// The stale side map keeps the latest result per query shape across
+	// epochs, feeding AllowStale degradation. It never pins more than
+	// cacheCap snapshots.
+	if _, ok := c.stale[fp]; !ok && len(c.stale) >= c.cacheCap {
+		for k := range c.stale {
+			delete(c.stale, k)
+			break
+		}
+	}
+	c.stale[fp] = cacheEntry{epoch: epoch, r: r}
 }
 
 // CacheStats reports a collection's result-cache counters.
@@ -397,6 +535,15 @@ func (c *Collection) execute(ctx context.Context, snap *colSnapshot, q Query) (R
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// exec contains panics from inside the engine; this recover
+			// is the belt over anything outside it, so a poisoned shard
+			// can only ever fail its own query — never leak a panic onto
+			// an unsupervised goroutine and crash the process.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = panicErr(r, debug.Stack())
+				}
+			}()
 			results[i], errs[i] = c.eng.exec(ctx, snap.parts[i], q)
 		}(i)
 	}
@@ -478,7 +625,10 @@ func (c *Collection) execute(ctx context.Context, snap *colSnapshot, q Query) (R
 // property tests pin.
 func (c *Collection) mergeCandidates(ctx context.Context, buf []float64, nc, de, k int, dts *uint64) ([]int, []int32, error) {
 	if nc <= shard.MergeKernelMax {
-		keep, counts := shard.MergeBand(buf, nc, de, k, dts)
+		keep, counts, err := shard.MergeBand(ctx, buf, nc, de, k, dts)
+		if err != nil {
+			return nil, nil, canceledErr(err)
+		}
 		return keep, counts, nil
 	}
 	ds, err := DatasetFromFlat(buf, nc, de)
@@ -552,10 +702,35 @@ func (f *Future) Wait(ctx context.Context) (*QueryResult, error) {
 // Submit starts the query on its own goroutine and returns a Future for
 // it — the async form of Run, sharing the same cache and shard fan-out.
 // The query runs under ctx: cancel it to abandon the computation.
+//
+// Submissions pass through the Store's admission control
+// (StoreOptions.MaxInflight/MaxQueue): beyond the queue bound the
+// Future fails immediately with ErrOverloaded, and after Store.Close it
+// fails immediately with ErrClosed — both decided synchronously on the
+// submitting goroutine, never by a panic. Failed admission still honors
+// Query.AllowStale.
 func (c *Collection) Submit(ctx context.Context, q Query) *Future {
 	f := &Future{done: make(chan struct{})}
+	adm, err := c.owner.beginAdmit()
+	if err != nil {
+		f.res, f.err = c.staleFallback(&q, err)
+		close(f.done)
+		return f
+	}
 	go func() {
 		defer close(f.done)
+		// A panic anywhere below must resolve this Future, not crash the
+		// process or wedge Wait; it poisons only this query.
+		defer func() {
+			if r := recover(); r != nil {
+				f.res, f.err = nil, panicErr(r, debug.Stack())
+			}
+			adm.release()
+		}()
+		if err := adm.wait(ctx); err != nil {
+			f.res, f.err = c.staleFallback(&q, err)
+			return
+		}
 		f.res, f.err = c.Run(ctx, q)
 	}()
 	return f
@@ -565,7 +740,9 @@ func (c *Collection) Submit(ctx context.Context, q Query) *Future {
 // Futures in order — the batch form of Submit for callers answering
 // one request with several queries (multiple k cuts, several subspace
 // preferences, …). The engine's context free-list and shared worker
-// pool keep the fan-out from oversubscribing the machine.
+// pool keep the fan-out from oversubscribing the machine; the Store's
+// admission bounds apply per query, so an oversized batch partially
+// admits and the overflow fails fast with ErrOverloaded.
 func (c *Collection) SubmitBatch(ctx context.Context, qs []Query) []*Future {
 	fs := make([]*Future, len(qs))
 	for i, q := range qs {

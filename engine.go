@@ -3,15 +3,23 @@ package skybench
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"skybench/internal/core"
+	"skybench/internal/faults"
 	"skybench/internal/par"
 	"skybench/internal/point"
 	"skybench/internal/stats"
 )
+
+// engineFaults is the Engine's fault-injection hook. It is nil outside
+// tests (a nil injector is inert and free); robustness tests arm it via
+// an export_test.go setter to place panics, errors, and stalls at the
+// "engine.run" site.
+var engineFaults *faults.Injector
 
 // Engine is the prepare-once, query-many serving interface: construct a
 // Dataset once, then call Run for every query against it. An Engine is
@@ -45,10 +53,11 @@ type Engine struct {
 // its free-list: one core computation context plus the staging buffer
 // for preference transforms and a cancellation flag.
 type engineCtx struct {
-	core *core.Context
-	st   stats.Stats
-	buf  []float64 // preference-staged copy of the dataset
-	ops  []point.PrefOp
+	core     *core.Context
+	st       stats.Stats
+	buf      []float64 // preference-staged copy of the dataset
+	ops      []point.PrefOp
+	poisoned bool // query panicked on this context; do not recycle it
 }
 
 // NewEngine creates an Engine whose worker pool has the given number of
@@ -195,10 +204,40 @@ func (e *Engine) exec(ctx context.Context, ds *Dataset, q Query) (Result, error)
 		if ec, err = e.acquire(); err != nil {
 			return Result{}, err
 		}
-		defer e.release(ec)
+		defer func() {
+			// A context whose query panicked is discarded, not recycled:
+			// the panic may have left its scratch state (bucket arrays,
+			// partial heaps, the shared pool's region bookkeeping) torn,
+			// and a poisoned context handed to the next query would turn
+			// one contained failure into silent corruption.
+			if ec.poisoned {
+				ec.core.Close()
+				return
+			}
+			e.release(ec)
+		}()
 	} else if err := e.checkOpen(); err != nil {
 		return Result{}, err
 	}
+
+	return e.execGuarded(ctx, ec, hot, ds, q)
+}
+
+// execGuarded is the compute section of exec, with panic containment: a
+// panic anywhere in preference staging or the algorithms — including
+// one rethrown as *par.WorkerPanic from a parallel-region worker — is
+// converted into an error wrapping ErrQueryPanic, carrying the panic
+// value and the panicking goroutine's stack. Only the offending query
+// fails; the Engine and its pool stay serviceable.
+func (e *Engine) execGuarded(ctx context.Context, ec *engineCtx, hot bool, ds *Dataset, q Query) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ec != nil {
+				ec.poisoned = true
+			}
+			res, err = Result{}, panicErr(r, debug.Stack())
+		}
+	}()
 
 	// Stage the preference transform (at most once per query; all-Min
 	// queries serve straight from the Dataset's storage).
@@ -255,18 +294,20 @@ func (e *Engine) exec(ctx context.Context, ds *Dataset, q Query) (Result, error)
 			case <-watcherDone:
 			}
 		}(cancel)
+		// Deferred (not inline after the run) so the watcher is released
+		// even when the run panics out through the recover above.
+		defer close(watcherDone)
 	}
 
-	var res Result
+	if err := faults.Check(engineFaults, "engine.run"); err != nil {
+		return Result{}, err
+	}
 	if hot {
 		res, err = runOnContext(ec, m, q, threads, cancel)
 	} else {
 		res, err = runBaseline(m, q, threads)
 	}
 
-	if watcherDone != nil {
-		close(watcherDone)
-	}
 	if cerr := ctx.Err(); cerr != nil {
 		// The run may have been abandoned mid-flight; its partial result
 		// must not escape.

@@ -1,8 +1,11 @@
 package skybench
 
 import (
+	"context"
 	"errors"
 	"fmt"
+
+	"skybench/internal/par"
 )
 
 // Typed sentinel errors for every failure class the serving surfaces
@@ -56,10 +59,52 @@ var (
 	// ErrDuplicateCollection reports an Attach under a name that is
 	// already taken.
 	ErrDuplicateCollection = errors.New("skybench: duplicate collection")
+
+	// ErrDeadlineExceeded reports a query abandoned specifically because
+	// its deadline passed (the collection's default timeout, or one the
+	// caller set on the context). Errors reporting it also wrap
+	// ErrCanceled and context.DeadlineExceeded, so all three errors.Is
+	// spellings work.
+	ErrDeadlineExceeded = errors.New("skybench: query deadline exceeded")
+
+	// ErrOverloaded reports a query rejected by the Store's bounded
+	// admission queue (StoreOptions.MaxInflight/MaxQueue): too many
+	// queries already running and too many already waiting. Back off and
+	// retry, or opt into a stale cached result with Query.AllowStale.
+	ErrOverloaded = errors.New("skybench: store overloaded")
+
+	// ErrQueryPanic reports a query whose execution panicked. The panic
+	// is contained: its value and stack are captured in the error, only
+	// the offending query fails, and the Engine, Store, and every other
+	// collection stay serviceable.
+	ErrQueryPanic = errors.New("skybench: query panicked")
+
+	// ErrCorruptWAL reports durable stream state that cannot be
+	// recovered: a write-ahead-log record damaged before the final torn
+	// frame, a checkpoint failing its integrity check, or recovered
+	// state inconsistent with its own checkpoint. (A torn final record
+	// is NOT corruption — crashes legitimately tear the last frame, and
+	// recovery truncates it.)
+	ErrCorruptWAL = errors.New("skybench: corrupt write-ahead log")
 )
 
-// canceledErr wraps a context error so it satisfies both
-// errors.Is(err, ErrCanceled) and errors.Is(err, cause).
+// canceledErr wraps a context error so it satisfies
+// errors.Is(err, ErrCanceled) and errors.Is(err, cause) — and, when the
+// cause is a missed deadline, errors.Is(err, ErrDeadlineExceeded) too.
 func canceledErr(cause error) error {
+	if errors.Is(cause, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w: %w", ErrCanceled, ErrDeadlineExceeded, cause)
+	}
 	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}
+
+// panicErr converts a recovered panic value into an ErrQueryPanic error
+// carrying the panic payload and the captured stack. Panics that
+// crossed a parallel-region barrier arrive as *par.WorkerPanic with the
+// worker's own stack; everything else gets the recovering goroutine's.
+func panicErr(v any, stack []byte) error {
+	if wp, ok := v.(*par.WorkerPanic); ok {
+		return fmt.Errorf("%w: %v\n%s", ErrQueryPanic, wp.Value, wp.Stack)
+	}
+	return fmt.Errorf("%w: %v\n%s", ErrQueryPanic, v, stack)
 }

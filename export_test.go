@@ -1,0 +1,7 @@
+package skybench
+
+import "skybench/internal/faults"
+
+// SetEngineFaults arms (or clears, with nil) the Engine's fault-injection
+// hook for the robustness tests in package skybench_test.
+func SetEngineFaults(in *faults.Injector) { engineFaults = in }

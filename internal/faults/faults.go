@@ -1,0 +1,182 @@
+// Package faults is the deterministic fault-injection harness behind
+// the robustness tests: named injection points ("sites") scattered
+// through the serving stack call Check, and an armed Injector decides —
+// reproducibly — whether that call errors, panics, or stalls.
+//
+// Determinism comes in two forms. Counted plans fire on exact hit
+// ordinals ("the 3rd WAL append fails"), which is what the recovery and
+// containment tests use to place a fault at a known point of an update
+// trace. Probabilistic plans draw from a seeded PRNG, for smoke
+// matrices that want coverage rather than a scripted scenario; the same
+// seed replays the same faults.
+//
+// A nil *Injector is inert: Check(nil, site) is free, so production
+// paths carry injection points at no cost and with no configuration.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error payload of an error-kind plan, so
+// tests can assert a failure came from the harness and not from a real
+// fault: errors.Is(err, faults.ErrInjected).
+var ErrInjected = errors.New("faults: injected error")
+
+// PanicValue is the value an injected panic carries; containment tests
+// assert on its Site to prove the recovered panic was the injected one.
+type PanicValue struct {
+	Site string
+}
+
+func (p PanicValue) String() string { return "faults: injected panic at " + p.Site }
+
+// Plan arms one fault at one site.
+type Plan struct {
+	// Site names the injection point the plan applies to.
+	Site string
+	// After skips that many hits of the site before firing (0 fires on
+	// the first hit).
+	After int
+	// Count bounds how many hits fire once triggered (≤ 0 means one).
+	Count int
+	// P, when > 0, makes the plan probabilistic instead of counted:
+	// every hit past After fires independently with probability P (Count
+	// still bounds the total), drawn from the Injector's seeded PRNG.
+	P float64
+	// Err is returned from Check when the plan fires (nil selects
+	// ErrInjected, unless the plan is a pure Panic or Delay).
+	Err error
+	// Panic makes the firing hit panic with a PanicValue instead of
+	// returning an error.
+	Panic bool
+	// Delay stalls the firing hit before erroring/panicking/returning —
+	// the "slow shard" and deadline-pressure fault.
+	Delay time.Duration
+}
+
+// Event records one fired fault, for post-hoc assertions.
+type Event struct {
+	Site     string
+	Hit      int // 1-based hit ordinal at the site
+	Err      error
+	Panicked bool
+}
+
+// Injector is a set of armed plans plus the per-site hit counters they
+// consume. Safe for concurrent use.
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	hits   map[string]int
+	fired  map[*Plan]int
+	plans  []*Plan
+	events []Event
+}
+
+// New creates an Injector whose probabilistic plans draw from the given
+// seed.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		hits:  make(map[string]int),
+		fired: make(map[*Plan]int),
+	}
+}
+
+// Arm adds plans to the injector.
+func (in *Injector) Arm(plans ...Plan) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i := range plans {
+		p := plans[i]
+		in.plans = append(in.plans, &p)
+	}
+}
+
+// Hits returns how many times the site has been reached.
+func (in *Injector) Hits(site string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[site]
+}
+
+// Events returns a copy of the fired-fault log.
+func (in *Injector) Events() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event(nil), in.events...)
+}
+
+// Check is the injection point: count a hit at site and fire the first
+// matching armed plan. It returns the plan's error, panics for panic
+// plans, and sleeps for delay plans (the delay happens outside the
+// injector's lock, so concurrent sites never serialize on a stall). A
+// nil Injector never fires.
+func Check(in *Injector, site string) error {
+	if in == nil {
+		return nil
+	}
+	return in.check(site)
+}
+
+func (in *Injector) check(site string) error {
+	in.mu.Lock()
+	in.hits[site]++
+	hit := in.hits[site]
+	var fire *Plan
+	for _, p := range in.plans {
+		if p.Site != site || hit <= p.After {
+			continue
+		}
+		count := p.Count
+		if count <= 0 {
+			count = 1
+		}
+		if in.fired[p] >= count {
+			continue
+		}
+		if p.P > 0 && in.rng.Float64() >= p.P {
+			continue
+		}
+		in.fired[p]++
+		fire = p
+		break
+	}
+	var err error
+	if fire != nil {
+		switch {
+		case fire.Panic:
+			// The panic below is the payload.
+		case fire.Err != nil:
+			err = fire.Err
+		case fire.Delay > 0:
+			// A pure delay stalls but reports success.
+		default:
+			err = ErrInjected
+		}
+		in.events = append(in.events, Event{Site: site, Hit: hit, Err: err, Panicked: fire.Panic})
+	}
+	in.mu.Unlock()
+	if fire == nil {
+		return nil
+	}
+	if fire.Delay > 0 {
+		time.Sleep(fire.Delay)
+	}
+	if fire.Panic {
+		panic(PanicValue{Site: site})
+	}
+	return err
+}
+
+// String summarizes the fired events (for failure messages).
+func (in *Injector) String() string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return fmt.Sprintf("faults.Injector{%d plans, %d fired}", len(in.plans), len(in.events))
+}

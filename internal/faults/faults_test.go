@@ -1,0 +1,118 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	if err := Check(nil, "any.site"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountedPlanFiresOnExactHit(t *testing.T) {
+	in := New(1)
+	in.Arm(Plan{Site: "s", After: 2}) // fires on hit 3 only
+	for i := 1; i <= 5; i++ {
+		err := Check(in, "s")
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: err = %v, want injected", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("hit %d: unexpected %v", i, err)
+		}
+	}
+	ev := in.Events()
+	if len(ev) != 1 || ev[0].Hit != 3 || ev[0].Site != "s" {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+func TestCountBoundsRepeatedFiring(t *testing.T) {
+	in := New(1)
+	in.Arm(Plan{Site: "s", Count: 2})
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if Check(in, "s") != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2", fired)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	sentinel := errors.New("boom")
+	in := New(1)
+	in.Arm(Plan{Site: "s", Err: sentinel})
+	if err := Check(in, "s"); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPanicPlan(t *testing.T) {
+	in := New(1)
+	in.Arm(Plan{Site: "s", Panic: true})
+	defer func() {
+		r := recover()
+		pv, ok := r.(PanicValue)
+		if !ok || pv.Site != "s" {
+			t.Fatalf("recovered %v", r)
+		}
+	}()
+	Check(in, "s")
+	t.Fatal("expected panic")
+}
+
+func TestDelayPlanStallsButSucceeds(t *testing.T) {
+	in := New(1)
+	in.Arm(Plan{Site: "s", Delay: 20 * time.Millisecond})
+	t0 := time.Now()
+	if err := Check(in, "s"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(t0) < 15*time.Millisecond {
+		t.Fatal("delay did not stall")
+	}
+}
+
+func TestProbabilisticPlanIsSeedDeterministic(t *testing.T) {
+	run := func(seed int64) []int {
+		in := New(seed)
+		in.Arm(Plan{Site: "s", P: 0.3, Count: 1 << 30})
+		var hits []int
+		for i := 1; i <= 50; i++ {
+			if Check(in, "s") != nil {
+				hits = append(hits, i)
+			}
+		}
+		return hits
+	}
+	a, b := run(7), run(7)
+	if len(a) == 0 || len(a) == 50 {
+		t.Fatalf("p=0.3 fired %d/50 times", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSitesAreIndependent(t *testing.T) {
+	in := New(1)
+	in.Arm(Plan{Site: "a"})
+	if err := Check(in, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(in, "a"); err == nil {
+		t.Fatal("armed site did not fire")
+	}
+	if in.Hits("a") != 1 || in.Hits("b") != 1 {
+		t.Fatalf("hits: a=%d b=%d", in.Hits("a"), in.Hits("b"))
+	}
+}

@@ -1,0 +1,125 @@
+package par
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// wantWorkerPanic runs f expecting it to rethrow a *WorkerPanic whose
+// value is val, on the calling goroutine.
+func wantWorkerPanic(t *testing.T, val string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		wp, ok := r.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %T %v, want *WorkerPanic", r, r)
+		}
+		if wp.Value != val {
+			t.Fatalf("panic value = %v, want %q", wp.Value, val)
+		}
+		if !strings.Contains(string(wp.Stack), "goroutine") {
+			t.Fatalf("WorkerPanic carries no stack: %q", wp.Stack)
+		}
+	}()
+	f()
+	t.Fatal("expected rethrown panic")
+}
+
+func TestForPropagatesWorkerPanic(t *testing.T) {
+	wantWorkerPanic(t, "boom-for", func() {
+		For(4, 1000, func(i int) {
+			if i == 617 {
+				panic("boom-for")
+			}
+		})
+	})
+}
+
+func TestForRangesPropagatesWorkerPanic(t *testing.T) {
+	wantWorkerPanic(t, "boom-ranges", func() {
+		ForRanges(4, 100, func(tid, lo, hi int) {
+			if tid == 2 {
+				panic("boom-ranges")
+			}
+		})
+	})
+}
+
+func TestRunPropagatesWorkerPanic(t *testing.T) {
+	wantWorkerPanic(t, "boom-run", func() {
+		Run(3, func(tid int) {
+			if tid == 1 {
+				panic("boom-run")
+			}
+		})
+	})
+}
+
+func TestPoolSurvivesWorkerPanic(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+
+	wantWorkerPanic(t, "boom-pool-for", func() {
+		p.For(1000, func(i int) {
+			if i == 421 {
+				panic("boom-pool-for")
+			}
+		})
+	})
+	wantWorkerPanic(t, "boom-pool-ranges", func() {
+		p.ForRanges(100, func(tid, lo, hi int) {
+			if tid == 3 {
+				panic("boom-pool-ranges")
+			}
+		})
+	})
+
+	// The pool must stay fully serviceable after contained panics: the
+	// panic slot is cleared and the barrier is intact.
+	for rep := 0; rep < 3; rep++ {
+		var sum atomic.Int64
+		p.For(1000, func(i int) { sum.Add(int64(i)) })
+		if sum.Load() != 999*1000/2 {
+			t.Fatalf("rep %d: pool miscounted after panic: %d", rep, sum.Load())
+		}
+		var hitsR atomic.Int64
+		p.ForRanges(100, func(tid, lo, hi int) { hitsR.Add(int64(hi - lo)) })
+		if hitsR.Load() != 100 {
+			t.Fatalf("rep %d: ForRanges covered %d items", rep, hitsR.Load())
+		}
+	}
+}
+
+func TestPoolDispatcherShareCaptured(t *testing.T) {
+	// Worker 0 is the dispatching goroutine itself; its panic must take
+	// the same contained path so region state is reset under mu.
+	p := NewPool(2)
+	defer p.Close()
+	wantWorkerPanic(t, "boom-self", func() {
+		p.ForRanges(2, func(tid, lo, hi int) {
+			if tid == 0 {
+				panic("boom-self")
+			}
+		})
+	})
+	var n atomic.Int64
+	p.ForRanges(2, func(tid, lo, hi int) { n.Add(1) })
+	if n.Load() != 2 {
+		t.Fatalf("pool wedged after dispatcher-share panic: %d regions ran", n.Load())
+	}
+}
+
+func TestCancelStillWorksAfterPanic(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	wantWorkerPanic(t, "x", func() { p.For(100, func(i int) { panic("x") }) })
+	var stop atomic.Bool
+	stop.Store(true)
+	ran := false
+	p.ForRangesCancel(4, 100, &stop, func(tid, lo, hi int) { ran = true })
+	if ran {
+		t.Fatal("stop flag ignored after panic recovery")
+	}
+}

@@ -8,7 +8,9 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -16,6 +18,50 @@ import (
 // DefaultThreads returns the thread count used when the caller passes
 // t <= 0: the number of usable CPUs.
 func DefaultThreads() int { return runtime.GOMAXPROCS(0) }
+
+// WorkerPanic carries a panic across a parallel-region barrier: the
+// original panic value plus the panicking worker's stack. A panic on a
+// worker goroutine would otherwise kill the whole process (recover only
+// works on the panicking goroutine), so every region here recovers it,
+// completes the barrier, and rethrows *WorkerPanic on the dispatching
+// goroutine — where the caller's own defer/recover can contain it.
+type WorkerPanic struct {
+	Value any
+	Stack []byte
+}
+
+func (p *WorkerPanic) String() string {
+	return fmt.Sprintf("par: worker panic: %v\n%s", p.Value, p.Stack)
+}
+
+// panicSlot records the first panic among a region's workers.
+type panicSlot struct{ p atomic.Pointer[WorkerPanic] }
+
+// capture must be invoked via defer inside the function whose panic it
+// recovers. An already-wrapped *WorkerPanic (a nested region) passes
+// through with its original stack.
+func (s *panicSlot) capture() {
+	if r := recover(); r != nil {
+		wp, ok := r.(*WorkerPanic)
+		if !ok {
+			wp = &WorkerPanic{Value: r, Stack: debug.Stack()}
+		}
+		s.p.CompareAndSwap(nil, wp)
+	}
+}
+
+// rethrow re-raises the recorded panic, if any, on the caller's
+// goroutine. Call it after the region's barrier.
+func (s *panicSlot) rethrow() {
+	if wp := s.p.Load(); wp != nil {
+		panic(wp)
+	}
+}
+
+// tripped reports whether a panic has been recorded; workers poll it
+// between chunks so a poisoned region winds down instead of burning the
+// remaining work.
+func (s *panicSlot) tripped() bool { return s.p.Load() != nil }
 
 // normalize clamps a requested thread count to [1, n] for n work items
 // (never more workers than items, never fewer than one).
@@ -63,12 +109,17 @@ func ForChunked(t, n, chunk int, body func(i int)) {
 		}
 	}
 	var next int64
+	var pan panicSlot
 	var wg sync.WaitGroup
 	wg.Add(t)
 	for w := 0; w < t; w++ {
 		go func() {
 			defer wg.Done()
+			defer pan.capture()
 			for {
+				if pan.tripped() {
+					return
+				}
 				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
 				if lo >= n {
 					return
@@ -84,6 +135,7 @@ func ForChunked(t, n, chunk int, body func(i int)) {
 		}()
 	}
 	wg.Wait()
+	pan.rethrow()
 }
 
 // ForRanges runs body(tid, lo, hi) over a static partition of [0, n) into
@@ -99,6 +151,7 @@ func ForRanges(t, n int, body func(tid, lo, hi int)) {
 		body(0, 0, n)
 		return
 	}
+	var pan panicSlot
 	var wg sync.WaitGroup
 	wg.Add(t)
 	size := n / t
@@ -111,11 +164,13 @@ func ForRanges(t, n int, body func(tid, lo, hi int)) {
 		}
 		go func(tid, lo, hi int) {
 			defer wg.Done()
+			defer pan.capture()
 			body(tid, lo, hi)
 		}(w, lo, hi)
 		lo = hi
 	}
 	wg.Wait()
+	pan.rethrow()
 }
 
 // Run launches t goroutines executing body(tid) and waits for all of them.
@@ -127,13 +182,16 @@ func Run(t int, body func(tid int)) {
 		body(0)
 		return
 	}
+	var pan panicSlot
 	var wg sync.WaitGroup
 	wg.Add(t)
 	for w := 0; w < t; w++ {
 		go func(tid int) {
 			defer wg.Done()
+			defer pan.capture()
 			body(tid)
 		}(w)
 	}
 	wg.Wait()
+	pan.rethrow()
 }

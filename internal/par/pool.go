@@ -46,6 +46,8 @@ type pool struct {
 	stop   *atomic.Bool // when non-nil and set, workers skip their share
 	cursor atomic.Int64
 
+	pan panicSlot // first worker panic of the current region
+
 	start []chan struct{} // one per worker goroutine, wakes it for a region
 	done  chan struct{}   // workers report region completion
 	quit  chan struct{}   // closed to release the workers
@@ -96,15 +98,24 @@ func (p *pool) worker(tid int) {
 		}
 		switch p.mode {
 		case modeRanges:
-			if p.stop == nil || !p.stop.Load() {
+			if (p.stop == nil || !p.stop.Load()) && !p.pan.tripped() {
 				lo, hi := staticRange(tid, p.n, p.tEff)
-				p.bodyR(tid, lo, hi)
+				p.guard(func() { p.bodyR(tid, lo, hi) })
 			}
 		case modeFor:
-			p.runChunks()
+			p.guard(p.runChunks)
 		}
 		p.done <- struct{}{}
 	}
+}
+
+// guard runs one worker's share of a region, recovering any panic into
+// the region's panic slot. The worker still reaches the barrier, so a
+// panicking body can never wedge the pool; the dispatcher rethrows the
+// panic on its own goroutine after the barrier completes.
+func (p *pool) guard(f func()) {
+	defer p.pan.capture()
+	f()
 }
 
 // staticRange returns worker tid's contiguous share of [0, n) split into t
@@ -170,12 +181,16 @@ func (p *pool) ForRangesCancel(t, n int, stop *atomic.Bool, body func(tid, lo, h
 	p.dispatch(t, func() {
 		if stop == nil || !stop.Load() {
 			lo, hi := staticRange(0, n, t)
-			body(0, lo, hi)
+			p.guard(func() { body(0, lo, hi) })
 		}
 	})
 	p.bodyR = nil
 	p.stop = nil
+	wp := p.pan.p.Swap(nil)
 	p.mu.Unlock()
+	if wp != nil {
+		panic(wp)
+	}
 }
 
 // For runs body(i) for every i in [0, n) with dynamic chunked scheduling
@@ -226,18 +241,25 @@ func (p *pool) ForChunkedCancel(t, n, chunk int, stop *atomic.Bool, body func(i 
 	p.chunk = int64(chunk)
 	p.stop = stop
 	p.cursor.Store(0)
-	p.dispatch(t, p.runChunks)
+	p.dispatch(t, func() { p.guard(p.runChunks) })
 	p.bodyI = nil
 	p.stop = nil
+	wp := p.pan.p.Swap(nil)
 	p.mu.Unlock()
+	if wp != nil {
+		panic(wp)
+	}
 }
 
-// runChunks claims dynamic chunks until the shared cursor passes n or the
-// region's stop flag is raised.
+// runChunks claims dynamic chunks until the shared cursor passes n, the
+// region's stop flag is raised, or another worker panicked.
 func (p *pool) runChunks() {
 	n, chunk, body, stop := p.n, p.chunk, p.bodyI, p.stop
 	for {
 		if stop != nil && stop.Load() {
+			return
+		}
+		if p.pan.tripped() {
 			return
 		}
 		lo := int(p.cursor.Add(chunk)) - int(chunk)

@@ -30,6 +30,7 @@
 package shard
 
 import (
+	"context"
 	"sort"
 
 	"skybench/internal/point"
@@ -89,9 +90,15 @@ func Split(n, p int) []Range {
 // surviving points, ascending, plus each survivor's dominator count
 // when k ≥ 2 (nil when k ≤ 1, where every survivor has zero). When dts
 // is non-nil it is advanced by the dominance tests performed.
-func MergeBand(vals []float64, nc, d, k int, dts *uint64) ([]int, []int32) {
+//
+// The recount is quadratic in nc, so MergeBand polls ctx between row
+// batches and abandons the merge with an error wrapping ctx.Err() once
+// the context is done — the merge is the only part of a sharded query
+// that runs after the engine's own cancellation checkpoints, and a
+// deadline that fires here must not go unnoticed.
+func MergeBand(ctx context.Context, vals []float64, nc, d, k int, dts *uint64) ([]int, []int32, error) {
 	if nc == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if k < 1 {
 		k = 1
@@ -122,8 +129,21 @@ func MergeBand(vals []float64, nc, d, k int, dts *uint64) ([]int, []int32) {
 	if k > 1 {
 		cnt = make([]int32, nc)
 	}
+	// Cancellation checkpoint cadence: every 32 probe rows costs one
+	// atomic-ish ctx.Err() per ~32·p dominance tests — noise next to the
+	// recount itself, prompt enough for deadline control.
+	const checkEvery = 32
+
 	nKept := 0
 	for p, i := range order {
+		if p%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				if dts != nil {
+					*dts += tests
+				}
+				return nil, nil, err
+			}
+		}
 		q := sVals[p*d : (p+1)*d : (p+1)*d]
 		c := point.CountDominatorsInFlatRun(sVals, d, 0, p, q, sL1[p], sL1, nil, k, &tests)
 		if c < k {
@@ -151,5 +171,5 @@ func MergeBand(vals []float64, nc, d, k int, dts *uint64) ([]int, []int32) {
 			}
 		}
 	}
-	return keep, counts
+	return keep, counts, nil
 }

@@ -1,6 +1,9 @@
 package shard
 
 import (
+	"context"
+	"errors"
+	"math/rand"
 	"slices"
 	"testing"
 
@@ -75,7 +78,10 @@ func TestMergeBandOracle(t *testing.T) {
 						copy(buf[pos*d:(pos+1)*d], flat[gi*d:(gi+1)*d])
 					}
 					var dts uint64
-					keep, counts := MergeBand(buf, len(cand), d, k, &dts)
+					keep, counts, err := MergeBand(context.Background(), buf, len(cand), d, k, &dts)
+					if err != nil {
+						t.Fatal(err)
+					}
 					got := make([]int, len(keep))
 					for j, pos := range keep {
 						got[j] = cand[pos]
@@ -103,12 +109,15 @@ func TestMergeBandOracle(t *testing.T) {
 
 // TestMergeBandDegenerate covers the edges the property loop skips.
 func TestMergeBandDegenerate(t *testing.T) {
-	if keep, counts := MergeBand(nil, 0, 3, 2, nil); keep != nil || counts != nil {
+	if keep, counts, _ := MergeBand(context.Background(), nil, 0, 3, 2, nil); keep != nil || counts != nil {
 		t.Fatalf("empty merge = (%v, %v), want (nil, nil)", keep, counts)
 	}
 	// Identical points never dominate each other: all survive any k.
 	vals := []float64{1, 2, 1, 2, 1, 2}
-	keep, counts := MergeBand(vals, 3, 2, 2, nil)
+	keep, counts, err := MergeBand(context.Background(), vals, 3, 2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(keep) != 3 {
 		t.Fatalf("identical points: kept %v, want all 3", keep)
 	}
@@ -118,8 +127,32 @@ func TestMergeBandDegenerate(t *testing.T) {
 		}
 	}
 	// k clamps up to 1.
-	keep, counts = MergeBand(vals, 3, 2, 0, nil)
+	keep, counts, err = MergeBand(context.Background(), vals, 3, 2, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(keep) != 3 || counts != nil {
 		t.Fatalf("k=0 merge = (%v, %v), want all three, nil counts", keep, counts)
+	}
+}
+
+// TestMergeBandCancellation: a merge whose context is already dead must
+// abandon promptly with the context's error instead of finishing the
+// quadratic recount.
+func TestMergeBandCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n, d := 400, 3
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]float64, n*d)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	keep, counts, err := MergeBand(ctx, vals, n, d, 2, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if keep != nil || counts != nil {
+		t.Fatalf("canceled merge leaked a partial result: (%v, %v)", keep, counts)
 	}
 }

@@ -101,6 +101,14 @@ type Query struct {
 	// aliased indices while they are being read. See the aliasing rule
 	// on Result.Indices.
 	ReuseIndices bool
+	// AllowStale opts a Collection query into graceful degradation:
+	// when computing fresh fails with ErrOverloaded or
+	// ErrDeadlineExceeded, serve the collection's last cached result for
+	// this query shape — possibly computed at an earlier membership
+	// epoch — with QueryResult.Stale set, instead of the error. It never
+	// affects which fresh results are computed or cached, and it has no
+	// effect on Engine.Run (the Engine has no cache to degrade to).
+	AllowStale bool
 }
 
 // legacyQuery maps the legacy Options shape onto a Query (the

@@ -1,9 +1,12 @@
 package skybench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Store is the multi-collection serving facade: one handle hosting any
@@ -25,22 +28,85 @@ type Store struct {
 	eng    *Engine
 	ownEng bool
 
+	// Admission control (StoreOptions.MaxInflight/MaxQueue). tokens is a
+	// counting semaphore that is never closed — shutdown is signaled by
+	// closedCh instead, so a Submit racing Close can never hit a
+	// send-on-closed-channel panic; it deterministically observes
+	// ErrClosed.
+	tokens     chan struct{}
+	maxQueue   int
+	defTimeout time.Duration
+	waiters    atomic.Int64
+	closedCh   chan struct{}
+	closeOnce  sync.Once
+
 	mu     sync.RWMutex
 	cols   map[string]*Collection
 	closed bool
 }
 
+// StoreOptions configures a Store's engine and its failure-containment
+// policies. The zero value matches NewStore(0): all CPUs, no admission
+// bound, no default deadline.
+type StoreOptions struct {
+	// Threads is the shared Engine's thread budget (≤ 0 selects all
+	// usable CPUs). Ignored when Engine is set.
+	Threads int
+	// Engine, when non-nil, serves the Store through an existing Engine
+	// the caller keeps ownership of (Store.Close does not close it).
+	Engine *Engine
+	// MaxInflight bounds how many submitted queries may execute
+	// concurrently (Submit/SubmitBatch; synchronous Run is the caller's
+	// own concurrency and is not throttled). ≤ 0 means unlimited.
+	MaxInflight int
+	// MaxQueue bounds how many submitted queries may wait for an
+	// inflight slot once MaxInflight are running; a submission beyond
+	// the bound fails fast with ErrOverloaded instead of queuing without
+	// limit. ≤ 0 rejects as soon as MaxInflight are running. Meaningless
+	// unless MaxInflight > 0.
+	MaxQueue int
+	// DefaultTimeout, when > 0, is the per-query deadline applied to
+	// every Run/Submit whose context does not already carry one.
+	// Exceeding it fails the query with an error wrapping both
+	// ErrCanceled and ErrDeadlineExceeded. Collections can override it
+	// via CollectionOptions.DefaultTimeout.
+	DefaultTimeout time.Duration
+}
+
 // NewStore creates a Store whose shared Engine has the given thread
 // budget (≤ 0 selects all usable CPUs).
 func NewStore(threads int) *Store {
-	return &Store{eng: NewEngine(threads), ownEng: true, cols: make(map[string]*Collection)}
+	return NewStoreWithOptions(StoreOptions{Threads: threads})
 }
 
 // NewStoreWithEngine creates a Store serving through an existing Engine
 // (shared with whatever other load it carries). The caller keeps
 // ownership: Store.Close does not close it.
 func NewStoreWithEngine(eng *Engine) *Store {
-	return &Store{eng: eng, cols: make(map[string]*Collection)}
+	return NewStoreWithOptions(StoreOptions{Engine: eng})
+}
+
+// NewStoreWithOptions creates a Store with explicit admission and
+// deadline policies.
+func NewStoreWithOptions(opts StoreOptions) *Store {
+	s := &Store{
+		cols:       make(map[string]*Collection),
+		closedCh:   make(chan struct{}),
+		defTimeout: opts.DefaultTimeout,
+	}
+	if opts.Engine != nil {
+		s.eng = opts.Engine
+	} else {
+		s.eng = NewEngine(opts.Threads)
+		s.ownEng = true
+	}
+	if opts.MaxInflight > 0 {
+		s.tokens = make(chan struct{}, opts.MaxInflight)
+		if opts.MaxQueue > 0 {
+			s.maxQueue = opts.MaxQueue
+		}
+	}
+	return s
 }
 
 // Engine returns the Store's shared Engine.
@@ -90,10 +156,25 @@ func (s *Store) newCollection(name string, opts CollectionOptions) *Collection {
 	if cacheCap == 0 {
 		cacheCap = DefaultCacheCapacity
 	}
-	c := &Collection{name: name, eng: s.eng, shards: shards}
+	timeout := opts.DefaultTimeout
+	if timeout == 0 {
+		timeout = s.defTimeout
+	}
+	if timeout < 0 {
+		timeout = 0
+	}
+	c := &Collection{
+		name:        name,
+		eng:         s.eng,
+		shards:      shards,
+		owner:       s,
+		timeout:     timeout,
+		closeOnDrop: opts.CloseOnDrop,
+	}
 	if cacheCap > 0 {
 		c.cacheCap = cacheCap
 		c.entries = make(map[fingerprint]cacheEntry)
+		c.stale = make(map[fingerprint]cacheEntry)
 	}
 	// A sharded collection's first query fans out `shards` concurrent
 	// engine runs at once; pre-lease that many contexts so the burst
@@ -146,37 +227,115 @@ func (s *Store) Names() []string {
 
 // Drop detaches the named collection; subsequent queries on handles to
 // it fail with ErrClosed. The backing Dataset or stream source is
-// untouched (it belongs to the caller).
+// untouched (it belongs to the caller) unless the collection was
+// attached with CloseOnDrop.
 func (s *Store) Drop(name string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: Store", ErrClosed)
 	}
 	c, ok := s.cols[name]
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownCollection, name)
 	}
 	delete(s.cols, name)
 	c.dropped.Store(true)
+	s.mu.Unlock()
+	c.closeSource() // outside the lock: a source Close may take its write lock
 	return nil
 }
 
 // Close drops every collection and, when the Store owns its Engine
 // (NewStore), closes it. In-flight queries must have completed, as for
-// Engine.Close.
+// Engine.Close; queries submitted after (or racing) Close fail with
+// ErrClosed — never a panic.
 func (s *Store) Close() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return
 	}
 	s.closed = true
+	s.closeOnce.Do(func() { close(s.closedCh) })
+	var owned []*Collection
 	for name, c := range s.cols {
 		c.dropped.Store(true)
+		owned = append(owned, c)
 		delete(s.cols, name)
 	}
 	if s.ownEng {
 		s.eng.Close()
+	}
+	s.mu.Unlock()
+	for _, c := range owned {
+		c.closeSource()
+	}
+}
+
+// admission is one submitted query's reservation in the Store's bounded
+// queue: either it already holds an inflight token, or it is a counted
+// waiter entitled to block for one.
+type admission struct {
+	s      *Store
+	held   bool // an inflight token is held
+	queued bool // registered as a waiter (counted against MaxQueue)
+}
+
+// beginAdmit is the synchronous half of admission, run on the
+// submitter's goroutine so its failures are deterministic: a Store
+// already closed fails with ErrClosed, a full queue with ErrOverloaded —
+// before any goroutine is spawned. A nil Store (engine-only Collection)
+// and an unbounded Store admit trivially.
+func (s *Store) beginAdmit() (admission, error) {
+	if s == nil {
+		return admission{}, nil
+	}
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return admission{}, fmt.Errorf("%w: Store", ErrClosed)
+	}
+	if s.tokens == nil {
+		return admission{}, nil
+	}
+	select {
+	case s.tokens <- struct{}{}:
+		return admission{s: s, held: true}, nil
+	default:
+	}
+	if int(s.waiters.Add(1)) > s.maxQueue {
+		s.waiters.Add(-1)
+		return admission{}, fmt.Errorf("%w: %d queries running and %d queued", ErrOverloaded, cap(s.tokens), s.maxQueue)
+	}
+	return admission{s: s, queued: true}, nil
+}
+
+// wait blocks until the admission holds an inflight token, the Store
+// closes, or ctx is done. On success the caller must call release.
+func (a *admission) wait(ctx context.Context) error {
+	if a.s == nil || a.held {
+		return nil
+	}
+	defer a.s.waiters.Add(-1)
+	a.queued = false
+	select {
+	case a.s.tokens <- struct{}{}:
+		a.held = true
+		return nil
+	case <-a.s.closedCh:
+		return fmt.Errorf("%w: Store", ErrClosed)
+	case <-ctx.Done():
+		return canceledErr(ctx.Err())
+	}
+}
+
+// release returns the inflight token.
+func (a *admission) release() {
+	if a.held {
+		a.held = false
+		<-a.s.tokens
 	}
 }

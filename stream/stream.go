@@ -36,12 +36,15 @@ package stream
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"skybench"
+	"skybench/internal/faults"
 	"skybench/internal/point"
 	"skybench/internal/shard"
 	istream "skybench/internal/stream"
@@ -104,6 +107,13 @@ type Config struct {
 	// slices (and their Values) are reused — copy what must outlive the
 	// callback.
 	OnDelta func(entered, left []Point)
+	// Durable, when non-nil, makes the index crash-safe: every mutation
+	// is written ahead to a segmented WAL in Durable.Dir, periodically
+	// compacted into checkpoints, and stream.Recover restores the index
+	// after a crash. See Durability for the policies. New refuses a
+	// directory that already holds durable state — Recover is the only
+	// way back into existing state.
+	Durable *Durability
 }
 
 // SkylineIndex is a mutable set of points whose skyline is maintained
@@ -112,6 +122,7 @@ type SkylineIndex struct {
 	d, de    int
 	k        int // band parameter (1 = skyline)
 	ops      []point.PrefOp
+	prefs    []skybench.Pref // as configured, for the durable meta file
 	identity bool
 
 	epoch   atomic.Uint64
@@ -137,6 +148,9 @@ type SkylineIndex struct {
 	deletes uint64
 	nEnter  uint64
 	nLeave  uint64
+
+	dur           *durableState    // nil for in-memory indexes
+	rebuildFaults *faults.Injector // test hook: "stream.rebuild" site
 }
 
 // New creates an empty SkylineIndex over d-dimensional points.
@@ -197,6 +211,12 @@ func New(d int, cfg Config) (*SkylineIndex, error) {
 			x.left = append(x.left, Point{ID: x.ids[slot], Values: x.origRow(slot)})
 		},
 	})
+	x.prefs = append([]skybench.Pref(nil), cfg.Prefs...)
+	if cfg.Durable != nil {
+		if err := x.initDurable(*cfg.Durable); err != nil {
+			return nil, err
+		}
+	}
 	return x, nil
 }
 
@@ -225,17 +245,45 @@ func prefOps(prefs []skybench.Pref) ([]point.PrefOp, error) {
 // the Engine's context free-list so repeated escalations reuse warm
 // scratch. With Config.RebuildShards ≥ 2 the recompute is shard-aware:
 // per-partition runs fan out concurrently and merge exactly.
+//
+// A failed attempt is retried with backoff before falling back to the
+// core's sequential rebuild: escalation failures are predominantly
+// transient (an injected fault, a worker panic that poisoned one
+// engine context), and the sequential fallback over a large live set
+// is far more expensive than a 1–4 ms pause. Permanent failures —
+// closed engine, structurally invalid inputs — skip the retries.
 func (x *SkylineIndex) engineRebuild(vals []float64, n int) ([]int, []int32) {
 	if x.eng == nil {
 		x.eng = skybench.NewEngine(0)
 		x.ownEng = true
+	}
+	const attempts = 3
+	for attempt := 0; ; attempt++ {
+		idx, counts, err := x.runRebuild(vals, n)
+		if err == nil {
+			return idx, counts
+		}
+		if attempt == attempts-1 ||
+			errors.Is(err, skybench.ErrClosed) ||
+			errors.Is(err, skybench.ErrBadQuery) ||
+			errors.Is(err, skybench.ErrBadDataset) {
+			return nil, nil // fall back to the core's sequential rebuild
+		}
+		time.Sleep(time.Millisecond << attempt)
+	}
+}
+
+// runRebuild is one escalated recompute attempt.
+func (x *SkylineIndex) runRebuild(vals []float64, n int) ([]int, []int32, error) {
+	if err := faults.Check(x.rebuildFaults, "stream.rebuild"); err != nil {
+		return nil, nil, err
 	}
 	if p := x.rebuildShards; p > 1 && n > 1 {
 		return x.shardedRebuild(vals, n, p)
 	}
 	ds, err := skybench.DatasetFromFlat(vals, n, x.de)
 	if err != nil {
-		return nil, nil // fall back to the core's sequential rebuild
+		return nil, nil, err
 	}
 	q := skybench.Query{ReuseIndices: true}
 	if x.k > 1 {
@@ -246,9 +294,9 @@ func (x *SkylineIndex) engineRebuild(vals []float64, n int) ([]int, []int32) {
 	// lock serializes escalations.
 	res, err := x.eng.Run(context.Background(), ds, q)
 	if err != nil {
-		return nil, nil
+		return nil, nil, err
 	}
-	return res.Indices, res.Counts
+	return res.Indices, res.Counts, nil
 }
 
 // shardedRebuild splits the staged live set into p contiguous
@@ -256,7 +304,7 @@ func (x *SkylineIndex) engineRebuild(vals []float64, n int) ([]int, []int32) {
 // concurrently (each run leasing its own context), and merges the
 // union exactly — the same merge a sharded Collection performs, on
 // already-staged values.
-func (x *SkylineIndex) shardedRebuild(vals []float64, n, p int) ([]int, []int32) {
+func (x *SkylineIndex) shardedRebuild(vals []float64, n, p int) ([]int, []int32, error) {
 	ranges := shard.Split(n, p)
 	results := make([]skybench.Result, len(ranges))
 	errs := make([]error, len(ranges))
@@ -280,7 +328,7 @@ func (x *SkylineIndex) shardedRebuild(vals []float64, n, p int) ([]int, []int32)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, nil // fall back to the core's sequential rebuild
+			return nil, nil, err
 		}
 	}
 	var cand []int
@@ -301,11 +349,15 @@ func (x *SkylineIndex) shardedRebuild(vals []float64, n, p int) ([]int, []int32)
 	var keep []int
 	var counts []int32
 	if len(cand) <= shard.MergeKernelMax {
-		keep, counts = shard.MergeBand(buf, len(cand), x.de, x.k, nil)
+		var err error
+		keep, counts, err = shard.MergeBand(context.Background(), buf, len(cand), x.de, x.k, nil)
+		if err != nil {
+			return nil, nil, err // unreachable with Background, kept for symmetry
+		}
 	} else {
 		ds, err := skybench.DatasetFromFlat(buf, len(cand), x.de)
 		if err != nil {
-			return nil, nil
+			return nil, nil, err
 		}
 		mq := skybench.Query{}
 		if x.k > 1 {
@@ -313,7 +365,7 @@ func (x *SkylineIndex) shardedRebuild(vals []float64, n, p int) ([]int, []int32)
 		}
 		res, err := x.eng.Run(context.Background(), ds, mq)
 		if err != nil {
-			return nil, nil
+			return nil, nil, err
 		}
 		keep, counts = res.Indices, res.Counts
 	}
@@ -321,7 +373,7 @@ func (x *SkylineIndex) shardedRebuild(vals []float64, n, p int) ([]int, []int32)
 	for j, pos := range keep {
 		idx[j] = cand[pos]
 	}
-	return idx, counts
+	return idx, counts, nil
 }
 
 // D returns the dimensionality of the indexed points.
@@ -330,8 +382,20 @@ func (x *SkylineIndex) D() int { return x.d }
 // BandK returns the band parameter the index maintains (1 = skyline).
 func (x *SkylineIndex) BandK() int { return x.k }
 
+// Prefs returns a copy of the per-dimension preferences the index was
+// built with (nil when every dimension is minimized), in the same form
+// as Config.Prefs and skybench.Query.Prefs.
+func (x *SkylineIndex) Prefs() []skybench.Pref {
+	if len(x.prefs) == 0 {
+		return nil
+	}
+	return append([]skybench.Pref(nil), x.prefs...)
+}
+
 // Insert adds a point (copying p) and returns its ID. The point must
-// have exactly D finite values.
+// have exactly D finite values. On a durable index the insert is
+// logged before it is applied; a failed log append rejects the insert
+// and leaves the index unchanged.
 func (x *SkylineIndex) Insert(p []float64) (ID, error) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
@@ -341,11 +405,24 @@ func (x *SkylineIndex) Insert(p []float64) (ID, error) {
 	if err := x.validatePoint(p); err != nil {
 		return 0, err
 	}
-	return x.insertLocked(p), nil
+	if x.dur != nil {
+		// The lock is held, so the ID the insert will assign is x.next.
+		if err := x.durInsert(x.next, p); err != nil {
+			return 0, err
+		}
+	}
+	id := x.insertLocked(p)
+	if x.dur != nil {
+		x.durApplied(1)
+	}
+	return id, nil
 }
 
 // InsertBatch inserts every row (validating them all first, so an error
-// means no mutation happened) and returns their IDs in order.
+// means no mutation happened) and returns their IDs in order. On a
+// durable index the whole batch is logged as one group commit — under
+// Durability.FsyncAlways a batch costs a single fsync — and a failed
+// append rejects the whole batch.
 func (x *SkylineIndex) InsertBatch(rows [][]float64) ([]ID, error) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
@@ -357,9 +434,17 @@ func (x *SkylineIndex) InsertBatch(rows [][]float64) ([]ID, error) {
 			return nil, fmt.Errorf("row %d: %w", i, err)
 		}
 	}
+	if x.dur != nil && len(rows) > 0 {
+		if err := x.durInsertBatch(rows); err != nil {
+			return nil, err
+		}
+	}
 	ids := make([]ID, len(rows))
 	for i, p := range rows {
 		ids[i] = x.insertLocked(p)
+	}
+	if x.dur != nil && len(rows) > 0 {
+		x.durApplied(len(rows))
 	}
 	return ids, nil
 }
@@ -386,20 +471,49 @@ func (x *SkylineIndex) insertLocked(p []float64) ID {
 // slot: its ID and, under non-identity preferences, the original
 // (un-staged) coordinates snapshots and callbacks hand out.
 func (x *SkylineIndex) noteSlot(slot int32, p []float64) ID {
+	id := x.next
+	x.next++
+	x.noteSlotID(slot, id, p)
+	return id
+}
+
+// noteSlotID is noteSlot with the ID chosen by the caller — recovery
+// replays the IDs the original run assigned instead of minting new
+// ones.
+func (x *SkylineIndex) noteSlotID(slot int32, id ID, p []float64) {
 	if n := int(slot) + 1; n > len(x.ids) {
 		x.ids = append(x.ids, make([]ID, n-len(x.ids))...)
 		if !x.identity {
 			x.orig = append(x.orig, make([]float64, n*x.d-len(x.orig))...)
 		}
 	}
-	id := x.next
-	x.next++
 	x.ids[slot] = id
 	x.loc[id] = slot
 	if !x.identity {
 		copy(x.orig[int(slot)*x.d:], p)
 	}
-	return id
+}
+
+// insertRecovered re-inserts a point under its original ID during
+// recovery (checkpoint rows and replayed WAL inserts). The caller owns
+// the index exclusively and the durable state is not yet attached, so
+// nothing is re-logged.
+func (x *SkylineIndex) insertRecovered(id ID, p []float64) {
+	x.entered, x.left = x.entered[:0], x.left[:0]
+	staged := p
+	if !x.identity {
+		point.StagePrefs(x.stage, p, 1, x.d, x.ops)
+		staged = x.stage
+	}
+	slot := x.core.Alloc(staged)
+	x.noteSlotID(slot, id, p)
+	x.core.Place(slot)
+	if x.next <= id {
+		x.next = id + 1
+	}
+	x.inserts++
+	x.version.Add(1)
+	x.finishOp()
 }
 
 // origRow returns the original-space coordinates of a live slot.
@@ -413,6 +527,8 @@ func (x *SkylineIndex) origRow(slot int32) []float64 {
 // Delete removes the point with the given ID, reporting whether it was
 // present. Deleting a skyline point may re-admit points it dominated
 // (and may escalate to a full recompute; see Config.RecomputeThreshold).
+// On a durable index a delete whose log append fails is rejected —
+// false with the point still live; Err reports why.
 func (x *SkylineIndex) Delete(id ID) bool {
 	x.mu.Lock()
 	defer x.mu.Unlock()
@@ -423,13 +539,27 @@ func (x *SkylineIndex) Delete(id ID) bool {
 	if !ok {
 		return false
 	}
+	if x.dur != nil {
+		if err := x.durDelete(id); err != nil {
+			return false
+		}
+	}
+	x.deleteSlotLocked(id, slot)
+	if x.dur != nil {
+		x.durApplied(1)
+	}
+	return true
+}
+
+// deleteSlotLocked removes a live slot: the shared tail of Delete and
+// WAL replay.
+func (x *SkylineIndex) deleteSlotLocked(id ID, slot int32) {
 	x.entered, x.left = x.entered[:0], x.left[:0]
 	x.core.Delete(slot)
 	delete(x.loc, id)
 	x.deletes++
 	x.version.Add(1)
 	x.finishOp()
-	return true
 }
 
 // Rebuild forces one full recompute and internal rebalance, as
@@ -553,9 +683,12 @@ func (x *SkylineIndex) Stats() Stats {
 	}
 }
 
-// Close releases the index's private Engine (when it created one). The
-// index must not be mutated afterwards; existing Snapshots, and
-// Snapshot itself, remain usable.
+// Close releases the index's private Engine (when it created one). A
+// durable index writes a final checkpoint (best-effort — a failure is
+// recorded, and recovery replays the WAL tail instead) and closes its
+// WAL, so a clean restart recovers without replay. The index must not
+// be mutated afterwards; existing Snapshots, and Snapshot itself,
+// remain usable.
 func (x *SkylineIndex) Close() {
 	x.mu.Lock()
 	defer x.mu.Unlock()
@@ -563,6 +696,14 @@ func (x *SkylineIndex) Close() {
 		return
 	}
 	x.closed = true
+	if x.dur != nil {
+		if x.dur.log.Err() == nil {
+			if err := x.checkpointLocked(); err != nil {
+				x.dur.lastErr = fmt.Errorf("stream: final checkpoint failed: %w", err)
+			}
+		}
+		x.dur.log.Close()
+	}
 	if x.ownEng && x.eng != nil {
 		x.eng.Close()
 	}
