@@ -123,6 +123,8 @@ type Collection struct {
 	hits     atomic.Uint64
 	misses   atomic.Uint64
 
+	inflight atomic.Int64 // queries currently executing via Run/Submit
+
 	dropped atomic.Bool
 	srcOnce sync.Once
 }
@@ -371,6 +373,8 @@ func (r *QueryResult) ID(p int) (id uint64, ok bool) {
 // unsharded collection (batches from concurrent shards would interleave
 // meaninglessly) and bypasses the cache.
 func (c *Collection) Run(ctx context.Context, q Query) (*QueryResult, error) {
+	c.inflight.Add(1)
+	defer c.inflight.Add(-1)
 	// Apply the collection's default deadline when the caller's context
 	// carries none; an explicit caller deadline always wins.
 	if c.timeout > 0 {
@@ -511,6 +515,63 @@ func (c *Collection) CacheStats() CacheStats {
 	n := len(c.entries)
 	c.cmu.Unlock()
 	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}
+
+// CollectionStats is a one-call snapshot of a collection's serving
+// state — everything an info endpoint or metrics scrape needs, gathered
+// together instead of poking N, D, Epoch, CacheStats, and the admission
+// counters individually and racing mutations in between.
+type CollectionStats struct {
+	// Name is the name the collection is attached under.
+	Name string
+	// N is the current number of points; D their dimensionality.
+	N, D int
+	// Epoch is the membership epoch (always 0 for static collections).
+	Epoch uint64
+	// Shards is the partition count queries fan out over (1 = unsharded).
+	Shards int
+	// StreamBacked reports a live StreamSource backing.
+	StreamBacked bool
+	// Cache holds the result-cache counters.
+	Cache CacheStats
+	// Inflight is the number of queries executing on the collection
+	// right now (Run and admitted Submits).
+	Inflight int64
+}
+
+// Stats returns a consistent snapshot of the collection's serving
+// state. For a stream-backed collection whose source can report its
+// live count directly (stream.SkylineIndex can) nothing is
+// materialized; otherwise N comes from the current frozen snapshot,
+// materializing it if the membership epoch advanced.
+func (c *Collection) Stats() (CollectionStats, error) {
+	st := CollectionStats{
+		Name:         c.name,
+		D:            c.D(),
+		Shards:       c.shards,
+		StreamBacked: c.src != nil,
+		Cache:        c.CacheStats(),
+		Inflight:     c.inflight.Load(),
+	}
+	if c.dropped.Load() {
+		return st, fmt.Errorf("%w: collection %q", ErrClosed, c.name)
+	}
+	if c.src == nil {
+		st.N = c.static.ds.n
+		return st, nil
+	}
+	if src, ok := c.src.(interface{ Len() int }); ok {
+		st.Epoch = c.src.LiveEpoch()
+		st.N = src.Len()
+		return st, nil
+	}
+	snap, err := c.snapshot()
+	if err != nil {
+		return st, err
+	}
+	st.N = snap.ds.n
+	st.Epoch = snap.epoch
+	return st, nil
 }
 
 // execute computes a query over one frozen snapshot: directly for

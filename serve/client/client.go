@@ -1,0 +1,253 @@
+// Package client is the typed Go client for skyserved. It speaks the
+// serve wire protocol and maps wire error codes back onto the skybench
+// sentinel errors, so calling a remote Store feels like calling a local
+// one:
+//
+//	c := client.New("http://localhost:8080")
+//	res, err := c.Query(ctx, "hotels", &serve.QueryRequest{SkybandK: 2})
+//	if errors.Is(err, skybench.ErrOverloaded) { backoff() }
+//
+// A context deadline on any call is forwarded to the server in the
+// X-Skybench-Deadline-Ms header, so the server stops working on a query
+// the client has already given up on.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"skybench/serve"
+)
+
+// Client is a skyserved API client. Safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New creates a client for the server at baseURL (e.g.
+// "http://localhost:8080"), using http.DefaultClient's transport.
+func New(baseURL string) *Client {
+	return NewWithHTTPClient(baseURL, &http.Client{})
+}
+
+// NewWithHTTPClient creates a client with an explicit *http.Client
+// (custom transport, timeout policy, ...).
+func NewWithHTTPClient(baseURL string, hc *http.Client) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// BaseURL returns the server base URL the client was created with.
+func (c *Client) BaseURL() string { return c.base }
+
+// APIError is a non-2xx response decoded from the wire. Unwrap returns
+// the skybench sentinel for the wire code, so errors.Is(err,
+// skybench.ErrOverloaded) etc. work across the network.
+type APIError struct {
+	Status  int    // HTTP status
+	Code    string // stable wire code ("overloaded", "unknown_collection", ...)
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("skyserved: %s (%d %s)", e.Message, e.Status, e.Code)
+}
+
+func (e *APIError) Unwrap() error { return serve.SentinelForCode(e.Code) }
+
+// do issues one JSON round trip: method + path, optional request body,
+// optional decoded response body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	setDeadlineHeader(req, ctx)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// setDeadlineHeader forwards the context deadline, when one is set, as
+// the wire deadline header (rounded up to a whole millisecond so a
+// tight-but-live deadline never truncates to the rejected 0).
+func setDeadlineHeader(req *http.Request, ctx context.Context) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return
+	}
+	ms := time.Until(dl).Milliseconds() + 1
+	if ms < 1 {
+		ms = 1
+	}
+	req.Header.Set(serve.DeadlineHeader, strconv.FormatInt(ms, 10))
+}
+
+// decodeAPIError turns a non-2xx response into an *APIError.
+func decodeAPIError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var eb serve.ErrorBody
+	if json.Unmarshal(data, &eb) == nil && eb.Error.Code != "" {
+		return &APIError{Status: resp.StatusCode, Code: eb.Error.Code, Message: eb.Error.Message}
+	}
+	return &APIError{Status: resp.StatusCode, Code: "internal", Message: strings.TrimSpace(string(data))}
+}
+
+// Query runs one query against the named collection. A nil request runs
+// the default query (hybrid skyline, minimize every dimension).
+func (c *Client) Query(ctx context.Context, collection string, req *serve.QueryRequest) (*serve.QueryResponse, error) {
+	if req == nil {
+		req = &serve.QueryRequest{}
+	}
+	var out serve.QueryResponse
+	if err := c.do(ctx, http.MethodPost, c.colPath(collection)+"/query", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Insert appends a batch of points to a stream-backed collection and
+// returns their assigned IDs.
+func (c *Client) Insert(ctx context.Context, collection string, points [][]float64) ([]uint64, error) {
+	var out serve.InsertResponse
+	err := c.do(ctx, http.MethodPost, c.colPath(collection)+"/points", &serve.InsertRequest{Points: points}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return out.IDs, nil
+}
+
+// Delete removes one point by stream ID.
+func (c *Client) Delete(ctx context.Context, collection string, id uint64) error {
+	path := fmt.Sprintf("%s/points/%d", c.colPath(collection), id)
+	return c.do(ctx, http.MethodDelete, path, nil, nil)
+}
+
+// Attach creates a collection on the server (PUT /v1/collections/{name}).
+func (c *Client) Attach(ctx context.Context, collection string, req *serve.AttachRequest) (*serve.CollectionInfo, error) {
+	var out serve.CollectionInfo
+	if err := c.do(ctx, http.MethodPut, c.colPath(collection), req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Drop detaches a collection.
+func (c *Client) Drop(ctx context.Context, collection string) error {
+	return c.do(ctx, http.MethodDelete, c.colPath(collection), nil, nil)
+}
+
+// Info describes one collection.
+func (c *Client) Info(ctx context.Context, collection string) (*serve.CollectionInfo, error) {
+	var out serve.CollectionInfo
+	if err := c.do(ctx, http.MethodGet, c.colPath(collection), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// List enumerates the server's collections, sorted by name.
+func (c *Client) List(ctx context.Context) ([]serve.CollectionInfo, error) {
+	var out serve.CollectionList
+	if err := c.do(ctx, http.MethodGet, "/v1/collections", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Collections, nil
+}
+
+// Metrics fetches the raw Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return "", decodeAPIError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+// Subscription is a live delta feed. Read events with Next until it
+// fails; Close releases the connection. The server disconnects a
+// subscription whose events aren't consumed fast enough (its queue
+// overflowed) — Next then returns an error and the caller re-syncs by
+// reconnecting and querying current membership.
+type Subscription struct {
+	body io.ReadCloser
+	dec  *json.Decoder
+}
+
+// Subscribe opens the NDJSON delta feed of a stream-backed collection.
+// Cancel ctx (or Close the subscription) to end it.
+func (c *Client) Subscribe(ctx context.Context, collection string) (*Subscription, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+c.colPath(collection)+"/deltas", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		defer resp.Body.Close()
+		return nil, decodeAPIError(resp)
+	}
+	return &Subscription{
+		body: resp.Body,
+		dec:  json.NewDecoder(bufio.NewReader(resp.Body)),
+	}, nil
+}
+
+// Next blocks for the next delta event. io.EOF (or a wrapped transport
+// error) means the server ended the subscription.
+func (s *Subscription) Next() (*serve.DeltaEvent, error) {
+	var ev serve.DeltaEvent
+	if err := s.dec.Decode(&ev); err != nil {
+		return nil, err
+	}
+	return &ev, nil
+}
+
+// Close ends the subscription.
+func (s *Subscription) Close() error { return s.body.Close() }
+
+// colPath builds the URL path for a collection, escaping the name.
+func (c *Client) colPath(collection string) string {
+	return "/v1/collections/" + url.PathEscape(collection)
+}

@@ -1,0 +1,123 @@
+// Delta subscriptions: GET /v1/collections/{name}/deltas streams the
+// index's entered/left membership deltas to the client as NDJSON (the
+// default) or Server-Sent Events (?format=sse, or an Accept header
+// naming text/event-stream).
+//
+// The backpressure rule: delta callbacks run under the index's write
+// lock, on the mutator's goroutine, so a subscriber must never be
+// allowed to stall them. Each subscription therefore owns a bounded
+// queue (Options.DeltaQueue); the callback does a non-blocking send,
+// and on overflow the subscriber is marked lapsed and disconnected —
+// the index and every other subscriber proceed untouched. A client that
+// is disconnected this way reconnects and re-reads current membership
+// via a query; there is no replay.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"skybench/stream"
+)
+
+func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request, obs *observation) {
+	name := r.PathValue("name")
+	ix, err := s.mutableIndex(name)
+	if err != nil {
+		writeError(w, obs, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, obs, errors.New("response writer cannot stream")) // → 500 internal
+		return
+	}
+	sse := r.URL.Query().Get("format") == "sse" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+
+	// The subscription queue. The OnDelta callback runs under the index
+	// lock: copy the points (their Values alias index-owned storage that
+	// is reused after the callback returns) and hand off without ever
+	// blocking.
+	events := make(chan DeltaEvent, s.opts.DeltaQueue)
+	lapsed := make(chan struct{})
+	var lapseOnce sync.Once
+	var seq uint64 // mutated only under the index lock — serialized
+	cancel := ix.OnDelta(func(entered, left []stream.Point) {
+		seq++
+		ev := DeltaEvent{Seq: seq, Entered: copyPoints(entered), Left: copyPoints(left)}
+		select {
+		case events <- ev:
+		default:
+			lapseOnce.Do(func() { close(lapsed) })
+		}
+	})
+	defer cancel()
+
+	gauge := s.subs.With(name)
+	gauge.Add(1)
+	defer gauge.Add(-1)
+
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	for {
+		select {
+		case ev := <-events:
+			if err := writeDelta(w, &ev, sse); err != nil {
+				return // client went away
+			}
+			flusher.Flush()
+		case <-lapsed:
+			// The queue overflowed while this subscriber lagged: cut it
+			// loose rather than slow the index. Closing the response body
+			// is the signal; the client reconnects and re-syncs.
+			s.subDrops.With(name).Inc()
+			obs.code = "slow_subscriber"
+			return
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			return // server draining
+		}
+	}
+}
+
+// writeDelta renders one event in the negotiated framing.
+func writeDelta(w io.Writer, ev *DeltaEvent, sse bool) error {
+	if sse {
+		if _, err := io.WriteString(w, "data: "); err != nil {
+			return err
+		}
+	}
+	if err := json.NewEncoder(w).Encode(ev); err != nil { // Encode appends the line break
+		return err
+	}
+	if sse {
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	return nil
+}
+
+// copyPoints deep-copies index-owned points into wire form.
+func copyPoints(ps []stream.Point) []PointData {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]PointData, len(ps))
+	for i, p := range ps {
+		out[i] = PointData{ID: uint64(p.ID), Values: append([]float64(nil), p.Values...)}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+// Per-request event logging, following the SABRE idiom: a standard,
+// line-oriented event log every run emits in the same shape, so
+// downstream tooling (plotting, comparison, and — the design target —
+// the cmd/loadbench replay harness of ROADMAP item 5) consumes one
+// format regardless of which server produced it.
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one served request in the NDJSON event log (skyserved
+// -log-events): exactly one JSON object per line, in completion order.
+// This is the input format a workload-replay harness consumes: TS and
+// LatencyNs reconstruct the arrival process, Collection + Endpoint +
+// Fingerprint identify the request class, and Status/Code/CacheHit give
+// the per-class outcome rates to compare against.
+type Event struct {
+	// TS is the request completion time, RFC 3339 with nanoseconds.
+	TS string `json:"ts"`
+	// Collection is the target collection ("" for store-wide endpoints
+	// like the listing).
+	Collection string `json:"collection,omitempty"`
+	// Endpoint is the request class: "query", "insert", "delete",
+	// "deltas", "attach", "drop", "info", "list".
+	Endpoint string `json:"endpoint"`
+	// Fingerprint is the stable query fingerprint (QueryFingerprint);
+	// query events only.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Status is the HTTP status served; Code the wire error code for
+	// non-2xx outcomes.
+	Status int    `json:"status"`
+	Code   string `json:"code,omitempty"`
+	// LatencyNs is the server-side service time in nanoseconds (for
+	// delta subscriptions: the connection lifetime).
+	LatencyNs int64 `json:"latencyNs"`
+	// CacheHit marks a query answered from the collection's result
+	// cache. Best-effort under concurrency: it is derived from the
+	// cache counters around the call, so two exactly-concurrent queries
+	// of the same shape can misattribute one hit.
+	CacheHit bool `json:"cacheHit,omitempty"`
+}
+
+// EventLog serializes Events as NDJSON onto one writer. Safe for
+// concurrent use; a nil *EventLog discards everything, so callers never
+// branch.
+type EventLog struct {
+	mu  sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+}
+
+// NewEventLog creates an event log writing to w.
+func NewEventLog(w io.Writer) *EventLog {
+	return &EventLog{w: w, enc: json.NewEncoder(w)}
+}
+
+// Log appends one event (filling TS if unset). Encoding errors are
+// dropped: the event log is observability, never worth failing a
+// request over.
+func (l *EventLog) Log(ev Event) {
+	if l == nil {
+		return
+	}
+	if ev.TS == "" {
+		ev.TS = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_ = l.enc.Encode(&ev)
+}

@@ -1,0 +1,298 @@
+// Package metrics is the small, dependency-free metrics library behind
+// skyserved's /metrics endpoint: labeled counters, gauges, and
+// fixed-bucket histograms with Prometheus text exposition.
+//
+// It exists so the serving layer can report per-collection request
+// counts, typed-error counts, and latency distributions without pulling
+// a metrics dependency into the module — and without the Store or
+// Engine knowing metrics exist at all: the core packages stay
+// dependency-free and the server observes them from the outside.
+//
+// All metric operations are safe for concurrent use and lock-free on
+// the hot path (atomics only); creating a new label combination takes a
+// per-family mutex once, after which the returned handle is cached by
+// the caller or re-looked-up cheaply.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram of float64 observations
+// (typically latencies in seconds, following the Prometheus
+// convention).
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, exclusive of +Inf
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if i := sort.SearchFloat64s(h.bounds, v); i < len(h.bounds) {
+		h.counts[i].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DefBuckets is the default latency bucket layout, in seconds.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// family is one named metric family: a type, a help string, a label
+// schema, and the per-label-combination children in creation order.
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter" | "gauge" | "histogram"
+	labels []string
+	bounds []float64 // histogram families only
+
+	mu       sync.Mutex
+	order    []string // label keys in first-seen order, for stable output
+	children map[string]any
+}
+
+// child returns the metric for the given label values, creating it on
+// first use.
+func (f *family) child(vals []string, mk func() any) any {
+	if len(vals) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s takes %d label values, got %d", f.name, len(f.labels), len(vals)))
+	}
+	key := strings.Join(vals, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m, ok := f.children[key]
+	if !ok {
+		m = mk()
+		f.children[key] = m
+		f.order = append(f.order, key)
+	}
+	return m
+}
+
+// CounterVec is a family of counters partitioned by label values.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (one per label,
+// in schema order), creating it on first use.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.child(labelValues, func() any { return new(Counter) }).(*Counter)
+}
+
+// GaugeVec is a family of gauges partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.child(labelValues, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// HistogramVec is a family of histograms partitioned by label values.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.f.child(labelValues, func() any {
+		return &Histogram{bounds: v.f.bounds, counts: make([]atomic.Uint64, len(v.f.bounds))}
+	}).(*Histogram)
+}
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. Families render in registration order,
+// children in first-seen order, so scrapes are stable and diffable.
+type Registry struct {
+	mu   sync.Mutex
+	fams []*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) add(f *family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, g := range r.fams {
+		if g.name == f.name {
+			panic("metrics: duplicate family " + f.name)
+		}
+	}
+	r.fams = append(r.fams, f)
+}
+
+// NewCounterVec registers a counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	f := &family{name: name, help: help, typ: "counter", labels: labels, children: map[string]any{}}
+	r.add(f)
+	return &CounterVec{f}
+}
+
+// NewGaugeVec registers a gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	f := &family{name: name, help: help, typ: "gauge", labels: labels, children: map[string]any{}}
+	r.add(f)
+	return &GaugeVec{f}
+}
+
+// NewHistogramVec registers a histogram family with the given ascending
+// bucket bounds (nil selects DefBuckets).
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	f := &family{name: name, help: help, typ: "histogram", labels: labels, bounds: bounds, children: map[string]any{}}
+	r.add(f)
+	return &HistogramVec{f}
+}
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		order := append([]string(nil), f.order...)
+		children := make([]any, len(order))
+		for i, key := range order {
+			children[i] = f.children[key]
+		}
+		f.mu.Unlock()
+		if len(order) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for i, key := range order {
+			vals := strings.Split(key, "\x00")
+			switch m := children[i].(type) {
+			case *Counter:
+				b.WriteString(f.name)
+				writeLabels(&b, f.labels, vals, "")
+				fmt.Fprintf(&b, " %d\n", m.Value())
+			case *Gauge:
+				b.WriteString(f.name)
+				writeLabels(&b, f.labels, vals, "")
+				fmt.Fprintf(&b, " %d\n", m.Value())
+			case *Histogram:
+				var cum uint64
+				for j, bound := range f.bounds {
+					cum += m.counts[j].Load()
+					b.WriteString(f.name + "_bucket")
+					writeLabels(&b, f.labels, vals, strconv.FormatFloat(bound, 'g', -1, 64))
+					fmt.Fprintf(&b, " %d\n", cum)
+				}
+				b.WriteString(f.name + "_bucket")
+				writeLabels(&b, f.labels, vals, "+Inf")
+				fmt.Fprintf(&b, " %d\n", m.Count())
+				b.WriteString(f.name + "_sum")
+				writeLabels(&b, f.labels, vals, "")
+				fmt.Fprintf(&b, " %s\n", strconv.FormatFloat(m.Sum(), 'g', -1, 64))
+				b.WriteString(f.name + "_count")
+				writeLabels(&b, f.labels, vals, "")
+				fmt.Fprintf(&b, " %d\n", m.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeLabels renders a {k="v",...} label block; le, when non-empty, is
+// appended as the histogram bucket bound label.
+func writeLabels(b *strings.Builder, names, vals []string, le string) {
+	if len(names) == 0 && le == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// escapeLabel escapes a label value per the text-format rules.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTextExposition(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.NewCounterVec("requests_total", "Requests.", "collection", "endpoint")
+	gauge := r.NewGaugeVec("inflight", "Inflight.", "collection")
+	hist := r.NewHistogramVec("latency_seconds", "Latency.", []float64{0.1, 1}, "endpoint")
+
+	reqs.With("hotels", "query").Add(3)
+	reqs.With("ticks", "insert").Inc()
+	gauge.With("hotels").Set(2)
+	gauge.With("hotels").Add(-1)
+	hist.With("query").Observe(0.05)
+	hist.With("query").Observe(0.5)
+	hist.With("query").Observe(5)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE requests_total counter",
+		`requests_total{collection="hotels",endpoint="query"} 3`,
+		`requests_total{collection="ticks",endpoint="insert"} 1`,
+		`inflight{collection="hotels"} 1`,
+		`latency_seconds_bucket{endpoint="query",le="0.1"} 1`,
+		`latency_seconds_bucket{endpoint="query",le="1"} 2`,
+		`latency_seconds_bucket{endpoint="query",le="+Inf"} 3`,
+		`latency_seconds_sum{endpoint="query"} 5.55`,
+		`latency_seconds_count{endpoint="query"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("c_total", "C.", "name")
+	v.With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `c_total{name="a\"b\\c\nd"} 1`; !strings.Contains(b.String(), want) {
+		t.Errorf("exposition missing %q\n%s", want, b.String())
+	}
+}
+
+func TestZeroLabelFamilies(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGaugeVec("depth", "Depth.")
+	g.With().Set(7)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "depth 7") {
+		t.Errorf("zero-label gauge rendered wrong:\n%s", b.String())
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounterVec("ops_total", "Ops.", "kind")
+	h := r.NewHistogramVec("lat", "Lat.", nil, "kind")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.With("a").Inc()
+				h.With("a").Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.With("a").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := h.With("a").Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestDuplicateFamilyPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVec("x_total", "X.")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate family did not panic")
+		}
+	}()
+	r.NewGaugeVec("x_total", "X again.")
+}

@@ -1,0 +1,651 @@
+// Package serve exposes a skybench.Store over HTTP+JSON: the network
+// half that turns the in-process serving facade (sharded exact-merge
+// queries, epoch-keyed caching, typed failure taxonomy, durable stream
+// collections) into a service.
+//
+// Endpoints (DESIGN.md §12 documents the wire shapes):
+//
+//	POST   /v1/collections/{name}/query        one query (full Query surface)
+//	POST   /v1/collections/{name}/points       batch insert (group commit)
+//	DELETE /v1/collections/{name}/points/{id}  delete one point by stream ID
+//	GET    /v1/collections/{name}/deltas       entered/left events (SSE or NDJSON)
+//	PUT    /v1/collections/{name}              attach (static file / stream dir)
+//	DELETE /v1/collections/{name}              drop
+//	GET    /v1/collections/{name}              collection info
+//	GET    /v1/collections                     list collections
+//	GET    /metrics                            Prometheus text format
+//	GET    /healthz                            liveness
+//
+// Errors carry the same taxonomy the Go API has: every response maps a
+// skybench sentinel error onto a status code and a stable wire code
+// through the single table in StatusForError, and serve/client maps the
+// code back so errors.Is works across the network.
+//
+// Per-request deadlines arrive in the X-Skybench-Deadline-Ms header and
+// are mapped onto the query's context.Context, flowing through the same
+// cancellation checkpoints in-process callers use. Delta subscriptions
+// are fed from a bounded per-subscriber queue: a consumer too slow to
+// keep up is disconnected rather than ever back-pressuring the index.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"skybench"
+	"skybench/internal/dataset"
+	"skybench/serve/metrics"
+	"skybench/stream"
+)
+
+// DefaultDeltaQueue is the per-subscriber event queue bound used when
+// Options.DeltaQueue is zero.
+const DefaultDeltaQueue = 256
+
+// Options configures a Server.
+type Options struct {
+	// DeltaQueue bounds each delta subscriber's event queue: a
+	// subscriber whose queue overflows is disconnected (the backpressure
+	// rule — a slow consumer never blocks the index or its peers).
+	// 0 selects DefaultDeltaQueue.
+	DeltaQueue int
+	// Events, when non-nil, receives one NDJSON event per served
+	// request (the SABRE-style log cmd/loadbench replays).
+	Events *EventLog
+}
+
+// Server is the HTTP serving surface over one Store. Create with New,
+// expose via its http.Handler implementation, and shut down with Drain
+// (stop delta subscribers so http.Server.Shutdown can complete) then
+// Close (close the Store, checkpointing durable collections).
+type Server struct {
+	st   *skybench.Store
+	opts Options
+	mux  *http.ServeMux
+
+	done      chan struct{} // closed by Drain: long-lived handlers exit
+	drainOnce sync.Once
+	closeOnce sync.Once
+
+	reg         *metrics.Registry
+	reqs        *metrics.CounterVec   // {collection, endpoint}
+	errs        *metrics.CounterVec   // {collection, code}
+	lat         *metrics.HistogramVec // {collection, endpoint}
+	subs        *metrics.GaugeVec     // {collection}
+	subDrops    *metrics.CounterVec   // {collection}
+	cacheHits   *metrics.GaugeVec     // {collection} — sampled at scrape
+	cacheMisses *metrics.GaugeVec
+	cacheSize   *metrics.GaugeVec
+	inflight    *metrics.GaugeVec
+	points      *metrics.GaugeVec
+	epoch       *metrics.GaugeVec
+	storeInfl   *metrics.GaugeVec // no labels
+	storeQueue  *metrics.GaugeVec
+
+	mu      sync.Mutex
+	streams map[string]*stream.SkylineIndex // mutable collections by name
+}
+
+// New creates a Server over st. The Store stays owned by the Server
+// from here on: Close closes it.
+func New(st *skybench.Store, opts Options) *Server {
+	if opts.DeltaQueue <= 0 {
+		opts.DeltaQueue = DefaultDeltaQueue
+	}
+	s := &Server{
+		st:      st,
+		opts:    opts,
+		done:    make(chan struct{}),
+		reg:     metrics.NewRegistry(),
+		streams: make(map[string]*stream.SkylineIndex),
+	}
+	r := s.reg
+	s.reqs = r.NewCounterVec("skyserved_requests_total", "Requests served, by collection and endpoint.", "collection", "endpoint")
+	s.errs = r.NewCounterVec("skyserved_errors_total", "Error responses, by collection and wire error code.", "collection", "code")
+	s.lat = r.NewHistogramVec("skyserved_request_duration_seconds", "Request service time in seconds.", nil, "collection", "endpoint")
+	s.subs = r.NewGaugeVec("skyserved_delta_subscribers", "Live delta subscribers.", "collection")
+	s.subDrops = r.NewCounterVec("skyserved_delta_dropped_total", "Delta subscribers disconnected for falling behind.", "collection")
+	s.cacheHits = r.NewGaugeVec("skyserved_cache_hits", "Result-cache hits (lifetime, sampled at scrape).", "collection")
+	s.cacheMisses = r.NewGaugeVec("skyserved_cache_misses", "Result-cache misses (lifetime, sampled at scrape).", "collection")
+	s.cacheSize = r.NewGaugeVec("skyserved_cache_entries", "Cached results at scrape time.", "collection")
+	s.inflight = r.NewGaugeVec("skyserved_collection_inflight", "Queries executing at scrape time.", "collection")
+	s.points = r.NewGaugeVec("skyserved_collection_points", "Live points at scrape time.", "collection")
+	s.epoch = r.NewGaugeVec("skyserved_collection_epoch", "Membership epoch at scrape time.", "collection")
+	s.storeInfl = r.NewGaugeVec("skyserved_store_inflight", "Submitted queries holding an admission slot.")
+	s.storeQueue = r.NewGaugeVec("skyserved_store_queue_depth", "Submitted queries waiting for an admission slot.")
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/collections/{name}/query", s.instrument("query", s.handleQuery))
+	mux.HandleFunc("POST /v1/collections/{name}/points", s.instrument("insert", s.handleInsert))
+	mux.HandleFunc("DELETE /v1/collections/{name}/points/{id}", s.instrument("delete", s.handleDeletePoint))
+	mux.HandleFunc("GET /v1/collections/{name}/deltas", s.instrument("deltas", s.handleDeltas))
+	mux.HandleFunc("PUT /v1/collections/{name}", s.instrument("attach", s.handleAttach))
+	mux.HandleFunc("DELETE /v1/collections/{name}", s.instrument("drop", s.handleDrop))
+	mux.HandleFunc("GET /v1/collections/{name}", s.instrument("info", s.handleInfo))
+	mux.HandleFunc("GET /v1/collections", s.instrument("list", s.handleList))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-s.done: // draining: tell load balancers to stop routing here
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "draining\n")
+		default:
+			w.WriteHeader(http.StatusOK)
+			io.WriteString(w, "ok\n")
+		}
+	})
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Store returns the served Store (for embedding applications that
+// attach collections directly).
+func (s *Server) Store() *skybench.Store { return s.st }
+
+// Drain begins graceful shutdown: delta subscriptions and other
+// long-lived handlers are told to finish, so a subsequent
+// http.Server.Shutdown — which waits for every active handler — can
+// drain the in-flight request queue and complete. Idempotent.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() { close(s.done) })
+}
+
+// Close finishes shutdown: Drain, then close the Store — which drops
+// every collection and, for durable stream collections it owns, takes a
+// final checkpoint and closes the WAL so a restart recovers without
+// replay. Call after http.Server.Shutdown has returned (queries still
+// executing must have finished). Idempotent.
+func (s *Server) Close() {
+	s.Drain()
+	s.closeOnce.Do(func() { s.st.Close() })
+}
+
+// --- collection management ----------------------------------------------
+
+// AttachStaticFile loads a headerless CSV file and attaches it as an
+// immutable collection.
+func (s *Server) AttachStaticFile(name, path string, opts skybench.CollectionOptions) (*skybench.Collection, error) {
+	m, err := dataset.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading %s: %v", skybench.ErrBadDataset, path, err)
+	}
+	ds, err := skybench.DatasetFromFlat(m.Flat(), m.N(), m.D())
+	if err != nil {
+		return nil, err
+	}
+	return s.st.Attach(name, ds, opts)
+}
+
+// AttachStreamIndex attaches a live SkylineIndex as a mutable
+// collection: the server routes point inserts/deletes and delta
+// subscriptions for name to it. own transfers ownership (the index is
+// closed when the collection is dropped or the Store closes).
+func (s *Server) AttachStreamIndex(name string, ix *stream.SkylineIndex, own bool, opts skybench.CollectionOptions) (*skybench.Collection, error) {
+	opts.CloseOnDrop = own
+	col, err := s.st.AttachStream(name, ix, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.streams[name] = ix
+	s.mu.Unlock()
+	return col, nil
+}
+
+// AttachDurable attaches a durable stream collection from dir: existing
+// state is recovered (stream.Recover, so d may be zero — the directory
+// knows its own shape); a directory with no state is refused unless
+// create is set, in which case a fresh d-dimensional durable index is
+// created there (cfg.Durable supplies the WAL policy; its Dir may be
+// empty). The server owns the result either way — dropping the
+// collection or closing the Store checkpoints and closes the WAL.
+func (s *Server) AttachDurable(name, dir string, create bool, d int, cfg stream.Config, opts skybench.CollectionOptions) (*skybench.Collection, error) {
+	var ix *stream.SkylineIndex
+	var err error
+	if stream.HasState(dir) {
+		ix, err = stream.Recover(dir, cfg)
+	} else if create {
+		if d < 1 {
+			return nil, fmt.Errorf("%w: creating a durable collection needs a dimensionality", skybench.ErrBadQuery)
+		}
+		if cfg.Durable == nil {
+			cfg.Durable = &stream.Durability{}
+		}
+		cfg.Durable.Dir = dir
+		ix, err = stream.New(d, cfg)
+	} else {
+		return nil, fmt.Errorf("%w: no durable stream state in %q (set create to initialize one)", skybench.ErrBadDataset, dir)
+	}
+	if err != nil {
+		return nil, err
+	}
+	col, err := s.AttachStreamIndex(name, ix, true, opts)
+	if err != nil {
+		ix.Close()
+		return nil, err
+	}
+	return col, nil
+}
+
+// Drop detaches the named collection and forgets its stream routing.
+func (s *Server) Drop(name string) error {
+	if err := s.st.Drop(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.streams, name)
+	s.mu.Unlock()
+	return nil
+}
+
+// streamIndex returns the mutable index serving name, or nil.
+func (s *Server) streamIndex(name string) *stream.SkylineIndex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.streams[name]
+}
+
+// --- request plumbing ----------------------------------------------------
+
+// observation carries one request's outcome from its handler to the
+// instrumentation wrapper.
+type observation struct {
+	collection  string
+	status      int
+	code        string
+	fingerprint string
+	cacheHit    bool
+}
+
+// instrument wraps a handler with metrics and event logging: request
+// and error counters, the latency histogram, and one event-log line per
+// request.
+func (s *Server) instrument(endpoint string, fn func(http.ResponseWriter, *http.Request, *observation)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		obs := &observation{collection: r.PathValue("name"), status: http.StatusOK}
+		start := time.Now()
+		fn(w, r, obs)
+		elapsed := time.Since(start)
+		s.reqs.With(obs.collection, endpoint).Inc()
+		if obs.code != "" {
+			s.errs.With(obs.collection, obs.code).Inc()
+		}
+		s.lat.With(obs.collection, endpoint).Observe(elapsed.Seconds())
+		s.opts.Events.Log(Event{
+			Collection:  obs.collection,
+			Endpoint:    endpoint,
+			Fingerprint: obs.fingerprint,
+			Status:      obs.status,
+			Code:        obs.code,
+			LatencyNs:   elapsed.Nanoseconds(),
+			CacheHit:    obs.cacheHit,
+		})
+	}
+}
+
+// writeJSON writes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps err through the error table and writes the error
+// body, recording status and code on the observation.
+func writeError(w http.ResponseWriter, obs *observation, err error) {
+	status, code := StatusForError(err)
+	obs.status, obs.code = status, code
+	writeJSON(w, status, ErrorBody{Error: ErrorInfo{Code: code, Message: err.Error()}})
+}
+
+// decodeJSON decodes the request body into v; an empty body leaves v at
+// its zero value.
+func decodeJSON(r *http.Request, v any) error {
+	if r.Body == nil {
+		return nil
+	}
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil || errors.Is(err, io.EOF) {
+		return nil
+	}
+	return fmt.Errorf("%w: malformed JSON body: %v", skybench.ErrBadQuery, err)
+}
+
+// requestCtx applies the wire deadline header, when present, to the
+// request context.
+func requestCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
+	ctx := r.Context()
+	h := r.Header.Get(DeadlineHeader)
+	if h == "" {
+		return ctx, func() {}, nil
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms <= 0 {
+		return nil, nil, fmt.Errorf("%w: header %s=%q (want a positive integer of milliseconds)", skybench.ErrBadQuery, DeadlineHeader, h)
+	}
+	ctx, cancel := context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+	return ctx, cancel, nil
+}
+
+// --- handlers ------------------------------------------------------------
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, obs *observation) {
+	name := r.PathValue("name")
+	col, err := s.st.Collection(name)
+	if err != nil {
+		writeError(w, obs, err)
+		return
+	}
+	var req QueryRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, obs, err)
+		return
+	}
+	obs.fingerprint = QueryFingerprint(&req)
+	q, err := toQuery(&req)
+	if err != nil {
+		writeError(w, obs, err)
+		return
+	}
+	ctx, cancel, err := requestCtx(r)
+	if err != nil {
+		writeError(w, obs, err)
+		return
+	}
+	defer cancel()
+	// Submit (rather than Run) routes the query through the Store's
+	// admission control, so MaxInflight/MaxQueue overload comes back as
+	// a synchronous 429 and the server cannot oversubscribe the engine.
+	hits0 := col.CacheStats().Hits
+	res, err := col.Submit(ctx, q).Result()
+	if err != nil {
+		writeError(w, obs, err)
+		return
+	}
+	obs.cacheHit = col.CacheStats().Hits > hits0
+	writeJSON(w, http.StatusOK, buildQueryResponse(name, res, &req))
+}
+
+// buildQueryResponse renders a QueryResult on the wire, applying the
+// request's Top cut (fewest dominators first) when asked.
+func buildQueryResponse(name string, res *skybench.QueryResult, req *QueryRequest) *QueryResponse {
+	n := res.Len()
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = i
+	}
+	if req.Top > 0 && req.Top < n {
+		if res.Counts != nil {
+			sort.SliceStable(pos, func(a, b int) bool { return res.Counts[pos[a]] < res.Counts[pos[b]] })
+		}
+		pos = pos[:req.Top]
+	}
+	resp := &QueryResponse{
+		Collection: name,
+		Epoch:      res.Epoch,
+		Stale:      res.Stale,
+		Count:      len(pos),
+		Indices:    make([]int, len(pos)),
+		Stats: QueryStats{
+			DominanceTests: res.Stats.DominanceTests,
+			InputSize:      res.Stats.InputSize,
+			Threads:        res.Stats.Threads,
+			ElapsedNs:      res.Stats.Elapsed.Nanoseconds(),
+		},
+	}
+	for i, p := range pos {
+		resp.Indices[i] = res.Indices[p]
+	}
+	if res.Counts != nil {
+		resp.Counts = make([]int32, len(pos))
+		for i, p := range pos {
+			resp.Counts[i] = res.Counts[p]
+		}
+	}
+	if len(pos) > 0 {
+		if _, ok := res.ID(pos[0]); ok {
+			resp.IDs = make([]uint64, len(pos))
+			for i, p := range pos {
+				resp.IDs[i], _ = res.ID(p)
+			}
+		}
+	}
+	if !req.OmitValues {
+		resp.Values = make([][]float64, len(pos))
+		for i, p := range pos {
+			resp.Values[i] = res.Row(p)
+		}
+	}
+	return resp
+}
+
+// mutableIndex resolves the stream index serving name, distinguishing
+// "unknown collection" from "not mutable over the wire".
+func (s *Server) mutableIndex(name string) (*stream.SkylineIndex, error) {
+	if ix := s.streamIndex(name); ix != nil {
+		return ix, nil
+	}
+	if _, err := s.st.Collection(name); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("%w: collection %q is not mutable over the wire (static, or stream-attached outside the server)", skybench.ErrBadQuery, name)
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request, obs *observation) {
+	name := r.PathValue("name")
+	ix, err := s.mutableIndex(name)
+	if err != nil {
+		writeError(w, obs, err)
+		return
+	}
+	var req InsertRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, obs, err)
+		return
+	}
+	if len(req.Points) == 0 {
+		writeError(w, obs, fmt.Errorf("%w: empty points batch", skybench.ErrBadQuery))
+		return
+	}
+	ids, err := ix.InsertBatch(req.Points)
+	if err != nil {
+		writeError(w, obs, err)
+		return
+	}
+	out := make([]uint64, len(ids))
+	for i, id := range ids {
+		out[i] = uint64(id)
+	}
+	writeJSON(w, http.StatusOK, InsertResponse{IDs: out})
+}
+
+func (s *Server) handleDeletePoint(w http.ResponseWriter, r *http.Request, obs *observation) {
+	name := r.PathValue("name")
+	ix, err := s.mutableIndex(name)
+	if err != nil {
+		writeError(w, obs, err)
+		return
+	}
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, obs, fmt.Errorf("%w: point id %q", skybench.ErrBadQuery, r.PathValue("id")))
+		return
+	}
+	if !ix.Delete(stream.ID(id)) {
+		// A false return is either "not live" or, on a durable index, a
+		// rejected mutation (WAL append failure) with the point still
+		// live — Err plus liveness disambiguates.
+		if err := ix.Err(); err != nil && ix.Contains(stream.ID(id)) {
+			writeError(w, obs, err)
+			return
+		}
+		writeError(w, obs, fmt.Errorf("%w: %d in collection %q", ErrUnknownPoint, id, name))
+		return
+	}
+	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: true})
+}
+
+func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request, obs *observation) {
+	name := r.PathValue("name")
+	var req AttachRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, obs, err)
+		return
+	}
+	if (req.Static == nil) == (req.Stream == nil) {
+		writeError(w, obs, fmt.Errorf("%w: attach body needs exactly one of static or stream", skybench.ErrBadQuery))
+		return
+	}
+	opts := skybench.CollectionOptions{
+		Shards:         req.Shards,
+		CacheCapacity:  req.CacheCapacity,
+		DefaultTimeout: time.Duration(req.DefaultTimeoutMs) * time.Millisecond,
+	}
+	var err error
+	if req.Static != nil {
+		_, err = s.AttachStaticFile(name, req.Static.Path, opts)
+	} else {
+		err = s.attachStreamSpec(name, req.Stream, opts)
+	}
+	if err != nil {
+		writeError(w, obs, err)
+		return
+	}
+	info, err := s.collectionInfo(name)
+	if err != nil {
+		writeError(w, obs, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// attachStreamSpec realizes a StreamSpec: recover/create a durable
+// index, or create an in-memory one.
+func (s *Server) attachStreamSpec(name string, spec *StreamSpec, opts skybench.CollectionOptions) error {
+	prefs, err := prefsFromWire(spec.Prefs)
+	if err != nil {
+		return err
+	}
+	cfg := stream.Config{Prefs: prefs, SkybandK: spec.SkybandK}
+	if spec.Dir == "" {
+		if spec.D < 1 {
+			return fmt.Errorf("%w: an in-memory stream collection needs a dimensionality", skybench.ErrBadQuery)
+		}
+		ix, err := stream.New(spec.D, cfg)
+		if err != nil {
+			return err
+		}
+		if _, err := s.AttachStreamIndex(name, ix, true, opts); err != nil {
+			ix.Close()
+			return err
+		}
+		return nil
+	}
+	dur := &stream.Durability{Dir: spec.Dir, CheckpointEvery: spec.CheckpointEvery}
+	switch spec.Fsync {
+	case "", "os":
+		dur.Fsync = stream.FsyncOS
+	case "always":
+		dur.Fsync = stream.FsyncAlways
+	case "interval":
+		dur.Fsync = stream.FsyncInterval
+	default:
+		return fmt.Errorf("%w: fsync %q (want os|always|interval)", skybench.ErrBadQuery, spec.Fsync)
+	}
+	cfg.Durable = dur
+	_, err = s.AttachDurable(name, spec.Dir, spec.Create, spec.D, cfg, opts)
+	return err
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request, obs *observation) {
+	name := r.PathValue("name")
+	if err := s.Drop(name); err != nil {
+		writeError(w, obs, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DropResponse{Dropped: true})
+}
+
+// collectionInfo builds the wire description of one collection.
+func (s *Server) collectionInfo(name string) (CollectionInfo, error) {
+	col, err := s.st.Collection(name)
+	if err != nil {
+		return CollectionInfo{}, err
+	}
+	cs, err := col.Stats()
+	if err != nil {
+		return CollectionInfo{}, err
+	}
+	info := CollectionInfo{
+		Name:         cs.Name,
+		N:            cs.N,
+		D:            cs.D,
+		Epoch:        cs.Epoch,
+		Shards:       cs.Shards,
+		StreamBacked: cs.StreamBacked,
+		Inflight:     cs.Inflight,
+		Cache:        CacheInfo{Hits: cs.Cache.Hits, Misses: cs.Cache.Misses, Entries: cs.Cache.Entries},
+		Subscribers:  s.subs.With(name).Value(),
+	}
+	if ix := s.streamIndex(name); ix != nil {
+		info.Durable = ix.Durable()
+	}
+	return info, nil
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request, obs *observation) {
+	info, err := s.collectionInfo(r.PathValue("name"))
+	if err != nil {
+		writeError(w, obs, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request, obs *observation) {
+	names := s.st.Names() // sorted — the listing order is part of the API
+	list := CollectionList{Collections: make([]CollectionInfo, 0, len(names))}
+	for _, name := range names {
+		info, err := s.collectionInfo(name)
+		if err != nil {
+			continue // dropped between Names and here
+		}
+		list.Collections = append(list.Collections, info)
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Refresh the scrape-time gauges from the Store before rendering.
+	for _, name := range s.st.Names() {
+		col, err := s.st.Collection(name)
+		if err != nil {
+			continue
+		}
+		cs, err := col.Stats()
+		if err != nil {
+			continue
+		}
+		s.cacheHits.With(name).Set(int64(cs.Cache.Hits))
+		s.cacheMisses.With(name).Set(int64(cs.Cache.Misses))
+		s.cacheSize.With(name).Set(int64(cs.Cache.Entries))
+		s.inflight.With(name).Set(cs.Inflight)
+		s.points.With(name).Set(int64(cs.N))
+		s.epoch.With(name).Set(int64(cs.Epoch))
+	}
+	s.storeInfl.With().Set(int64(s.st.Inflight()))
+	s.storeQueue.With().Set(int64(s.st.QueueDepth()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WriteText(w)
+}

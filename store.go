@@ -112,6 +112,28 @@ func NewStoreWithOptions(opts StoreOptions) *Store {
 // Engine returns the Store's shared Engine.
 func (s *Store) Engine() *Engine { return s.eng }
 
+// Inflight returns the number of submitted queries currently holding an
+// admission slot. Always 0 when admission is unbounded (MaxInflight ≤
+// 0) — synchronous Run calls are the caller's own concurrency and are
+// counted per collection instead (CollectionStats.Inflight).
+func (s *Store) Inflight() int {
+	if s.tokens == nil {
+		return 0
+	}
+	return len(s.tokens)
+}
+
+// QueueDepth returns the number of submitted queries waiting for an
+// admission slot (bounded by StoreOptions.MaxQueue). Always 0 when
+// admission is unbounded.
+func (s *Store) QueueDepth() int {
+	n := s.waiters.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
 // Attach registers ds as a named collection and returns its handle.
 // The Dataset is adopted as-is (immutable, shareable); opts selects
 // sharding and caching. Attaching a name twice fails with
@@ -213,7 +235,9 @@ func (s *Store) Collection(name string) (*Collection, error) {
 	return c, nil
 }
 
-// Names returns the attached collection names, sorted.
+// Names returns the attached collection names in sorted (ascending
+// lexicographic) order — a stable enumeration that listing endpoints
+// and metrics scrapes can rely on across calls.
 func (s *Store) Names() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

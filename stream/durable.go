@@ -369,6 +369,15 @@ func (x *SkylineIndex) Err() error {
 // Durable reports whether the index persists its mutations.
 func (x *SkylineIndex) Durable() bool { return x.dur != nil }
 
+// HasState reports whether dir holds a durable index's identity record —
+// i.e. whether Recover would find existing state there rather than fail
+// with ErrBadDataset. Callers choosing between recovering and creating a
+// fresh durable index use this to branch.
+func HasState(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, metaName))
+	return err == nil
+}
+
 // --- checkpoints ---------------------------------------------------------
 
 func ckptName(lsn uint64) string {

@@ -105,7 +105,9 @@ type Config struct {
 	// individual insert). It is called on the mutating goroutine with
 	// the index lock held: it must not call back into the index, and the
 	// slices (and their Values) are reused — copy what must outlive the
-	// callback.
+	// callback. It is fixed for the life of the index; subscribers that
+	// come and go (network delta streams) should use the cancelable
+	// SkylineIndex.OnDelta registration instead.
 	OnDelta func(entered, left []Point)
 	// Durable, when non-nil, makes the index crash-safe: every mutation
 	// is written ahead to a segmented WAL in Durable.Dir, periodically
@@ -149,8 +151,17 @@ type SkylineIndex struct {
 	nEnter  uint64
 	nLeave  uint64
 
+	subs   []deltaSub // OnDelta registrations, in registration order
+	subSeq uint64
+
 	dur           *durableState    // nil for in-memory indexes
 	rebuildFaults *faults.Injector // test hook: "stream.rebuild" site
+}
+
+// deltaSub is one cancelable OnDelta registration.
+type deltaSub struct {
+	id uint64
+	fn func(entered, left []Point)
 }
 
 // New creates an empty SkylineIndex over d-dimensional points.
@@ -577,7 +588,7 @@ func (x *SkylineIndex) Rebuild() {
 
 // finishOp publishes the effects of one mutation: the epoch advances
 // when skyline membership changed (invalidating cached snapshots) and
-// the delta subscriber fires.
+// the delta subscribers fire.
 func (x *SkylineIndex) finishOp() {
 	if len(x.entered) == 0 && len(x.left) == 0 {
 		return
@@ -587,6 +598,39 @@ func (x *SkylineIndex) finishOp() {
 	x.epoch.Add(1)
 	if x.onDelta != nil {
 		x.onDelta(x.entered, x.left)
+	}
+	for _, s := range x.subs {
+		s.fn(x.entered, x.left)
+	}
+}
+
+// OnDelta registers fn to receive every skyline (or k-skyband)
+// membership change from now on, under the same contract as
+// Config.OnDelta: fn runs on the mutating goroutine with the index lock
+// held, must not call back into the index, and the slices (and their
+// Values) are reused — copy what must outlive the call. Unlike
+// Config.OnDelta the registration is cancelable: calling the returned
+// function removes it, after which fn is never called again. cancel is
+// idempotent and safe to call concurrently with mutations (it takes the
+// index lock, so it never races a delivery in flight) — the lifecycle a
+// network delta subscriber needs so a disconnected client does not leak
+// its callback. Any number of registrations may coexist, alongside
+// Config.OnDelta; they fire in registration order.
+func (x *SkylineIndex) OnDelta(fn func(entered, left []Point)) (cancel func()) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.subSeq++
+	id := x.subSeq
+	x.subs = append(x.subs, deltaSub{id: id, fn: fn})
+	return func() {
+		x.mu.Lock()
+		defer x.mu.Unlock()
+		for i, s := range x.subs {
+			if s.id == id {
+				x.subs = append(x.subs[:i], x.subs[i+1:]...)
+				return
+			}
+		}
 	}
 }
 
