@@ -26,6 +26,7 @@ import (
 
 	"skybench/serve"
 	"skybench/serve/client"
+	"skybench/serve/metrics"
 )
 
 func main() {
@@ -61,7 +62,7 @@ func main() {
 	case "drop":
 		err = cmdDrop(c, args)
 	case "metrics":
-		err = cmdMetrics(c)
+		err = cmdMetrics(c, args)
 	default:
 		log.Printf("unknown command %q", cmd)
 		usage()
@@ -84,7 +85,7 @@ commands:
   subscribe <collection>     stream skyline delta events
   attach <collection>        attach a collection (-file csv | -dir waldir)
   drop <collection>          drop a collection
-  metrics                    dump the Prometheus metrics text
+  metrics                    dump the Prometheus metrics text (-lint to validate it)
 `)
 	flag.PrintDefaults()
 }
@@ -148,6 +149,7 @@ func cmdQuery(c *client.Client, args []string) error {
 	top := fs.Int("top", 0, "return only the top-N least-dominated points")
 	stale := fs.Bool("stale", false, "allow a stale cached answer under overload")
 	noValues := fs.Bool("no-values", false, "omit point coordinates from the response")
+	trace := fs.Bool("trace", false, "request an execution trace and pretty-print it to stderr")
 	timeout := fs.Duration("timeout", 0, "per-query deadline (0 = server default)")
 	if err := fs.Parse(rest); err != nil {
 		return err
@@ -158,6 +160,7 @@ func cmdQuery(c *client.Client, args []string) error {
 		Top:        *top,
 		AllowStale: *stale,
 		OmitValues: *noValues,
+		Trace:      *trace,
 	}
 	if *prefs != "" {
 		req.Prefs = strings.Split(*prefs, ",")
@@ -171,6 +174,11 @@ func cmdQuery(c *client.Client, args []string) error {
 	res, err := c.Query(ctx, name, req)
 	if err != nil {
 		return err
+	}
+	if *trace && res.Trace != nil {
+		// The trace goes to stderr so the JSON result on stdout stays
+		// machine-consumable.
+		fmt.Fprintln(os.Stderr, res.Trace.String())
 	}
 	return printJSON(res)
 }
@@ -338,10 +346,22 @@ func cmdDrop(c *client.Client, args []string) error {
 	return nil
 }
 
-func cmdMetrics(c *client.Client) error {
+func cmdMetrics(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	lint := fs.Bool("lint", false, "validate the exposition (types, help, histogram consistency) instead of printing it")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	text, err := c.Metrics(context.Background())
 	if err != nil {
 		return err
+	}
+	if *lint {
+		if err := metrics.Lint(strings.NewReader(text)); err != nil {
+			return fmt.Errorf("metrics lint: %v", err)
+		}
+		fmt.Println("metrics ok")
+		return nil
 	}
 	fmt.Print(text)
 	return nil

@@ -7,12 +7,16 @@
 //	  -static hotels=testdata/hotels.csv,shards=2 \
 //	  -stream ticks=/var/lib/skybench/ticks,d=3 \
 //	  -max-inflight 8 -max-queue 64 -default-timeout 2s \
-//	  -log-events events.ndjson
+//	  -log-events events.ndjson -slow-query 100ms -pprof
 //
 // A -stream directory holding durable state is recovered; one without
-// is initialized fresh (d= is required then). SIGINT/SIGTERM shuts down
+// is initialized fresh (d= is required then). -slow-query traces every
+// query server-side and attaches the full trace to the event-log record
+// of any query at least that slow; -pprof mounts the net/http/pprof
+// profiling endpoints under /debug/pprof/. SIGINT/SIGTERM shuts down
 // gracefully: stop accepting, drain in-flight queries under -drain,
-// close delta subscribers, checkpoint and close durable collections.
+// close delta subscribers, checkpoint and close durable collections,
+// flush and close the event log.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -56,6 +61,8 @@ func main() {
 		defTimeout  = flag.Duration("default-timeout", 0, "default per-query deadline (0 = none)")
 		deltaQueue  = flag.Int("delta-queue", 0, "per-subscriber delta queue bound (0 = default)")
 		eventsPath  = flag.String("log-events", "", "append one NDJSON event per request to this file")
+		slowQuery   = flag.Duration("slow-query", 0, "trace every query and log the full trace for queries at least this slow (0 = off)")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling endpoints; enable only on trusted networks)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		statics     multiFlag
 		streams     multiFlag
@@ -71,14 +78,14 @@ func main() {
 		DefaultTimeout: *defTimeout,
 	})
 
-	opts := serve.Options{DeltaQueue: *deltaQueue}
-	var eventsFile *os.File
+	opts := serve.Options{DeltaQueue: *deltaQueue, SlowQuery: *slowQuery}
 	if *eventsPath != "" {
 		f, err := os.OpenFile(*eventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			log.Fatalf("opening event log: %v", err)
 		}
-		eventsFile = f
+		// The event log takes ownership of the file: its Close during
+		// graceful shutdown flushes the write buffer and closes it.
 		opts.Events = serve.NewEventLog(f)
 	}
 	srv := serve.New(st, opts)
@@ -100,7 +107,22 @@ func main() {
 	}
 	log.Printf("listening on %s (%d collections)", ln.Addr(), len(st.Names()))
 
-	hs := &http.Server{Handler: srv}
+	// The served handler: the API mux, optionally wrapped in an outer
+	// mux that also mounts the pprof profiling endpoints.
+	var handler http.Handler = srv
+	if *pprofOn {
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", srv)
+		handler = outer
+		log.Printf("pprof enabled under /debug/pprof/")
+	}
+
+	hs := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 
@@ -124,8 +146,8 @@ func main() {
 		log.Printf("drain incomplete: %v", err)
 	}
 	srv.Close()
-	if eventsFile != nil {
-		eventsFile.Close()
+	if err := opts.Events.Close(); err != nil {
+		log.Printf("closing event log: %v", err)
 	}
 	log.Printf("shutdown complete")
 }

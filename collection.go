@@ -123,6 +123,8 @@ type Collection struct {
 	hits     atomic.Uint64
 	misses   atomic.Uint64
 
+	costs costTracker // rolling per-algorithm execution costs
+
 	inflight atomic.Int64 // queries currently executing via Run/Submit
 
 	dropped atomic.Bool
@@ -259,9 +261,10 @@ func (c *Collection) snapshotCtx(ctx context.Context) (*colSnapshot, error) {
 // fingerprint is the canonical cache key of a query: every field that
 // can change the result, canonicalized (k ≤ 1 → 1, all-Min preference
 // vectors → empty) so equivalent queries share an entry. Threads,
-// ReuseIndices, and Progressive never enter the key — the first two
-// don't change the result, and progressive queries bypass the cache
-// because their callbacks must fire on every Run.
+// ReuseIndices, Trace, and Progressive never enter the key — the first
+// three don't change the result (Trace only changes how it is
+// delivered), and progressive queries bypass the cache because their
+// callbacks must fire on every Run.
 type fingerprint struct {
 	algo   Algorithm
 	k      int
@@ -409,6 +412,9 @@ func (c *Collection) run(ctx context.Context, q Query) (*QueryResult, error) {
 	}
 	if cacheable {
 		if r := c.lookup(fp, snap.epoch); r != nil {
+			if q.Trace {
+				return r.withCacheHitTrace(&q), nil
+			}
 			return r, nil
 		}
 	}
@@ -416,11 +422,43 @@ func (c *Collection) run(ctx context.Context, q Query) (*QueryResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.costs.record(q.Algorithm, res.Stats.Elapsed, res.Stats.DominanceTests)
+	if res.Trace != nil {
+		res.Trace.Epoch = snap.epoch
+	}
 	r := &QueryResult{Result: res, Epoch: snap.epoch, snap: snap}
 	if cacheable {
-		c.store(fp, snap.epoch, r)
+		// The cache shares its entries across callers, traced and
+		// untraced alike, so the stored copy never carries a trace: the
+		// trace describes the first caller's run, not a later hit.
+		cached := r
+		if res.Trace != nil {
+			cp := *r
+			cp.Result.Trace = nil
+			cached = &cp
+		}
+		c.store(fp, snap.epoch, cached)
 	}
 	return r, nil
+}
+
+// withCacheHitTrace wraps a shared cached result in a shallow copy
+// carrying a minimal cache-hit trace: the identity of the answer
+// (algorithm, epoch, sizes) without work counters — the work happened
+// on the query that populated the cache. The shared entry itself is
+// never touched, so untraced hits stay allocation-free.
+func (r *QueryResult) withCacheHitTrace(q *Query) *QueryResult {
+	cp := *r
+	cp.Result.Trace = &QueryTrace{
+		Algorithm: q.Algorithm.String(),
+		SkybandK:  q.SkybandK,
+		CacheHit:  true,
+		Stale:     r.Stale,
+		Epoch:     r.Epoch,
+		InputSize: r.Stats.InputSize,
+		Output:    len(r.Indices),
+	}
+	return &cp
 }
 
 // staleFallback is graceful degradation: when a query that opted in
@@ -450,6 +488,9 @@ func (c *Collection) staleFallback(q *Query, err error) (*QueryResult, error) {
 	// entry (which may still be current and served fresh by lookup).
 	r := *e.r
 	r.Stale = true
+	if q.Trace {
+		return r.withCacheHitTrace(q), nil
+	}
 	return &r, nil
 }
 
@@ -537,6 +578,41 @@ type CollectionStats struct {
 	// Inflight is the number of queries executing on the collection
 	// right now (Run and admitted Submits).
 	Inflight int64
+	// Costs holds the collection's rolling per-algorithm execution
+	// costs (count, mean/p50/p99 latency, mean dominance tests) — the
+	// planner's input. Sorted by algorithm name; nil before the first
+	// executed query.
+	Costs []AlgorithmCost
+	// Durability holds WAL and checkpoint statistics for collections
+	// whose backing source persists itself (a durable
+	// stream.SkylineIndex); nil otherwise.
+	Durability *DurabilityStats
+}
+
+// DurabilityStats reports the persistence-layer counters of a durable
+// collection backing: WAL fsync work, on-disk segment footprint, and
+// checkpoint cost. stream.SkylineIndex implements the provider side;
+// anything else backing a Collection can too.
+type DurabilityStats struct {
+	// WALFsyncs counts fsync calls the WAL issued; WALFsyncTime is the
+	// total wall-clock time spent inside them.
+	WALFsyncs    uint64
+	WALFsyncTime time.Duration
+	// WALSegments is the current number of on-disk WAL segments.
+	WALSegments int
+	// Checkpoints counts checkpoints taken; CheckpointTime is the total
+	// time spent writing them and LastCheckpoint the duration of the
+	// most recent one.
+	Checkpoints    uint64
+	CheckpointTime time.Duration
+	LastCheckpoint time.Duration
+}
+
+// durabilityProvider is the optional StreamSource facet a durable
+// backing implements to surface persistence counters (ok reports
+// whether durability is configured at all).
+type durabilityProvider interface {
+	DurabilityStats() (DurabilityStats, bool)
 }
 
 // Stats returns a consistent snapshot of the collection's serving
@@ -552,6 +628,12 @@ func (c *Collection) Stats() (CollectionStats, error) {
 		StreamBacked: c.src != nil,
 		Cache:        c.CacheStats(),
 		Inflight:     c.inflight.Load(),
+		Costs:        c.costs.stats(),
+	}
+	if dp, ok := c.src.(durabilityProvider); ok {
+		if ds, ok := dp.DurabilityStats(); ok {
+			st.Durability = &ds
+		}
 	}
 	if c.dropped.Load() {
 		return st, fmt.Errorf("%w: collection %q", ErrClosed, c.name)
@@ -587,8 +669,12 @@ func (c *Collection) execute(ctx context.Context, snap *colSnapshot, q Query) (R
 	start := time.Now()
 
 	// Fan out one engine run per shard; each leases its own computation
-	// context from the engine's free-list.
+	// context from the engine's free-list. Shard runs never build their
+	// own traces — the composite trace below is assembled from their
+	// always-on stats.
 	q.ReuseIndices = false
+	traced := q.Trace
+	q.Trace = false
 	results := make([]Result, len(snap.parts))
 	errs := make([]error, len(snap.parts))
 	var wg sync.WaitGroup
@@ -657,7 +743,7 @@ func (c *Collection) execute(ctx context.Context, snap *colSnapshot, q Query) (R
 		point.StagePrefs(buf, raw, len(cand), d, ops)
 	}
 
-	keep, counts, err := c.mergeCandidates(ctx, buf, len(cand), de, k, &dts)
+	keep, counts, mergePath, err := c.mergeCandidates(ctx, buf, len(cand), de, k, &dts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -675,26 +761,52 @@ func (c *Collection) execute(ctx context.Context, snap *colSnapshot, q Query) (R
 		Threads:        c.eng.threads,
 		Elapsed:        time.Since(start),
 	}
+	// Aggregate the per-shard work counters and phase timings into the
+	// collection-level stats (phase durations sum across shards, so they
+	// read as total work, not wall clock).
+	for _, r := range results {
+		res.Stats.PrefilterPruned += r.Stats.PrefilterPruned
+		res.Stats.Phase1Survivors += r.Stats.Phase1Survivors
+		res.Stats.Phase2Survivors += r.Stats.Phase2Survivors
+		res.Stats.SortTime += r.Stats.SortTime
+		res.Stats.Timings.add(r.Stats.Timings)
+	}
+	if traced {
+		tr := traceFromResult(q.Algorithm, q.SkybandK, &res)
+		tr.MergePath = mergePath
+		tr.Shards = make([]ShardTrace, len(results))
+		for i, r := range results {
+			tr.Shards[i] = ShardTrace{
+				Shard:           i,
+				InputSize:       r.Stats.InputSize,
+				Output:          len(r.Indices),
+				DominanceTests:  r.Stats.DominanceTests,
+				PrefilterPruned: r.Stats.PrefilterPruned,
+				Elapsed:         r.Stats.Elapsed,
+			}
+		}
+		res.Trace = tr
+	}
 	return res, nil
 }
 
 // mergeCandidates computes the exact k-skyband of the nc staged
 // candidates (the union of per-shard bands), returning candidate
-// positions and exact counts (nil for k ≤ 1), by whichever merge path
-// fits the union size (shard.MergeKernelMax). Both paths implement the
-// same DESIGN.md §10 recount; shard.MergeBand is the reference the
-// property tests pin.
-func (c *Collection) mergeCandidates(ctx context.Context, buf []float64, nc, de, k int, dts *uint64) ([]int, []int32, error) {
+// positions, exact counts (nil for k ≤ 1), and the merge-path label for
+// the trace, by whichever merge path fits the union size
+// (shard.MergeKernelMax). Both paths implement the same DESIGN.md §10
+// recount; shard.MergeBand is the reference the property tests pin.
+func (c *Collection) mergeCandidates(ctx context.Context, buf []float64, nc, de, k int, dts *uint64) ([]int, []int32, string, error) {
 	if nc <= shard.MergeKernelMax {
 		keep, counts, err := shard.MergeBand(ctx, buf, nc, de, k, dts)
 		if err != nil {
-			return nil, nil, canceledErr(err)
+			return nil, nil, "", canceledErr(err)
 		}
-		return keep, counts, nil
+		return keep, counts, shard.MergePathKernel, nil
 	}
 	ds, err := DatasetFromFlat(buf, nc, de)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	q := Query{}
 	if k > 1 {
@@ -702,10 +814,10 @@ func (c *Collection) mergeCandidates(ctx context.Context, buf []float64, nc, de,
 	}
 	res, err := c.eng.exec(ctx, ds, q)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	*dts += res.Stats.DominanceTests
-	return res.Indices, res.Counts, nil
+	return res.Indices, res.Counts, shard.MergePathEngine, nil
 }
 
 // sortMerged orders the merged result by ascending global row index,

@@ -324,6 +324,12 @@ func (e *Engine) execGuarded(ctx context.Context, ec *engineCtx, hot bool, ds *D
 			res.Counts = append([]int32(nil), res.Counts...)
 		}
 	}
+	// Materialize the trace last, from the always-on counters, so only
+	// traced queries pay the allocation (the zero-alloc guards run with
+	// Trace unset).
+	if q.Trace {
+		res.Trace = traceFromResult(q.Algorithm, q.SkybandK, &res)
+	}
 	return res, nil
 }
 

@@ -225,7 +225,10 @@ func TestEngineCancelMidFlight(t *testing.T) {
 
 // TestEngineRunZeroAlloc guards the steady-state serving path: a warm
 // Engine answering repeated queries with ReuseIndices set must not
-// allocate, with and without a preference transform.
+// allocate, with and without a preference transform. Cost counters
+// (dominance tests, prune/survivor counts, phase timers) accumulate on
+// every run, so passing here proves tracing support is free when
+// Query.Trace is off — a trace is materialized only on request.
 func TestEngineRunZeroAlloc(t *testing.T) {
 	data := contextTestData(t, 20000, 8)
 	ds, err := skybench.NewDataset(data)
@@ -257,6 +260,29 @@ func TestEngineRunZeroAlloc(t *testing.T) {
 		})
 		if allocs != 0 {
 			t.Errorf("%s: Engine.Run allocates %.1f per call, want 0", tc.name, allocs)
+		}
+
+		// The same query untraced carries no trace; traced it carries
+		// one (that path may allocate — it is not under the guard).
+		res, err := eng.Run(ctx, ds, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trace != nil {
+			t.Errorf("%s: untraced Run returned a trace", tc.name)
+		}
+		tq := tc.q
+		tq.Trace = true
+		res, err = eng.Run(ctx, ds, tq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trace == nil {
+			t.Fatalf("%s: traced Run returned no trace", tc.name)
+		}
+		if res.Trace.DominanceTests != res.Stats.DominanceTests || res.Trace.Output != len(res.Indices) {
+			t.Errorf("%s: trace disagrees with result: %+v vs %d tests, %d points",
+				tc.name, res.Trace, res.Stats.DominanceTests, len(res.Indices))
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync/atomic"
+	"time"
 
 	"skybench/internal/pivot"
 	"skybench/internal/point"
@@ -124,6 +125,7 @@ func (c *Context) Hybrid(m point.Matrix, opt HybridOptions) []int {
 	} else {
 		surv = c.pf.Filter(m, c.l1, opt.Beta, k, c.pool, c.tEff, c.dts)
 	}
+	st.Cost.PrefilterPruned = n - len(surv)
 	timer.Stop(stats.PhasePrefilt)
 	if c.canceled() {
 		return nil
@@ -150,7 +152,9 @@ func (c *Context) Hybrid(m point.Matrix, opt HybridOptions) []int {
 
 	// Three-key sort (VI-A3): parallel radix on the compound
 	// (level, mask) key, per-run L1 sorts, then one in-place permutation
-	// apply over the working set.
+	// apply over the working set. The sort's share of the init phase is
+	// measured separately for the trace/cost model.
+	sortStart := time.Now()
 	keyBits := d + bits.Len(uint(d))
 	idx := c.radixSortIdx(ns, keyBits)
 	if c.canceled() {
@@ -158,6 +162,7 @@ func (c *Context) Hybrid(m point.Matrix, opt HybridOptions) []int {
 	}
 	c.sortRunsByL1(idx)
 	applyPerm(idx, c.work, d, c.wl1, c.wmask, c.worig)
+	st.Cost.Sort += time.Since(sortStart)
 	timer.Stop(stats.PhaseInit)
 
 	c.sky.reset(d)
@@ -200,6 +205,7 @@ func (c *Context) Hybrid(m point.Matrix, opt HybridOptions) []int {
 		timer.Stop(stats.PhaseOne)
 
 		surv1 := compress(wk, c.wl1, c.worig, c.wmask, bcnt, lo, block, f)
+		st.Cost.Phase1Survivors += surv1
 		timer.Stop(stats.PhaseCompress)
 
 		// Phase II (parallel, Algorithm 4): three-loop peer comparison.
@@ -208,6 +214,7 @@ func (c *Context) Hybrid(m point.Matrix, opt HybridOptions) []int {
 		timer.Stop(stats.PhaseTwo)
 
 		final := compress(wk, c.wl1, c.worig, c.wmask, bcnt, lo, surv1, f)
+		st.Cost.Phase2Survivors += final
 		timer.Stop(stats.PhaseCompress)
 
 		// Update S and M(S) (Algorithm 2) — sequential O(α) work.
@@ -264,8 +271,7 @@ func countPeers(wf []float64, wl1 []float64, wmask []point.Mask, lo, me int, f [
 		if wl1[lo+i] == myL1 {
 			continue
 		}
-		*dts++
-		if point.DominatesFlat(wf, (lo+i)*dim, qOff, dim) {
+		if point.DominatesFlatCounted(wf, (lo+i)*dim, qOff, dim, dts) {
 			c++
 			if c >= budget {
 				return c
@@ -320,8 +326,7 @@ func comparedToPeers(wf []float64, wl1 []float64, wmask []point.Mask, lo, me int
 		if wl1[lo+i] == myL1 {
 			continue
 		}
-		*dts++
-		if point.DominatesFlat(wf, (lo+i)*dim, qOff, dim) {
+		if point.DominatesFlatCounted(wf, (lo+i)*dim, qOff, dim, dts) {
 			return true
 		}
 	}

@@ -6,6 +6,7 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 
 	"skybench/internal/point"
 	"skybench/internal/stats"
@@ -97,7 +98,9 @@ func (c *Context) QFlow(m point.Matrix, opt QFlowOptions) []int {
 	c.forRanges(n, c.l1Body)
 	c.keys = grow(c.keys, n)
 	c.forRanges(n, c.keyBody)
+	sortStart := time.Now()
 	order := c.radixSortIdx(n, 64)
+	st.Cost.Sort += time.Since(sortStart)
 	if c.canceled() {
 		return nil
 	}
@@ -158,6 +161,7 @@ func (c *Context) QFlow(m point.Matrix, opt QFlowOptions) []int {
 
 		// Compression: shift survivors left, re-establishing contiguity.
 		surv := compress(wk, c.wl1, c.worig, nil, bcnt, lo, block, f)
+		st.Cost.Phase1Survivors += surv
 		timer.Stop(stats.PhaseCompress)
 
 		// Phase II (parallel): compare each survivor to preceding
@@ -168,6 +172,7 @@ func (c *Context) QFlow(m point.Matrix, opt QFlowOptions) []int {
 		timer.Stop(stats.PhaseTwo)
 
 		final := compress(wk, c.wl1, c.worig, nil, bcnt, lo, surv, f)
+		st.Cost.Phase2Survivors += final
 		timer.Stop(stats.PhaseCompress)
 
 		// Append the block's confirmed skyline points to the global

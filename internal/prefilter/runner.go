@@ -148,8 +148,7 @@ func (r *Runner) Filter(m point.Matrix, l1 []float64, beta, k int, pool *par.Poo
 			if l1[allq[j]] == l1[p] {
 				continue
 			}
-			unionDTs++
-			if point.DominatesFlat(flat, allq[j]*d, p*d, d) {
+			if point.DominatesFlatCounted(flat, allq[j]*d, p*d, d, &unionDTs) {
 				doms++
 			}
 		}

@@ -45,6 +45,19 @@ import (
 // rebuild) share this cutoff so the two paths cannot drift.
 const MergeKernelMax = 1024
 
+// Merge-path labels recorded in query traces and metrics: which of the
+// two exact-merge implementations combined the per-shard bands. Both
+// call sites and the trace layer share these strings so the vocabulary
+// cannot drift.
+const (
+	// MergePathKernel is MergeBand's flat quadratic prefix recount
+	// (unions of at most MergeKernelMax candidates).
+	MergePathKernel = "kernel"
+	// MergePathEngine is a full engine recompute over the candidate
+	// union (larger unions).
+	MergePathEngine = "engine"
+)
+
 // Range is one contiguous shard of dataset rows: [Lo, Hi).
 type Range struct {
 	Lo, Hi int

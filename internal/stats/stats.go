@@ -11,6 +11,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"skybench/internal/trace"
 )
 
 // Phase identifies one component of an algorithm's execution, matching the
@@ -58,6 +60,9 @@ type Stats struct {
 	InputSize int
 	// Threads is the thread count the run was configured with.
 	Threads int
+	// Cost holds the extended work counters behind query tracing
+	// (prefilter prune hits, per-phase survivors, sort time).
+	Cost trace.Cost
 }
 
 // Total returns the summed wall-clock time across phases.
@@ -75,6 +80,7 @@ func (s *Stats) Add(other *Stats) {
 	for i := range s.Phases {
 		s.Phases[i] += other.Phases[i]
 	}
+	s.Cost.Add(other.Cost)
 }
 
 // Scale divides all additive metrics by k (completing an average).
@@ -86,6 +92,7 @@ func (s *Stats) Scale(k int) {
 	for i := range s.Phases {
 		s.Phases[i] /= time.Duration(k)
 	}
+	s.Cost.Scale(k)
 }
 
 // String renders a compact one-line summary.

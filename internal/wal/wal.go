@@ -108,9 +108,45 @@ type Log struct {
 	failed   error    // sticky: the log can no longer guarantee a clean tail
 	closed   bool
 
+	fsyncs  uint64 // fsync calls issued (all sites: sync, rotate, loop, close)
+	fsyncNs int64  // total wall-clock nanoseconds inside fsync
+
 	syncStop chan struct{}
 	syncDone chan struct{}
 	scratch  []byte
+}
+
+// Stats is a point-in-time snapshot of the log's durability counters —
+// the WAL half of a collection's DurabilityStats.
+type Stats struct {
+	// Fsyncs counts fsync calls issued on segment files; FsyncTime is
+	// the total wall-clock time spent inside them.
+	Fsyncs    uint64
+	FsyncTime time.Duration
+	// Segments is the current number of on-disk segments.
+	Segments int
+}
+
+// Stats returns the log's durability counters. Safe for concurrent use.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Fsyncs:    l.fsyncs,
+		FsyncTime: time.Duration(l.fsyncNs),
+		Segments:  len(l.segments),
+	}
+}
+
+// fsyncLocked is the single instrumented fsync site: every policy path
+// (explicit Sync, per-append SyncAlways, rotation, the interval loop,
+// Close) funnels through it so the counters cover all of them.
+func (l *Log) fsyncLocked() error {
+	start := time.Now()
+	err := l.f.Sync()
+	l.fsyncNs += int64(time.Since(start))
+	l.fsyncs++
+	return err
 }
 
 func segName(first uint64) string {
@@ -431,7 +467,7 @@ func (l *Log) rotate() error {
 	if err := faults.Check(l.opts.Faults, "wal.rotate"); err != nil {
 		return fmt.Errorf("wal: rotate: %w", err)
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.fsyncLocked(); err != nil {
 		return fmt.Errorf("wal: rotate: %w", err)
 	}
 	if err := l.f.Close(); err != nil {
@@ -458,7 +494,7 @@ func (l *Log) syncLocked() error {
 	if err := faults.Check(l.opts.Faults, "wal.sync"); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.fsyncLocked(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	return nil
@@ -475,7 +511,7 @@ func (l *Log) syncLoop() {
 		case <-t.C:
 			l.mu.Lock()
 			if !l.closed {
-				l.f.Sync()
+				l.fsyncLocked()
 			}
 			l.mu.Unlock()
 		}
@@ -526,7 +562,7 @@ func (l *Log) Close() error {
 	defer l.mu.Unlock()
 	var err error
 	if l.failed == nil {
-		err = l.f.Sync()
+		err = l.fsyncLocked()
 	}
 	if cerr := l.f.Close(); err == nil {
 		err = cerr

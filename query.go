@@ -101,6 +101,14 @@ type Query struct {
 	// aliased indices while they are being read. See the aliasing rule
 	// on Result.Indices.
 	ReuseIndices bool
+	// Trace asks for an EXPLAIN ANALYZE-style account of the run in
+	// Result.Trace (algorithm, per-phase wall clock, dominance tests,
+	// prune hits, per-phase survivors; for Collection queries also
+	// cache/epoch status, per-shard breakdown, and merge path). Like
+	// the delivery options below it never affects which result is
+	// computed or how Collections cache it; untraced queries pay
+	// nothing — the trace object is only allocated when Trace is set.
+	Trace bool
 	// AllowStale opts a Collection query into graceful degradation:
 	// when computing fresh fails with ErrOverloaded or
 	// ErrDeadlineExceeded, serve the collection's last cached result for

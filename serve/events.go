@@ -6,10 +6,13 @@
 package serve
 
 import (
+	"bufio"
 	"encoding/json"
 	"io"
 	"sync"
 	"time"
+
+	"skybench"
 )
 
 // Event is one served request in the NDJSON event log (skyserved
@@ -30,6 +33,9 @@ type Event struct {
 	// Fingerprint is the stable query fingerprint (QueryFingerprint);
 	// query events only.
 	Fingerprint string `json:"fingerprint,omitempty"`
+	// Algorithm is the algorithm the query resolved to (after
+	// defaulting); query events only.
+	Algorithm string `json:"algorithm,omitempty"`
 	// Status is the HTTP status served; Code the wire error code for
 	// non-2xx outcomes.
 	Status int    `json:"status"`
@@ -42,20 +48,33 @@ type Event struct {
 	// cache counters around the call, so two exactly-concurrent queries
 	// of the same shape can misattribute one hit.
 	CacheHit bool `json:"cacheHit,omitempty"`
+	// Trace is the full execution trace of a slow query — attached only
+	// when the server runs with a slow-query threshold
+	// (Options.SlowQuery) and the request took at least that long.
+	Trace *skybench.QueryTrace `json:"trace,omitempty"`
 }
 
-// EventLog serializes Events as NDJSON onto one writer. Safe for
-// concurrent use; a nil *EventLog discards everything, so callers never
-// branch.
+// EventLog serializes Events as NDJSON onto one writer, buffered.
+// Safe for concurrent use; a nil *EventLog discards everything, so
+// callers never branch. The buffer means a line is not on disk until
+// Flush (or Close) — the server flushes during graceful drain so a
+// SIGTERM never truncates the log mid-line.
 type EventLog struct {
 	mu  sync.Mutex
-	w   io.Writer
+	w   *bufio.Writer
+	c   io.Closer // underlying writer, when it needs closing
 	enc *json.Encoder
 }
 
-// NewEventLog creates an event log writing to w.
+// NewEventLog creates an event log writing to w. If w is also an
+// io.Closer, Close closes it after the final flush.
 func NewEventLog(w io.Writer) *EventLog {
-	return &EventLog{w: w, enc: json.NewEncoder(w)}
+	bw := bufio.NewWriter(w)
+	l := &EventLog{w: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		l.c = c
+	}
+	return l
 }
 
 // Log appends one event (filling TS if unset). Encoding errors are
@@ -71,4 +90,31 @@ func (l *EventLog) Log(ev Event) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	_ = l.enc.Encode(&ev)
+}
+
+// Flush writes any buffered events through to the underlying writer.
+// Nil-safe.
+func (l *EventLog) Flush() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Flush()
+}
+
+// Close flushes and, when the underlying writer is an io.Closer,
+// closes it. Nil-safe and idempotent for the flush; the underlying
+// Close's idempotence is the writer's business.
+func (l *EventLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	err := l.Flush()
+	if l.c != nil {
+		if cerr := l.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }

@@ -1,0 +1,438 @@
+// Prometheus text-format (version 0.0.4) parsing and linting: the
+// consumer-side complement of WriteText. CI scrapes a live skyserved
+// and lints the exposition through Lint, so a malformed family, a
+// sample that escapes its family, or a non-monotone histogram fails
+// the build instead of a dashboard.
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed sample line: a metric name (family name plus
+// any _bucket/_sum/_count suffix), its label pairs in source order, and
+// the value.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Label is one name="value" pair.
+type Label struct {
+	Name, Value string
+}
+
+// Get returns the value of the named label and whether it was present.
+func (s *Sample) Get(name string) (string, bool) {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+// Family is one parsed metric family: its # HELP / # TYPE header and
+// the samples that belong to it, in source order.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string // counter | gauge | histogram | summary | untyped
+	Samples []Sample
+}
+
+// Parse reads a Prometheus text exposition and returns its families in
+// source order. It enforces the format's syntax: every sample belongs
+// to the family most recently declared with # TYPE (allowing the
+// histogram/summary suffixes), names are valid metric identifiers,
+// label blocks are well-formed, and values parse as floats. Semantic
+// consistency (bucket monotonicity and the like) is Lint's job.
+func Parse(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var fams []Family
+	byName := map[string]int{}
+	var cur *Family
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		fail := func(format string, args ...any) ([]Family, error) {
+			return nil, fmt.Errorf("line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return fail("invalid metric name %q in %s line", name, fields[1])
+			}
+			if fields[1] == "HELP" {
+				if i, ok := byName[name]; ok {
+					if fams[i].Help != "" {
+						return fail("second HELP for family %s", name)
+					}
+					if len(fields) == 4 {
+						fams[i].Help = fields[3]
+					}
+					cur = &fams[i]
+					continue
+				}
+				f := Family{Name: name}
+				if len(fields) == 4 {
+					f.Help = fields[3]
+				}
+				byName[name] = len(fams)
+				fams = append(fams, f)
+				cur = &fams[len(fams)-1]
+				continue
+			}
+			// TYPE
+			if len(fields) < 4 {
+				return fail("TYPE line for %s is missing a type", name)
+			}
+			t := strings.TrimSpace(fields[3])
+			switch t {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fail("unknown type %q for family %s", t, name)
+			}
+			if i, ok := byName[name]; ok {
+				if fams[i].Type != "" {
+					return fail("second TYPE for family %s", name)
+				}
+				if len(fams[i].Samples) > 0 {
+					return fail("TYPE for family %s after its samples", name)
+				}
+				fams[i].Type = t
+				cur = &fams[i]
+				continue
+			}
+			byName[name] = len(fams)
+			fams = append(fams, Family{Name: name, Type: t})
+			cur = &fams[len(fams)-1]
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if cur == nil || !sampleInFamily(s.Name, cur) {
+			// An untyped, headerless family is legal in the format; track
+			// it so the linter can flag it.
+			if i, ok := byName[s.Name]; ok && sampleInFamily(s.Name, &fams[i]) {
+				fams[i].Samples = append(fams[i].Samples, s)
+				continue
+			}
+			if cur != nil {
+				return fail("sample %s does not belong to family %s", s.Name, cur.Name)
+			}
+			byName[s.Name] = len(fams)
+			fams = append(fams, Family{Name: s.Name, Samples: []Sample{s}})
+			cur = &fams[len(fams)-1]
+			continue
+		}
+		cur.Samples = append(cur.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// sampleInFamily reports whether a sample name belongs to the family:
+// the name itself (summaries put their quantile series there), or — for
+// histograms and summaries — the conventional suffixed series.
+func sampleInFamily(name string, f *Family) bool {
+	if name == f.Name {
+		return true
+	}
+	switch f.Type {
+	case "histogram":
+		return name == f.Name+"_bucket" || name == f.Name+"_sum" || name == f.Name+"_count"
+	case "summary":
+		return name == f.Name+"_sum" || name == f.Name+"_count"
+	}
+	return false
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample parses one sample line: name[{labels}] value [timestamp].
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	space := strings.IndexByte(rest, ' ')
+	if brace >= 0 && (space < 0 || brace < space) {
+		s.Name = rest[:brace]
+		var err error
+		rest, err = parseLabels(rest[brace:], &s)
+		if err != nil {
+			return s, err
+		}
+	} else {
+		if space < 0 {
+			return s, fmt.Errorf("sample %q has no value", line)
+		}
+		s.Name = rest[:space]
+		rest = rest[space:]
+	}
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("sample %s has %d value fields, want value [timestamp]", s.Name, len(fields))
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("sample %s: %v", s.Name, err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("sample %s: bad timestamp %q", s.Name, fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels consumes a {name="value",...} block, returning the
+// remainder of the line.
+func parseLabels(rest string, s *Sample) (string, error) {
+	rest = rest[1:] // consume '{'
+	for {
+		rest = strings.TrimLeft(rest, " ")
+		if len(rest) > 0 && rest[0] == '}' {
+			return rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return rest, fmt.Errorf("unterminated label block")
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if !validLabelName(name) {
+			return rest, fmt.Errorf("invalid label name %q", name)
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return rest, fmt.Errorf("label %s: value is not quoted", name)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		for {
+			if len(rest) == 0 {
+				return rest, fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := rest[0]
+			if c == '"' {
+				rest = rest[1:]
+				break
+			}
+			if c == '\\' {
+				if len(rest) < 2 {
+					return rest, fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch rest[1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return rest, fmt.Errorf("label %s: unknown escape \\%c", name, rest[1])
+				}
+				rest = rest[2:]
+				continue
+			}
+			val.WriteByte(c)
+			rest = rest[1:]
+		}
+		s.Labels = append(s.Labels, Label{Name: name, Value: val.String()})
+		rest = strings.TrimLeft(rest, " ")
+		if len(rest) > 0 && rest[0] == ',' {
+			rest = rest[1:]
+			continue
+		}
+		if len(rest) > 0 && rest[0] == '}' {
+			return rest[1:], nil
+		}
+		return rest, fmt.Errorf("label %s: expected ',' or '}'", name)
+	}
+}
+
+// parseValue parses a sample value, accepting the format's +Inf/-Inf/
+// NaN spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+// Lint parses a Prometheus text exposition and checks the semantic
+// rules Parse cannot: every family is typed and carries help text,
+// counter and histogram values are non-negative and finite, and each
+// histogram series has monotone cumulative buckets, a +Inf bucket, and
+// matching _count and _sum samples. It returns the first violation.
+func Lint(r io.Reader) error {
+	fams, err := Parse(r)
+	if err != nil {
+		return err
+	}
+	if len(fams) == 0 {
+		return fmt.Errorf("exposition has no metric families")
+	}
+	for i := range fams {
+		f := &fams[i]
+		if f.Type == "" {
+			return fmt.Errorf("family %s has no TYPE line", f.Name)
+		}
+		if f.Help == "" {
+			return fmt.Errorf("family %s has no HELP line", f.Name)
+		}
+		switch f.Type {
+		case "counter":
+			for _, s := range f.Samples {
+				if s.Value < 0 || math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+					return fmt.Errorf("counter %s has value %v", f.Name, s.Value)
+				}
+			}
+		case "histogram":
+			if err := lintHistogram(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// lintHistogram checks one histogram family series-by-series (a series
+// is one combination of the non-le labels).
+func lintHistogram(f *Family) error {
+	type series struct {
+		lastLe    float64
+		lastCum   float64
+		infCum    float64
+		hasInf    bool
+		count     float64
+		hasCount  bool
+		hasSum    bool
+		bucketSeq int
+	}
+	bySeries := map[string]*series{}
+	get := func(s *Sample) *series {
+		var b strings.Builder
+		for _, l := range s.Labels {
+			if l.Name == "le" {
+				continue
+			}
+			b.WriteString(l.Name)
+			b.WriteByte('=')
+			b.WriteString(l.Value)
+			b.WriteByte(';')
+		}
+		key := b.String()
+		sr := bySeries[key]
+		if sr == nil {
+			sr = &series{lastLe: math.Inf(-1)}
+			bySeries[key] = sr
+		}
+		return sr
+	}
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		sr := get(s)
+		switch s.Name {
+		case f.Name + "_bucket":
+			leStr, ok := s.Get("le")
+			if !ok {
+				return fmt.Errorf("histogram %s: bucket without le label", f.Name)
+			}
+			le, err := parseValue(leStr)
+			if err != nil {
+				return fmt.Errorf("histogram %s: bad le %q", f.Name, leStr)
+			}
+			if le <= sr.lastLe {
+				return fmt.Errorf("histogram %s: bucket bounds not ascending (le=%q)", f.Name, leStr)
+			}
+			if s.Value < sr.lastCum {
+				return fmt.Errorf("histogram %s: cumulative bucket counts decrease at le=%q", f.Name, leStr)
+			}
+			sr.lastLe, sr.lastCum = le, s.Value
+			if math.IsInf(le, 1) {
+				sr.hasInf, sr.infCum = true, s.Value
+			}
+			sr.bucketSeq++
+		case f.Name + "_count":
+			sr.hasCount, sr.count = true, s.Value
+		case f.Name + "_sum":
+			sr.hasSum = true
+		}
+	}
+	for key, sr := range bySeries {
+		if sr.bucketSeq == 0 {
+			return fmt.Errorf("histogram %s{%s}: no buckets", f.Name, key)
+		}
+		if !sr.hasInf {
+			return fmt.Errorf("histogram %s{%s}: missing +Inf bucket", f.Name, key)
+		}
+		if !sr.hasCount || !sr.hasSum {
+			return fmt.Errorf("histogram %s{%s}: missing _count or _sum", f.Name, key)
+		}
+		if sr.infCum != sr.count {
+			return fmt.Errorf("histogram %s{%s}: +Inf bucket %v != count %v", f.Name, key, sr.infCum, sr.count)
+		}
+	}
+	return nil
+}

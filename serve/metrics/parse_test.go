@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestParseWriteTextRoundTrip feeds WriteText's own output — shaped
+// like the server's registry, including the per-phase and per-algorithm
+// cost families — back through Parse and Lint: the library must consume
+// what it produces.
+func TestParseWriteTextRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.NewCounterVec("skyserved_requests_total", "Requests served.", "collection", "endpoint")
+	phase := r.NewHistogramVec("skyserved_query_phase_seconds", "Engine time per phase.", nil, "collection", "phase")
+	dts := r.NewHistogramVec("skyserved_query_dominance_tests", "Dominance tests per query.", []float64{1e2, 1e4, 1e6}, "collection", "algorithm")
+	wal := r.NewGaugeVec("skyserved_wal_fsyncs", "WAL fsyncs.", "collection")
+	gor := r.NewGaugeVec("skyserved_goroutines", "Goroutines.")
+
+	reqs.With("hotels", "query").Add(4)
+	phase.With("hotels", "phase1").Observe(0.002)
+	phase.With("hotels", "phase2").Observe(0.02)
+	dts.With("hotels", "hybrid").Observe(12345)
+	dts.With("hotels", "qflow").Observe(99)
+	wal.With("ticks").Set(17)
+	gor.With().Set(9)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	fams, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("Parse rejected WriteText output: %v\n%s", err, out)
+	}
+	byName := map[string]*Family{}
+	for i := range fams {
+		byName[fams[i].Name] = &fams[i]
+	}
+	if f := byName["skyserved_requests_total"]; f == nil || f.Type != "counter" || len(f.Samples) != 1 || f.Samples[0].Value != 4 {
+		t.Errorf("requests family parsed wrong: %+v", f)
+	}
+	if f := byName["skyserved_query_phase_seconds"]; f == nil || f.Type != "histogram" {
+		t.Fatalf("phase family parsed wrong: %+v", byName["skyserved_query_phase_seconds"])
+	} else {
+		// Two series × (len(DefBuckets) + +Inf buckets + sum + count).
+		want := 2 * (len(DefBuckets) + 3)
+		if len(f.Samples) != want {
+			t.Errorf("phase family has %d samples, want %d", len(f.Samples), want)
+		}
+	}
+	if f := byName["skyserved_query_dominance_tests"]; f == nil {
+		t.Fatal("dominance-test family missing")
+	} else {
+		var infs int
+		for _, s := range f.Samples {
+			if le, ok := s.Get("le"); ok && le == "+Inf" {
+				infs++
+				if alg, ok := s.Get("algorithm"); !ok || (alg != "hybrid" && alg != "qflow") {
+					t.Errorf("bucket with unexpected algorithm label: %+v", s)
+				}
+			}
+		}
+		if infs != 2 {
+			t.Errorf("dominance-test family has %d +Inf buckets, want 2", infs)
+		}
+	}
+	if f := byName["skyserved_goroutines"]; f == nil || len(f.Samples) != 1 || len(f.Samples[0].Labels) != 0 {
+		t.Errorf("label-free gauge parsed wrong: %+v", f)
+	}
+
+	if err := Lint(strings.NewReader(out)); err != nil {
+		t.Errorf("Lint rejected WriteText output: %v\n%s", err, out)
+	}
+}
+
+func TestParseSampleSyntax(t *testing.T) {
+	text := `# HELP m Help text.
+# TYPE m gauge
+m{a="x\"y\\z\nw",b="v"} 1.5 1700000000
+m +Inf
+m -Inf
+m NaN
+`
+	fams, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 1 || len(fams[0].Samples) != 4 {
+		t.Fatalf("parsed %+v", fams)
+	}
+	s := fams[0].Samples[0]
+	if v, _ := s.Get("a"); v != "x\"y\\z\nw" {
+		t.Errorf("escaped label decoded as %q", v)
+	}
+	if !math.IsInf(fams[0].Samples[1].Value, 1) || !math.IsInf(fams[0].Samples[2].Value, -1) || !math.IsNaN(fams[0].Samples[3].Value) {
+		t.Errorf("special values decoded as %+v", fams[0].Samples[1:])
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for name, text := range map[string]string{
+		"bad metric name":    "# TYPE 0bad counter\n0bad 1\n",
+		"bad type":           "# TYPE m widget\nm 1\n",
+		"sample out of fam":  "# TYPE m counter\nother_total 1\n",
+		"bad label name":     "# TYPE m gauge\nm{0x=\"v\"} 1\n",
+		"unquoted label":     "# TYPE m gauge\nm{a=v} 1\n",
+		"unterminated value": "# TYPE m gauge\nm{a=\"v} 1\n",
+		"no value":           "# TYPE m gauge\nm{a=\"v\"}\n",
+		"bad value":          "# TYPE m gauge\nm zero\n",
+		"second type":        "# TYPE m gauge\n# TYPE m counter\nm 1\n",
+	} {
+		if _, err := Parse(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: parsed without error:\n%s", name, text)
+		}
+	}
+}
+
+func TestLintRejectsInconsistent(t *testing.T) {
+	for name, text := range map[string]string{
+		"untyped family":   "# HELP m Help.\nm 1\n",
+		"no help":          "# TYPE m counter\nm 1\n",
+		"negative counter": "# HELP m Help.\n# TYPE m counter\nm -1\n",
+		"no +Inf bucket": `# HELP h Help.
+# TYPE h histogram
+h_bucket{le="1"} 1
+h_sum 0.5
+h_count 1
+`,
+		"shrinking buckets": `# HELP h Help.
+# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="2"} 3
+h_bucket{le="+Inf"} 5
+h_sum 2
+h_count 5
+`,
+		"inf-count mismatch": `# HELP h Help.
+# TYPE h histogram
+h_bucket{le="1"} 1
+h_bucket{le="+Inf"} 2
+h_sum 1
+h_count 3
+`,
+		"missing sum": `# HELP h Help.
+# TYPE h histogram
+h_bucket{le="+Inf"} 1
+h_count 1
+`,
+	} {
+		if err := Lint(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: lint passed:\n%s", name, text)
+		}
+	}
+	good := `# HELP h Help.
+# TYPE h histogram
+h_bucket{c="x",le="1"} 1
+h_bucket{c="x",le="+Inf"} 2
+h_sum{c="x"} 1.5
+h_count{c="x"} 2
+h_bucket{c="y",le="1"} 0
+h_bucket{c="y",le="+Inf"} 0
+h_sum{c="y"} 0
+h_count{c="y"} 0
+`
+	if err := Lint(strings.NewReader(good)); err != nil {
+		t.Errorf("well-formed multi-series histogram rejected: %v", err)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -50,6 +51,11 @@ import (
 // Options.DeltaQueue is zero.
 const DefaultDeltaQueue = 256
 
+// dtBuckets is the bucket layout for the per-query dominance-test
+// histogram: decade steps spanning a trivial query to a full quadratic
+// recount on the largest supported inputs.
+var dtBuckets = []float64{1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+
 // Options configures a Server.
 type Options struct {
 	// DeltaQueue bounds each delta subscriber's event queue: a
@@ -60,6 +66,13 @@ type Options struct {
 	// Events, when non-nil, receives one NDJSON event per served
 	// request (the SABRE-style log cmd/loadbench replays).
 	Events *EventLog
+	// SlowQuery, when > 0, is the slow-query threshold: every query is
+	// traced server-side (skybench.Query.Trace is forced on, whether or
+	// not the request asked for a trace back), and a query whose service
+	// time reaches the threshold gets its full trace attached to its
+	// event-log record. The response carries a trace only when the
+	// request asked for one.
+	SlowQuery time.Duration
 }
 
 // Server is the HTTP serving surface over one Store. Create with New,
@@ -89,6 +102,24 @@ type Server struct {
 	epoch       *metrics.GaugeVec
 	storeInfl   *metrics.GaugeVec // no labels
 	storeQueue  *metrics.GaugeVec
+
+	// Engine cost telemetry, observed per executed (non-cache-hit) query.
+	phaseDur *metrics.HistogramVec // {collection, phase}
+	algoDur  *metrics.HistogramVec // {collection, algorithm}
+	algoDTs  *metrics.HistogramVec // {collection, algorithm}
+
+	// Durability gauges, sampled at scrape from CollectionStats.
+	walFsyncs   *metrics.GaugeVec // {collection}
+	walFsyncNs  *metrics.GaugeVec
+	walSegments *metrics.GaugeVec
+	checkpoints *metrics.GaugeVec
+	checkpntNs  *metrics.GaugeVec
+
+	// Go runtime gauges, sampled at scrape.
+	goroutines *metrics.GaugeVec // no labels
+	heapBytes  *metrics.GaugeVec
+	gcCycles   *metrics.GaugeVec
+	gcPauseNs  *metrics.GaugeVec
 
 	mu      sync.Mutex
 	streams map[string]*stream.SkylineIndex // mutable collections by name
@@ -121,6 +152,18 @@ func New(st *skybench.Store, opts Options) *Server {
 	s.epoch = r.NewGaugeVec("skyserved_collection_epoch", "Membership epoch at scrape time.", "collection")
 	s.storeInfl = r.NewGaugeVec("skyserved_store_inflight", "Submitted queries holding an admission slot.")
 	s.storeQueue = r.NewGaugeVec("skyserved_store_queue_depth", "Submitted queries waiting for an admission slot.")
+	s.phaseDur = r.NewHistogramVec("skyserved_query_phase_seconds", "Engine time per execution phase, executed queries only.", nil, "collection", "phase")
+	s.algoDur = r.NewHistogramVec("skyserved_query_algorithm_seconds", "Engine service time by algorithm, executed queries only.", nil, "collection", "algorithm")
+	s.algoDTs = r.NewHistogramVec("skyserved_query_dominance_tests", "Dominance tests per executed query, by algorithm.", dtBuckets, "collection", "algorithm")
+	s.walFsyncs = r.NewGaugeVec("skyserved_wal_fsyncs", "WAL fsyncs (lifetime, sampled at scrape).", "collection")
+	s.walFsyncNs = r.NewGaugeVec("skyserved_wal_fsync_nanoseconds", "Total time in WAL fsyncs (lifetime, sampled at scrape).", "collection")
+	s.walSegments = r.NewGaugeVec("skyserved_wal_segments", "Live WAL segment files at scrape time.", "collection")
+	s.checkpoints = r.NewGaugeVec("skyserved_checkpoints", "Checkpoints written (lifetime, sampled at scrape).", "collection")
+	s.checkpntNs = r.NewGaugeVec("skyserved_checkpoint_nanoseconds", "Total time writing checkpoints (lifetime, sampled at scrape).", "collection")
+	s.goroutines = r.NewGaugeVec("skyserved_goroutines", "Goroutines at scrape time.")
+	s.heapBytes = r.NewGaugeVec("skyserved_heap_alloc_bytes", "Heap bytes allocated and in use at scrape time.")
+	s.gcCycles = r.NewGaugeVec("skyserved_gc_cycles", "Completed GC cycles at scrape time.")
+	s.gcPauseNs = r.NewGaugeVec("skyserved_gc_pause_nanoseconds", "Cumulative GC stop-the-world pause at scrape time.")
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/collections/{name}/query", s.instrument("query", s.handleQuery))
@@ -265,7 +308,9 @@ type observation struct {
 	status      int
 	code        string
 	fingerprint string
+	algorithm   string
 	cacheHit    bool
+	trace       *skybench.QueryTrace // for the slow-query log, when traced
 }
 
 // instrument wraps a handler with metrics and event logging: request
@@ -282,15 +327,23 @@ func (s *Server) instrument(endpoint string, fn func(http.ResponseWriter, *http.
 			s.errs.With(obs.collection, obs.code).Inc()
 		}
 		s.lat.With(obs.collection, endpoint).Observe(elapsed.Seconds())
-		s.opts.Events.Log(Event{
+		ev := Event{
 			Collection:  obs.collection,
 			Endpoint:    endpoint,
 			Fingerprint: obs.fingerprint,
+			Algorithm:   obs.algorithm,
 			Status:      obs.status,
 			Code:        obs.code,
 			LatencyNs:   elapsed.Nanoseconds(),
 			CacheHit:    obs.cacheHit,
-		})
+		}
+		// The slow-query log: a query at or over the threshold carries
+		// its full trace (present on obs because SlowQuery forces
+		// tracing), so the event line alone explains where the time went.
+		if s.opts.SlowQuery > 0 && elapsed >= s.opts.SlowQuery {
+			ev.Trace = obs.trace
+		}
+		s.opts.Events.Log(ev)
 	}
 }
 
@@ -364,6 +417,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, obs *observ
 		return
 	}
 	defer cancel()
+	obs.algorithm = q.Algorithm.String()
+	// Under a slow-query threshold every query is traced server-side so
+	// a slow one can be explained after the fact; the response still
+	// only carries a trace when the request asked for one.
+	if s.opts.SlowQuery > 0 {
+		q.Trace = true
+	}
 	// Submit (rather than Run) routes the query through the Store's
 	// admission control, so MaxInflight/MaxQueue overload comes back as
 	// a synchronous 429 and the server cannot oversubscribe the engine.
@@ -374,7 +434,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, obs *observ
 		return
 	}
 	obs.cacheHit = col.CacheStats().Hits > hits0
+	obs.trace = res.Trace
+	if !obs.cacheHit {
+		s.observeQueryCost(name, obs.algorithm, &res.Stats)
+	}
 	writeJSON(w, http.StatusOK, buildQueryResponse(name, res, &req))
+}
+
+// observeQueryCost books one executed query's engine cost into the
+// per-phase and per-algorithm histogram families. Cache hits are not
+// observed — they did no engine work, and their stats describe the
+// original execution, not this request.
+func (s *Server) observeQueryCost(collection, algorithm string, st *skybench.Stats) {
+	s.algoDur.With(collection, algorithm).Observe(st.Elapsed.Seconds())
+	s.algoDTs.With(collection, algorithm).Observe(float64(st.DominanceTests))
+	for _, ph := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"init", st.Timings.Init},
+		{"prefilter", st.Timings.Prefilter},
+		{"pivot", st.Timings.Pivot},
+		{"phase1", st.Timings.PhaseOne},
+		{"phase2", st.Timings.PhaseTwo},
+		{"compress", st.Timings.Compress},
+		{"other", st.Timings.Other},
+	} {
+		if ph.d > 0 {
+			s.phaseDur.With(collection, ph.name).Observe(ph.d.Seconds())
+		}
+	}
 }
 
 // buildQueryResponse renders a QueryResult on the wire, applying the
@@ -426,6 +515,9 @@ func buildQueryResponse(name string, res *skybench.QueryResult, req *QueryReques
 		for i, p := range pos {
 			resp.Values[i] = res.Row(p)
 		}
+	}
+	if req.Trace {
+		resp.Trace = res.Trace
 	}
 	return resp
 }
@@ -598,6 +690,26 @@ func (s *Server) collectionInfo(name string) (CollectionInfo, error) {
 		Cache:        CacheInfo{Hits: cs.Cache.Hits, Misses: cs.Cache.Misses, Entries: cs.Cache.Entries},
 		Subscribers:  s.subs.With(name).Value(),
 	}
+	for _, ac := range cs.Costs {
+		info.Costs = append(info.Costs, AlgorithmCostInfo{
+			Algorithm:          ac.Algorithm,
+			Count:              ac.Count,
+			MeanLatencyNs:      ac.MeanLatency.Nanoseconds(),
+			P50LatencyNs:       ac.P50Latency.Nanoseconds(),
+			P99LatencyNs:       ac.P99Latency.Nanoseconds(),
+			MeanDominanceTests: ac.MeanDominanceTests,
+		})
+	}
+	if ds := cs.Durability; ds != nil {
+		info.Durability = &DurabilityInfo{
+			WALFsyncs:        ds.WALFsyncs,
+			WALFsyncNs:       ds.WALFsyncTime.Nanoseconds(),
+			WALSegments:      ds.WALSegments,
+			Checkpoints:      ds.Checkpoints,
+			CheckpointNs:     ds.CheckpointTime.Nanoseconds(),
+			LastCheckpointNs: ds.LastCheckpoint.Nanoseconds(),
+		}
+	}
 	if ix := s.streamIndex(name); ix != nil {
 		info.Durable = ix.Durable()
 	}
@@ -643,9 +755,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.inflight.With(name).Set(cs.Inflight)
 		s.points.With(name).Set(int64(cs.N))
 		s.epoch.With(name).Set(int64(cs.Epoch))
+		if ds := cs.Durability; ds != nil {
+			s.walFsyncs.With(name).Set(int64(ds.WALFsyncs))
+			s.walFsyncNs.With(name).Set(ds.WALFsyncTime.Nanoseconds())
+			s.walSegments.With(name).Set(int64(ds.WALSegments))
+			s.checkpoints.With(name).Set(int64(ds.Checkpoints))
+			s.checkpntNs.With(name).Set(ds.CheckpointTime.Nanoseconds())
+		}
 	}
 	s.storeInfl.With().Set(int64(s.st.Inflight()))
 	s.storeQueue.With().Set(int64(s.st.QueueDepth()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.goroutines.With().Set(int64(runtime.NumGoroutine()))
+	s.heapBytes.With().Set(int64(ms.HeapAlloc))
+	s.gcCycles.With().Set(int64(ms.NumGC))
+	s.gcPauseNs.With().Set(int64(ms.PauseTotalNs))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WriteText(w)
 }

@@ -14,6 +14,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -23,6 +24,7 @@ import (
 	"skybench"
 	"skybench/serve"
 	"skybench/serve/client"
+	"skybench/serve/metrics"
 	"skybench/stream"
 )
 
@@ -647,10 +649,83 @@ func TestListAndMetrics(t *testing.T) {
 		`skyserved_collection_points{collection="zeta"} 100`,
 		"skyserved_request_duration_seconds_bucket",
 		"skyserved_store_inflight 0",
+		`skyserved_query_algorithm_seconds_count{collection="zeta",algorithm="hybrid"} 1`,
+		`skyserved_query_dominance_tests_count{collection="zeta",algorithm="hybrid"} 1`,
+		"skyserved_goroutines ",
+		"skyserved_heap_alloc_bytes ",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
 		}
+	}
+	if err := metrics.Lint(strings.NewReader(text)); err != nil {
+		t.Errorf("live exposition fails lint: %v", err)
+	}
+}
+
+// TestQueryTraceRoundTrip: Query.Trace survives the wire exactly. A
+// traced miss returns a full trace; a traced repeat is a cache hit
+// whose minimal trace is deterministic, so the in-process trace and the
+// client-decoded trace for the same query must be deeply equal — the
+// acceptance bound on the trace's JSON encoding (durations as integer
+// nanoseconds, no lossy fields).
+func TestQueryTraceRoundTrip(t *testing.T) {
+	srv, c := newTestServer(t, skybench.StoreOptions{Threads: 2}, serve.Options{})
+	path := genCSV(t, 500, 3, 9)
+	if _, err := srv.AttachStaticFile("hotels", path, skybench.CollectionOptions{Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	req := &serve.QueryRequest{SkybandK: 2, Trace: true}
+
+	res1, err := c.Query(ctx, "hotels", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res1.Trace
+	if tr == nil {
+		t.Fatal("traced query returned no trace")
+	}
+	if tr.CacheHit {
+		t.Error("first traced query marked as cache hit")
+	}
+	if tr.DominanceTests != res1.Stats.DominanceTests || tr.Elapsed <= 0 {
+		t.Errorf("wire trace disagrees with stats: %+v vs %+v", tr, res1.Stats)
+	}
+	if len(tr.Shards) != 2 {
+		t.Errorf("trace has %d shard entries, want 2", len(tr.Shards))
+	}
+
+	// In-process traced repeat: a cache hit with a deterministic
+	// minimal trace.
+	col, err := srv.Store().Collection("hotels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inproc, err := col.Run(ctx, skybench.Query{SkybandK: 2, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inproc.Trace == nil || !inproc.Trace.CacheHit {
+		t.Fatalf("in-process repeat: trace = %+v, want cache-hit trace", inproc.Trace)
+	}
+
+	// The same repeat over the wire must decode to the identical trace.
+	res2, err := c.Query(ctx, "hotels", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res2.Trace, inproc.Trace) {
+		t.Errorf("trace did not round-trip the wire:\n  wire:       %+v\n  in-process: %+v", res2.Trace, inproc.Trace)
+	}
+
+	// An untraced request stays trace-free.
+	res3, err := c.Query(ctx, "hotels", &serve.QueryRequest{SkybandK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Trace != nil {
+		t.Error("untraced query carried a trace")
 	}
 }
 
@@ -658,7 +733,8 @@ func TestListAndMetrics(t *testing.T) {
 // well-formed NDJSON line carrying the query fingerprint and outcome.
 func TestEventLog(t *testing.T) {
 	var buf safeBuffer
-	srv, c := newTestServer(t, skybench.StoreOptions{Threads: 2}, serve.Options{Events: serve.NewEventLog(&buf)})
+	evlog := serve.NewEventLog(&buf)
+	srv, c := newTestServer(t, skybench.StoreOptions{Threads: 2}, serve.Options{Events: evlog})
 	path := genCSV(t, 100, 2, 5)
 	if _, err := srv.AttachStaticFile("hotels", path, skybench.CollectionOptions{}); err != nil {
 		t.Fatal(err)
@@ -675,6 +751,9 @@ func TestEventLog(t *testing.T) {
 		t.Fatal("expected 404")
 	}
 
+	if err := evlog.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
 	if len(lines) != 3 {
 		t.Fatalf("event log has %d lines, want 3:\n%s", len(lines), buf.String())
@@ -688,6 +767,38 @@ func TestEventLog(t *testing.T) {
 	}
 	if !strings.Contains(lines[2], `"status":404`) || !strings.Contains(lines[2], `"code":"unknown_collection"`) {
 		t.Errorf("404 event malformed: %s", lines[2])
+	}
+}
+
+// TestSlowQueryLog: with a slow-query threshold set, every query is
+// traced server-side and a query at/over the threshold gets its full
+// trace attached to its event-log record — without the trace leaking
+// into responses that did not ask for one.
+func TestSlowQueryLog(t *testing.T) {
+	var buf safeBuffer
+	evlog := serve.NewEventLog(&buf)
+	srv, c := newTestServer(t, skybench.StoreOptions{Threads: 2},
+		serve.Options{Events: evlog, SlowQuery: time.Nanosecond})
+	path := genCSV(t, 200, 2, 3)
+	if _, err := srv.AttachStaticFile("hotels", path, skybench.CollectionOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res, err := c.Query(ctx, "hotels", &serve.QueryRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Error("server-forced tracing leaked into an untraced response")
+	}
+	if err := evlog.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	for _, want := range []string{`"algorithm":"hybrid"`, `"trace":{`, `"dominance_tests":`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("slow-query event missing %s:\n%s", want, line)
+		}
 	}
 }
 

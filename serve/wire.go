@@ -58,6 +58,11 @@ type QueryRequest struct {
 	// response — indices, IDs, and counts only — for callers that keep
 	// their own copy of the data.
 	OmitValues bool `json:"omitValues,omitempty"`
+	// Trace requests an EXPLAIN ANALYZE-style execution trace in the
+	// response (skybench.Query.Trace). A delivery option: it never
+	// changes what is computed or cached, and is excluded from the query
+	// fingerprint.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // QueryStats is the measurement block of a QueryResponse.
@@ -87,6 +92,10 @@ type QueryResponse struct {
 	Counts  []int32     `json:"counts,omitempty"`
 	Values  [][]float64 `json:"values,omitempty"`
 	Stats   QueryStats  `json:"stats"`
+	// Trace is the execution trace, present only when the request set
+	// trace. skybench.QueryTrace marshals durations as integer
+	// nanoseconds, so the trace round-trips the wire exactly.
+	Trace *skybench.QueryTrace `json:"trace,omitempty"`
 }
 
 // InsertRequest is the body of POST /v1/collections/{name}/points: a
@@ -118,6 +127,27 @@ type CacheInfo struct {
 	Entries int    `json:"entries"`
 }
 
+// AlgorithmCostInfo mirrors skybench.AlgorithmCost on the wire: one
+// collection's rolling execution-cost statistics for one algorithm.
+type AlgorithmCostInfo struct {
+	Algorithm          string  `json:"algorithm"`
+	Count              uint64  `json:"count"`
+	MeanLatencyNs      int64   `json:"meanLatencyNs"`
+	P50LatencyNs       int64   `json:"p50LatencyNs"`
+	P99LatencyNs       int64   `json:"p99LatencyNs"`
+	MeanDominanceTests float64 `json:"meanDominanceTests"`
+}
+
+// DurabilityInfo mirrors skybench.DurabilityStats on the wire.
+type DurabilityInfo struct {
+	WALFsyncs        uint64 `json:"walFsyncs"`
+	WALFsyncNs       int64  `json:"walFsyncNs"`
+	WALSegments      int    `json:"walSegments"`
+	Checkpoints      uint64 `json:"checkpoints"`
+	CheckpointNs     int64  `json:"checkpointNs"`
+	LastCheckpointNs int64  `json:"lastCheckpointNs,omitempty"`
+}
+
 // CollectionInfo describes one collection (GET /v1/collections and
 // GET /v1/collections/{name}).
 type CollectionInfo struct {
@@ -131,6 +161,12 @@ type CollectionInfo struct {
 	Inflight     int64     `json:"inflight"`
 	Cache        CacheInfo `json:"cache"`
 	Subscribers  int64     `json:"subscribers,omitempty"`
+	// Costs are the collection's per-algorithm rolling cost statistics,
+	// one row per algorithm that has executed at least once.
+	Costs []AlgorithmCostInfo `json:"costs,omitempty"`
+	// Durability carries WAL and checkpoint counters for durable
+	// stream collections; absent otherwise.
+	Durability *DurabilityInfo `json:"durability,omitempty"`
 }
 
 // CollectionList is the body of GET /v1/collections, sorted by name.
@@ -327,6 +363,7 @@ func toQuery(req *QueryRequest) (skybench.Query, error) {
 	}
 	q.Seed = req.Seed
 	q.AllowStale = req.AllowStale
+	q.Trace = req.Trace
 	return q, nil
 }
 
@@ -334,7 +371,7 @@ func toQuery(req *QueryRequest) (skybench.Query, error) {
 // result-determining fields: the per-request event log records it so a
 // replay harness (ROADMAP item 5's cmd/loadbench) can group identical
 // queries, and it deliberately ignores delivery options (omitValues,
-// allowStale) that don't change what is computed.
+// allowStale, trace) that don't change what is computed.
 func QueryFingerprint(req *QueryRequest) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%s|%d|%d|%d|%d|%s|%d",

@@ -249,15 +249,27 @@ type Ablation struct {
 }
 
 // PhaseTimings breaks a run's wall-clock time into the phases reported
-// in the paper's Figures 7 and 8.
+// in the paper's Figures 7 and 8. The JSON shape (integer nanoseconds
+// per phase) is the one QueryTrace puts on the wire.
 type PhaseTimings struct {
-	Init      time.Duration // L1 computation + sorting
-	Prefilter time.Duration // β-queue pre-filter (Hybrid)
-	Pivot     time.Duration // pivot selection + partitioning (Hybrid)
-	PhaseOne  time.Duration // comparisons against the global skyline
-	PhaseTwo  time.Duration // peer comparisons / merge
-	Compress  time.Duration // α-block compression
-	Other     time.Duration // structure updates and bookkeeping
+	Init      time.Duration `json:"init_ns"`      // L1 computation + sorting
+	Prefilter time.Duration `json:"prefilter_ns"` // β-queue pre-filter (Hybrid)
+	Pivot     time.Duration `json:"pivot_ns"`     // pivot selection + partitioning (Hybrid)
+	PhaseOne  time.Duration `json:"phase1_ns"`    // comparisons against the global skyline
+	PhaseTwo  time.Duration `json:"phase2_ns"`    // peer comparisons / merge
+	Compress  time.Duration `json:"compress_ns"`  // α-block compression
+	Other     time.Duration `json:"other_ns"`     // structure updates and bookkeeping
+}
+
+// add accumulates o into t (summing per-shard breakdowns).
+func (t *PhaseTimings) add(o PhaseTimings) {
+	t.Init += o.Init
+	t.Prefilter += o.Prefilter
+	t.Pivot += o.Pivot
+	t.PhaseOne += o.PhaseOne
+	t.PhaseTwo += o.PhaseTwo
+	t.Compress += o.Compress
+	t.Other += o.Other
 }
 
 // Stats reports measurements of one Compute run.
@@ -271,6 +283,18 @@ type Stats struct {
 	InputSize int
 	// Threads is the effective worker count.
 	Threads int
+	// PrefilterPruned is the number of input points discarded by the
+	// β-queue prefilter before the main algorithm ran (Hybrid only).
+	PrefilterPruned int
+	// Phase1Survivors is the total number of block points surviving
+	// Phase I across all α-blocks (Hybrid and QFlow only).
+	Phase1Survivors int
+	// Phase2Survivors is the total number of points surviving Phase II
+	// across all α-blocks; for a completed run this equals SkylineSize.
+	Phase2Survivors int
+	// SortTime is the wall-clock time of the sort step (a subset of
+	// Timings.Init that the paper's decomposition folds away).
+	SortTime time.Duration
 	// Timings is the per-phase wall-clock breakdown (parallel
 	// algorithms only; sequential baselines report zero).
 	Timings PhaseTimings
@@ -303,6 +327,10 @@ type Result struct {
 	Counts []int32
 	// Stats holds measurements of the run.
 	Stats Stats
+	// Trace, when the query set Query.Trace, is the EXPLAIN ANALYZE-
+	// style account of the run; nil otherwise. The trace is freshly
+	// allocated per traced query and caller-owned.
+	Trace *QueryTrace
 }
 
 // Clone returns a deep copy of the Result whose Indices and Counts are
@@ -314,6 +342,7 @@ func (r Result) Clone() Result {
 	if r.Counts != nil {
 		r.Counts = append([]int32(nil), r.Counts...)
 	}
+	r.Trace = r.Trace.Clone()
 	return r
 }
 
@@ -423,11 +452,15 @@ func assembleResult(idx []int, st *stats.Stats, n int, elapsed time.Duration) Re
 	return Result{
 		Indices: idx,
 		Stats: Stats{
-			DominanceTests: st.DominanceTests,
-			SkylineSize:    len(idx),
-			InputSize:      n,
-			Threads:        st.Threads,
-			Elapsed:        elapsed,
+			DominanceTests:  st.DominanceTests,
+			SkylineSize:     len(idx),
+			InputSize:       n,
+			Threads:         st.Threads,
+			PrefilterPruned: st.Cost.PrefilterPruned,
+			Phase1Survivors: st.Cost.Phase1Survivors,
+			Phase2Survivors: st.Cost.Phase2Survivors,
+			SortTime:        st.Cost.Sort,
+			Elapsed:         elapsed,
 			Timings: PhaseTimings{
 				Init:      st.Phases[stats.PhaseInit],
 				Prefilter: st.Phases[stats.PhasePrefilt],

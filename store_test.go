@@ -195,9 +195,11 @@ func TestStoreShardedGolden(t *testing.T) {
 }
 
 // TestStoreCacheHitZeroAlloc is the acceptance bound on the cache: a
-// repeated identical query on an unchanged collection must be a hit
-// that performs zero shard work — same immutable result handle, no
-// allocations at all.
+// repeated identical untraced query on an unchanged collection must be
+// a hit that performs zero shard work — same immutable result handle,
+// no allocations at all. This also pins the tracing design's overhead
+// contract: with Query.Trace off (the default here), the cost counters
+// and cache-hit path stay allocation-free.
 func TestStoreCacheHitZeroAlloc(t *testing.T) {
 	rows := storeTestData(t, "independent", 5000, 6, 3)
 	ds, err := skybench.NewDataset(rows)
@@ -238,6 +240,36 @@ func TestStoreCacheHitZeroAlloc(t *testing.T) {
 	}
 	if stats.Misses != base.Misses {
 		t.Errorf("repeated identical query counted a miss: %+v -> %+v", base, stats)
+	}
+	if got.Trace != nil {
+		t.Error("untraced cache hit carries a trace")
+	}
+
+	// A traced repeat of the same query is still a hit (Trace is a
+	// delivery option, not part of the fingerprint) and comes back with
+	// a minimal cache-hit trace on a fresh handle, leaving the cached
+	// entry trace-free for the untraced fast path.
+	tq := q
+	tq.Trace = true
+	tr1, err := col.Run(ctx, tq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1.Trace == nil || !tr1.Trace.CacheHit {
+		t.Fatalf("traced repeat: trace = %+v, want a cache-hit trace", tr1.Trace)
+	}
+	if tr1 == first {
+		t.Error("traced cache hit returned the shared cached handle — its trace would leak to untraced callers")
+	}
+	if hs := col.CacheStats(); hs.Misses != base.Misses {
+		t.Errorf("traced repeat counted a miss: %+v -> %+v", base, hs)
+	}
+	after, err := col.Run(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != first || after.Trace != nil {
+		t.Error("untraced query after a traced hit no longer gets the clean cached handle")
 	}
 
 	// An equivalent canonical spelling (k=0 vs k=1, explicit all-Min

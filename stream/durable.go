@@ -111,6 +111,11 @@ type durableState struct {
 	lastErr error
 	buf     []byte   // single-record encode scratch
 	recs    [][]byte // batch encode scratch
+
+	// Checkpoint cost counters, reported through DurabilityStats.
+	ckpts      uint64 // completed checkpoints
+	ckptNs     int64  // total time spent writing them
+	lastCkptNs int64  // duration of the most recent one
 }
 
 func (dcfg *Durability) walOptions() wal.Options {
@@ -442,6 +447,7 @@ func (x *SkylineIndex) Checkpoint() error {
 
 func (x *SkylineIndex) checkpointLocked() error {
 	dur := x.dur
+	start := time.Now()
 	lsn := dur.log.NextLSN()
 	slots := x.core.AppendLiveSlots(nil)
 	sky := x.core.Skyline()
@@ -511,7 +517,32 @@ func (x *SkylineIndex) checkpointLocked() error {
 	}
 	dur.log.TruncateBefore(lsn)
 	dur.since = 0
+	el := int64(time.Since(start))
+	dur.ckpts++
+	dur.ckptNs += el
+	dur.lastCkptNs = el
 	return nil
+}
+
+// DurabilityStats reports the index's WAL and checkpoint cost counters.
+// ok is false for in-memory indexes, which have nothing to report. A
+// Collection backed by a durable index surfaces these through
+// CollectionStats.Durability.
+func (x *SkylineIndex) DurabilityStats() (skybench.DurabilityStats, bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.dur == nil {
+		return skybench.DurabilityStats{}, false
+	}
+	ws := x.dur.log.Stats()
+	return skybench.DurabilityStats{
+		WALFsyncs:      ws.Fsyncs,
+		WALFsyncTime:   ws.FsyncTime,
+		WALSegments:    ws.Segments,
+		Checkpoints:    x.dur.ckpts,
+		CheckpointTime: time.Duration(x.dur.ckptNs),
+		LastCheckpoint: time.Duration(x.dur.lastCkptNs),
+	}, true
 }
 
 func readCheckpoint(path string) (*checkpoint, error) {

@@ -1,0 +1,160 @@
+package skybench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// QueryTrace is an EXPLAIN ANALYZE-style account of one answered query:
+// which algorithm ran, where its wall-clock time went, how much work
+// (dominance tests, prune hits, per-phase survivors) it did, and — for
+// Collection queries — whether the answer came from the epoch-keyed
+// cache and how a sharded fan-out was merged.
+//
+// A trace is only materialized when Query.Trace is set; untraced
+// queries pay nothing beyond the engine's always-on counters, so the
+// zero-allocation steady state of the hot paths is preserved. All
+// durations marshal as integer nanoseconds, so a trace round-trips
+// exactly over the JSON wire protocol.
+type QueryTrace struct {
+	// Algorithm is the CLI name of the algorithm that answered the
+	// query (the algorithm of the original computation, for cache hits).
+	Algorithm string `json:"algorithm"`
+	// SkybandK echoes the query's band width for k-skyband queries.
+	SkybandK int `json:"skyband_k,omitempty"`
+	// CacheHit reports that a Collection answered from its epoch-keyed
+	// result cache without computing. A cache-hit trace carries the
+	// identity of the answer (algorithm, epoch, sizes) but no phase
+	// timings or work counters — the work happened on an earlier query.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Stale reports that the answer was a stale-fallback (AllowStale)
+	// served after fresh computation failed.
+	Stale bool `json:"stale,omitempty"`
+	// Epoch is the collection membership epoch the answer reflects
+	// (zero for plain Engine runs).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// InputSize and Output are the number of points entering the
+	// computation and the number returned.
+	InputSize int `json:"input_size"`
+	Output    int `json:"output"`
+	// Threads is the effective worker count of the run.
+	Threads int `json:"threads,omitempty"`
+	// DominanceTests counts full point-vs-point dominance tests — the
+	// machine-independent work metric (paper Section IV-A).
+	DominanceTests uint64 `json:"dominance_tests"`
+	// PrefilterPruned is the number of input points the β-queue
+	// prefilter discarded before the main algorithm ran.
+	PrefilterPruned int `json:"prefilter_pruned,omitempty"`
+	// Phase1Survivors and Phase2Survivors are the total points
+	// surviving Phase I (vs the global skyline) and Phase II (vs block
+	// peers) across all α-blocks.
+	Phase1Survivors int `json:"phase1_survivors,omitempty"`
+	Phase2Survivors int `json:"phase2_survivors,omitempty"`
+	// Sort is the time spent in the sort step (Hybrid's three-key radix
+	// + per-run L1 sorts, Q-Flow's L1 radix), a subset of Phases.Init.
+	Sort time.Duration `json:"sort_ns,omitempty"`
+	// Elapsed is the total wall-clock time of the computation (for a
+	// sharded query: the whole fan-out, merge included).
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Phases is the per-phase wall-clock breakdown (summed across
+	// shards for a sharded query).
+	Phases PhaseTimings `json:"phases"`
+	// MergePath records how a sharded Collection merged its per-shard
+	// bands: shard.MergePathKernel ("kernel", flat recount kernel) or
+	// shard.MergePathEngine ("engine", full engine recompute over the
+	// candidate union). Empty for unsharded queries.
+	MergePath string `json:"merge_path,omitempty"`
+	// Shards breaks a sharded fan-out down per shard.
+	Shards []ShardTrace `json:"shards,omitempty"`
+}
+
+// ShardTrace is the per-shard slice of a sharded query's trace.
+type ShardTrace struct {
+	// Shard is the shard's ordinal in the collection's partition.
+	Shard int `json:"shard"`
+	// InputSize and Output are the shard's point count and the size of
+	// its local band.
+	InputSize int `json:"input_size"`
+	Output    int `json:"output"`
+	// DominanceTests is the shard run's dominance-test count.
+	DominanceTests uint64 `json:"dominance_tests"`
+	// PrefilterPruned is the shard run's prefilter prune count.
+	PrefilterPruned int `json:"prefilter_pruned,omitempty"`
+	// Elapsed is the shard run's wall-clock time.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// traceFromResult materializes the trace of one engine run from the
+// result's always-on statistics. Called only for traced queries, so
+// untraced runs never pay the allocation.
+func traceFromResult(algo Algorithm, k int, res *Result) *QueryTrace {
+	s := &res.Stats
+	return &QueryTrace{
+		Algorithm:       algo.String(),
+		SkybandK:        k,
+		InputSize:       s.InputSize,
+		Output:          len(res.Indices),
+		Threads:         s.Threads,
+		DominanceTests:  s.DominanceTests,
+		PrefilterPruned: s.PrefilterPruned,
+		Phase1Survivors: s.Phase1Survivors,
+		Phase2Survivors: s.Phase2Survivors,
+		Sort:            s.SortTime,
+		Elapsed:         s.Elapsed,
+		Phases:          s.Timings,
+	}
+}
+
+// String renders the trace as a compact multi-line EXPLAIN ANALYZE-style
+// report (the same rendering skyctl query -trace prints).
+func (t *QueryTrace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "algorithm=%s", t.Algorithm)
+	if t.SkybandK > 1 {
+		fmt.Fprintf(&b, " skyband_k=%d", t.SkybandK)
+	}
+	if t.Epoch != 0 {
+		fmt.Fprintf(&b, " epoch=%d", t.Epoch)
+	}
+	if t.CacheHit {
+		b.WriteString(" cache=hit")
+	}
+	if t.Stale {
+		b.WriteString(" stale=true")
+	}
+	fmt.Fprintf(&b, "\ninput=%d output=%d elapsed=%v", t.InputSize, t.Output, t.Elapsed.Round(time.Microsecond))
+	if t.CacheHit {
+		return b.String()
+	}
+	fmt.Fprintf(&b, " threads=%d", t.Threads)
+	fmt.Fprintf(&b, "\ndominance_tests=%d prefilter_pruned=%d phase1_survivors=%d phase2_survivors=%d",
+		t.DominanceTests, t.PrefilterPruned, t.Phase1Survivors, t.Phase2Survivors)
+	p := t.Phases
+	fmt.Fprintf(&b, "\nphases: init=%v (sort=%v) prefilter=%v pivot=%v phase1=%v phase2=%v compress=%v other=%v",
+		p.Init.Round(time.Microsecond), t.Sort.Round(time.Microsecond),
+		p.Prefilter.Round(time.Microsecond), p.Pivot.Round(time.Microsecond),
+		p.PhaseOne.Round(time.Microsecond), p.PhaseTwo.Round(time.Microsecond),
+		p.Compress.Round(time.Microsecond), p.Other.Round(time.Microsecond))
+	if t.MergePath != "" {
+		fmt.Fprintf(&b, "\nmerge=%s shards=%d", t.MergePath, len(t.Shards))
+		for _, s := range t.Shards {
+			fmt.Fprintf(&b, "\n  shard %d: input=%d output=%d dts=%d pruned=%d elapsed=%v",
+				s.Shard, s.InputSize, s.Output, s.DominanceTests, s.PrefilterPruned,
+				s.Elapsed.Round(time.Microsecond))
+		}
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy of the trace (detaching the Shards slice).
+func (t *QueryTrace) Clone() *QueryTrace {
+	if t == nil {
+		return nil
+	}
+	c := *t
+	if t.Shards != nil {
+		c.Shards = append([]ShardTrace(nil), t.Shards...)
+	}
+	return &c
+}

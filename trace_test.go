@@ -1,0 +1,152 @@
+package skybench_test
+
+import (
+	"context"
+	"testing"
+
+	"skybench"
+)
+
+// bruteSkylineSize computes the skyline size by the O(n²) definition —
+// the oracle the traced counters are checked against.
+func bruteSkylineSize(data [][]float64) int {
+	size := 0
+	for i, p := range data {
+		dominated := false
+		for j, q := range data {
+			if i != j && skybench.Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			size++
+		}
+	}
+	return size
+}
+
+// TestQueryTraceOracle checks a traced single-context run against the
+// brute-force oracle and the trace's own arithmetic: the output size is
+// the true skyline size, the counters agree with Result.Stats, and the
+// per-phase survivor counts telescope (input ≥ phase-1 survivors ≥
+// phase-2 survivors = output).
+func TestQueryTraceOracle(t *testing.T) {
+	for _, dist := range []string{"independent", "anticorrelated"} {
+		data, err := skybench.GenerateDataset(dist, 1500, 4, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteSkylineSize(data)
+		ds, err := skybench.NewDataset(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := skybench.NewEngine(4)
+		ctx := context.Background()
+		for _, alg := range []skybench.Algorithm{skybench.Hybrid, skybench.QFlow} {
+			res, err := eng.Run(ctx, ds, skybench.Query{Algorithm: alg, Trace: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := res.Trace
+			if tr == nil {
+				t.Fatalf("%s/%s: no trace on a traced run", dist, alg)
+			}
+			if tr.Output != want || len(res.Indices) != want {
+				t.Errorf("%s/%s: trace output %d, result %d, brute force %d",
+					dist, alg, tr.Output, len(res.Indices), want)
+			}
+			if tr.Algorithm != alg.String() {
+				t.Errorf("%s/%s: trace algorithm %q", dist, alg, tr.Algorithm)
+			}
+			if tr.InputSize != len(data) {
+				t.Errorf("%s/%s: trace input %d, want %d", dist, alg, tr.InputSize, len(data))
+			}
+			if tr.DominanceTests != res.Stats.DominanceTests || tr.DominanceTests == 0 {
+				t.Errorf("%s/%s: trace counts %d dominance tests, stats %d",
+					dist, alg, tr.DominanceTests, res.Stats.DominanceTests)
+			}
+			// The survivor counts must telescope down to the skyline.
+			if tr.Phase2Survivors != want {
+				t.Errorf("%s/%s: phase-2 survivors %d, want skyline size %d",
+					dist, alg, tr.Phase2Survivors, want)
+			}
+			if tr.Phase1Survivors < tr.Phase2Survivors {
+				t.Errorf("%s/%s: phase-1 survivors %d < phase-2 survivors %d",
+					dist, alg, tr.Phase1Survivors, tr.Phase2Survivors)
+			}
+			if tr.PrefilterPruned < 0 || tr.PrefilterPruned > len(data)-want {
+				t.Errorf("%s/%s: prefilter pruned %d of %d with %d skyline points",
+					dist, alg, tr.PrefilterPruned, len(data), want)
+			}
+			if tr.Elapsed <= 0 {
+				t.Errorf("%s/%s: non-positive elapsed %v", dist, alg, tr.Elapsed)
+			}
+			if tr.CacheHit {
+				t.Errorf("%s/%s: engine-level trace marked as cache hit", dist, alg)
+			}
+			if s := tr.String(); s == "" {
+				t.Errorf("%s/%s: empty trace rendering", dist, alg)
+			}
+		}
+		eng.Close()
+	}
+}
+
+// TestQueryTraceSharded checks the composite trace of a sharded
+// collection run: one ShardTrace per shard, shard inputs partitioning
+// the dataset, a recorded merge path, and the same brute-force output.
+func TestQueryTraceSharded(t *testing.T) {
+	data, err := skybench.GenerateDataset("anticorrelated", 3000, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteSkylineSize(data)
+	ds, err := skybench.NewDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := skybench.NewStore(4)
+	defer st.Close()
+	col, err := st.Attach("sharded", ds, skybench.CollectionOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := col.Run(context.Background(), skybench.Query{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if tr == nil {
+		t.Fatal("no trace on a traced sharded run")
+	}
+	if tr.Output != want || res.Len() != want {
+		t.Errorf("output %d (result %d), brute force %d", tr.Output, res.Len(), want)
+	}
+	if len(tr.Shards) != 3 {
+		t.Fatalf("trace has %d shard entries, want 3", len(tr.Shards))
+	}
+	inputs, shardDTs := 0, uint64(0)
+	for i, sh := range tr.Shards {
+		if sh.Shard != i {
+			t.Errorf("shard %d recorded as %d", i, sh.Shard)
+		}
+		if sh.InputSize <= 0 || sh.Output <= 0 || sh.DominanceTests == 0 {
+			t.Errorf("shard %d trace is degenerate: %+v", i, sh)
+		}
+		inputs += sh.InputSize
+		shardDTs += sh.DominanceTests
+	}
+	if inputs != len(data) {
+		t.Errorf("shard inputs sum to %d, want %d", inputs, len(data))
+	}
+	// The collection-level count includes the merge recount on top of
+	// the per-shard work.
+	if tr.DominanceTests < shardDTs {
+		t.Errorf("total dominance tests %d < per-shard sum %d", tr.DominanceTests, shardDTs)
+	}
+	if tr.MergePath != "kernel" && tr.MergePath != "engine" {
+		t.Errorf("merge path %q, want kernel or engine", tr.MergePath)
+	}
+}
