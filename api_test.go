@@ -38,8 +38,20 @@ func TestAlgorithmNamesSorted(t *testing.T) {
 	if !sort.StringsAreSorted(names) {
 		t.Errorf("AlgorithmNames not sorted: %v", names)
 	}
-	if len(names) != len(skybench.Algorithms) {
-		t.Errorf("AlgorithmNames lists %d algorithms, Algorithms has %d", len(names), len(skybench.Algorithms))
+	// AlgorithmNames carries one extra entry beyond Algorithms: the
+	// "auto" meta-algorithm, which is parseable and servable through a
+	// Store but is not a comparison point the benchmarks iterate.
+	if len(names) != len(skybench.Algorithms)+1 {
+		t.Errorf("AlgorithmNames lists %d algorithms, Algorithms has %d (+auto)", len(names), len(skybench.Algorithms))
+	}
+	found := false
+	for _, name := range names {
+		if name == skybench.Auto.String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("AlgorithmNames %v is missing %q", names, skybench.Auto)
 	}
 	for _, name := range names {
 		a, err := skybench.ParseAlgorithm(name)

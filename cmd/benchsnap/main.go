@@ -39,6 +39,9 @@ type entry struct {
 	AvgMs     float64 `json:"avg_ms"`
 	DTs       uint64  `json:"dominance_tests"`
 	Skyline   int     `json:"skyline_size"`
+	// Chosen records the plan an Algorithm: Auto cell converged to
+	// (e.g. "hybrid/1 no_prefilter"); empty for fixed-algorithm cells.
+	Chosen string `json:"chosen_plan,omitempty"`
 }
 
 type snapshot struct {
@@ -54,16 +57,17 @@ type snapshot struct {
 
 func main() {
 	var (
-		out   = flag.String("out", "", "output path (default BENCH_<date>.json)")
-		n     = flag.Int("n", 100000, "cardinality of the default workload")
-		d     = flag.Int("d", 8, "dimensionality of the default workload")
-		t     = flag.Int("t", 8, "threads for the parallel algorithms")
-		reps  = flag.Int("reps", 3, "repetitions per cell (best and average reported)")
-		seed  = flag.Int64("seed", 42, "dataset generator seed")
-		note  = flag.String("note", "", "freeform note stored in the snapshot")
-		full  = flag.Bool("full", false, "also measure the parallel baselines (slower)")
-		kList = flag.String("k", "4,16", "comma-separated skyband k values also measured for hybrid/qflow (empty = none)")
-		pList = flag.String("shards", "1,2,4", "comma-separated shard counts measured through a Store collection into BENCH_<date>_shard.json (empty = skip)")
+		out     = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		n       = flag.Int("n", 100000, "cardinality of the default workload")
+		d       = flag.Int("d", 8, "dimensionality of the default workload")
+		t       = flag.Int("t", 8, "threads for the parallel algorithms")
+		reps    = flag.Int("reps", 3, "repetitions per cell (best and average reported)")
+		seed    = flag.Int64("seed", 42, "dataset generator seed")
+		note    = flag.String("note", "", "freeform note stored in the snapshot")
+		full    = flag.Bool("full", false, "also measure the parallel baselines (slower)")
+		kList   = flag.String("k", "4,16", "comma-separated skyband k values also measured for hybrid/qflow (empty = none)")
+		pList   = flag.String("shards", "1,2,4", "comma-separated shard counts measured through a Store collection into BENCH_<date>_shard.json (empty = skip)")
+		planner = flag.Bool("planner", true, "measure the adaptive planner (Algorithm Auto) against its fixed arms into BENCH_<date>_planner.json")
 	)
 	flag.Parse()
 
@@ -186,6 +190,88 @@ func main() {
 	}
 	writeSnap(path, &snap)
 
+	// Adaptive-planner rows: Algorithm Auto on a sharded collection,
+	// measured after a fixed warm-up spends the planner's explore budget
+	// and fills its cost history, next to the four fixed arms it chooses
+	// between. Recorded as a separate BENCH_<date>_planner.json; the
+	// chosen_plan column pins what Auto converged to so regressions in
+	// the decision itself (not just its latency) show up in the diff.
+	if *planner {
+		const plannerShards = 4
+		const plannerWarmup = 12
+		planSnap := snapshot{
+			Date: snap.Date, GoVersion: snap.GoVersion, GOOS: snap.GOOS,
+			GOARCH: snap.GOARCH, NumCPU: snap.NumCPU, GOMAXPROCS: snap.GOMAXPROCS,
+			Note: *note,
+		}
+		pst := skybench.NewStore(*t)
+		for _, dist := range dataset.AllDistributions {
+			m := dataset.Generate(dist, *n, *d, *seed)
+			ds, err := skybench.DatasetFromFlat(m.Flat(), m.N(), m.D())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchsnap:", err)
+				os.Exit(1)
+			}
+			type armSpec struct {
+				alg skybench.Algorithm
+				p   int
+			}
+			for _, a := range []armSpec{
+				{skybench.Hybrid, 1}, {skybench.Hybrid, plannerShards},
+				{skybench.QFlow, 1}, {skybench.QFlow, plannerShards},
+			} {
+				col, err := pst.Attach(fmt.Sprintf("plan-%s-%s-p%d", dist, a.alg, a.p), ds,
+					skybench.CollectionOptions{Shards: a.p, CacheCapacity: -1})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "benchsnap:", err)
+					os.Exit(1)
+				}
+				e := entry{
+					Algorithm: a.alg.String(), Dist: dist.String(),
+					N: *n, D: *d, Shards: a.p, Threads: *t, Reps: *reps,
+				}
+				best, avg, last := measureStore(col, skybench.Query{Algorithm: a.alg}, *reps)
+				e.BestMs, e.AvgMs = msFloat(best), msFloat(avg)
+				e.DTs, e.Skyline = last.Stats.DominanceTests, len(last.Indices)
+				planSnap.Entries = append(planSnap.Entries, e)
+				fmt.Printf("%-10s %-14s n=%d d=%d shards=%d t=%d  best=%.2fms avg=%.2fms |SKY|=%d\n",
+					e.Algorithm, e.Dist, e.N, e.D, e.Shards, e.Threads, e.BestMs, e.AvgMs, e.Skyline)
+			}
+
+			col, err := pst.Attach("plan-"+dist.String()+"-auto", ds,
+				skybench.CollectionOptions{Shards: plannerShards, CacheCapacity: -1})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchsnap:", err)
+				os.Exit(1)
+			}
+			q := skybench.Query{Algorithm: skybench.Auto}
+			for i := 0; i < plannerWarmup; i++ {
+				if _, err := col.Run(context.Background(), q); err != nil {
+					fmt.Fprintf(os.Stderr, "benchsnap: auto warmup %s: %v\n", dist, err)
+					os.Exit(1)
+				}
+			}
+			e := entry{
+				Algorithm: "auto", Dist: dist.String(),
+				N: *n, D: *d, Shards: plannerShards, Threads: *t, Reps: *reps,
+			}
+			best, avg, last := measureStore(col, q, *reps)
+			e.BestMs, e.AvgMs = msFloat(best), msFloat(avg)
+			e.DTs, e.Skyline = last.Stats.DominanceTests, len(last.Indices)
+			if last.Plan != nil {
+				e.Chosen = fmt.Sprintf("%s/%d", last.Plan.Algorithm, last.Plan.Shards)
+				if last.Plan.NoPrefilter {
+					e.Chosen += " no_prefilter"
+				}
+			}
+			planSnap.Entries = append(planSnap.Entries, e)
+			fmt.Printf("%-10s %-14s n=%d d=%d shards=%d t=%d  best=%.2fms avg=%.2fms |SKY|=%d  chose %s\n",
+				e.Algorithm, e.Dist, e.N, e.D, e.Shards, e.Threads, e.BestMs, e.AvgMs, e.Skyline, e.Chosen)
+		}
+		pst.Close()
+		writeSnap(strings.TrimSuffix(path, ".json")+"_planner.json", &planSnap)
+	}
+
 	// Sharded serving rows: the same workloads through a Store
 	// collection (caching disabled so every rep measures real fan-out +
 	// merge work), recorded as a separate BENCH_<date>_shard.json so the
@@ -248,6 +334,33 @@ func main() {
 	}
 	shardPath := strings.TrimSuffix(path, ".json") + "_shard.json"
 	writeSnap(shardPath, &shardSnap)
+}
+
+// measureStore times reps runs of q through col by wall clock (so an
+// Algorithm: Auto cell is charged for its planning overhead too) and
+// returns the best and average durations with the final result.
+func measureStore(col *skybench.Collection, q skybench.Query, reps int) (best, avg time.Duration, last *skybench.QueryResult) {
+	var total time.Duration
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		res, err := col.Run(context.Background(), q)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: %s: %v\n", q.Algorithm, err)
+			os.Exit(1)
+		}
+		el := time.Since(start)
+		total += el
+		if best == 0 || el < best {
+			best = el
+		}
+		last = res
+	}
+	return best, total / time.Duration(reps), last
+}
+
+// msFloat converts a duration to fractional milliseconds.
+func msFloat(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
 }
 
 // writeSnap marshals a snapshot to disk.

@@ -102,8 +102,10 @@ func main() {
 	}
 
 	var res skybench.Result
+	var plan *skybench.PlannerTrace
 	var cacheStats skybench.CacheStats
-	storeServed := *shards > 1 || *useCache
+	// Auto needs the Store's planner — a bare engine rejects it.
+	storeServed := *shards > 1 || *useCache || alg == skybench.Auto
 	if storeServed {
 		// Store-served path: one named collection, sharded fan-out with
 		// exact merge, optional result caching.
@@ -132,6 +134,7 @@ func main() {
 			cacheStats = col.CacheStats()
 		}
 		res = qr.Result
+		plan = qr.Plan
 	} else {
 		eng := skybench.NewEngine(*threads)
 		defer eng.Close()
@@ -146,6 +149,10 @@ func main() {
 		label = fmt.Sprintf("%d-skyband  ", *kband)
 	}
 	fmt.Printf("algorithm   : %s\n", alg)
+	if plan != nil {
+		fmt.Printf("plan        : %s shards=%d alpha=%d beta=%d no_prefilter=%v explore=%v (class=%s sky_est=%d)\n",
+			plan.Algorithm, plan.Shards, plan.Alpha, plan.Beta, plan.NoPrefilter, plan.Explore, plan.Class, plan.SkylineEst)
+	}
 	fmt.Printf("input       : %d points × %d dims\n", s.InputSize, m.D())
 	if prefs != nil {
 		fmt.Printf("preferences : %s\n", describePrefs(prefs))

@@ -68,6 +68,10 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Shed idle keep-alive connections before exiting (before the Fatal
+	// below, which skips defers): a stranded conn would otherwise hold
+	// up a draining server's graceful shutdown.
+	c.Close()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"skybench/internal/planner"
 	"skybench/internal/point"
 	"skybench/internal/shard"
 )
@@ -124,6 +126,9 @@ type Collection struct {
 	misses   atomic.Uint64
 
 	costs costTracker // rolling per-algorithm execution costs
+
+	planMu sync.Mutex       // guards plan creation and re-profiling
+	plan   *planner.Planner // adaptive planner; nil until first needed
 
 	inflight atomic.Int64 // queries currently executing via Run/Submit
 
@@ -274,7 +279,13 @@ type fingerprint struct {
 	seed   int64
 	abl    Ablation
 	nprefs int8
-	prefs  [point.MaxDims]int8
+	// fan is the fan-out when it differs from the collection's default
+	// (zero otherwise): the planner may downshift an Auto query to an
+	// unsharded run, whose result order (the algorithm's natural order,
+	// not ascending row order) must never be served to a query that ran
+	// at the default fan-out.
+	fan   int
+	prefs [point.MaxDims]int8
 }
 
 // queryFingerprint canonicalizes q into a cache key for a d-dimensional
@@ -286,6 +297,14 @@ type fingerprint struct {
 func queryFingerprint(q *Query, d int) (fingerprint, bool) {
 	var fp fingerprint
 	if q.Progressive != nil || q.SkybandK < 0 || len(q.Prefs) > point.MaxDims {
+		return fp, false
+	}
+	// Auto never reaches the cache unresolved — run() rewrites the query
+	// to the planned concrete algorithm before fingerprinting, so cached
+	// entries are shared with explicit runs of the same plan. Seeing
+	// Auto here (the stale-fallback path) means there is no resolved
+	// plan to key on.
+	if q.Algorithm == Auto {
 		return fp, false
 	}
 	if len(q.Prefs) != 0 && len(q.Prefs) != d {
@@ -339,6 +358,12 @@ type QueryResult struct {
 	// an earlier epoch — because computing fresh failed with overload or
 	// a missed deadline.
 	Stale bool
+	// Plan is the adaptive planner's decision for an Algorithm: Auto
+	// query (also mirrored into Trace.Planner when the query was
+	// traced); nil for queries that named their algorithm. It is set on
+	// cache hits too — the decision was made even though the answer was
+	// already known.
+	Plan *PlannerTrace
 
 	snap *colSnapshot
 }
@@ -406,40 +431,173 @@ func (c *Collection) run(ctx context.Context, q Query) (*QueryResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Resolve Auto before fingerprinting: the cache is keyed by the
+	// concrete plan, so Auto queries share entries with explicit runs of
+	// the same algorithm, and a later hit is attributed to the plan that
+	// computed it.
+	fanout := len(snap.parts)
+	if fanout < 1 {
+		fanout = 1
+	}
+	var planTrace *PlannerTrace
+	if q.Algorithm == Auto {
+		fanout, planTrace = c.decide(snap, &q)
+	}
 	fp, cacheable := fingerprint{}, false
 	if c.cacheCap > 0 {
 		fp, cacheable = queryFingerprint(&q, snap.ds.d)
+		if len(snap.parts) > 1 && fanout <= 1 {
+			// A planner-downshifted unsharded run returns the algorithm's
+			// natural order, not the sharded ascending order — key it
+			// separately (see fingerprint.fan).
+			fp.fan = 1
+		}
 	}
 	if cacheable {
 		if r := c.lookup(fp, snap.epoch); r != nil {
 			if q.Trace {
-				return r.withCacheHitTrace(&q), nil
+				r = r.withCacheHitTrace(&q)
+				if planTrace != nil {
+					r.Plan = planTrace
+					r.Result.Trace.Planner = planTrace
+				}
+			} else if planTrace != nil {
+				cp := *r
+				cp.Plan = planTrace
+				r = &cp
 			}
 			return r, nil
 		}
 	}
-	res, err := c.execute(ctx, snap, q)
+	res, err := c.execute(ctx, snap, q, fanout)
 	if err != nil {
 		return nil, err
 	}
 	c.costs.record(q.Algorithm, res.Stats.Elapsed, res.Stats.DominanceTests)
+	if planTrace != nil {
+		c.observePlan(planTrace, res.Stats.Elapsed)
+	}
 	if res.Trace != nil {
 		res.Trace.Epoch = snap.epoch
+		res.Trace.Planner = planTrace
 	}
-	r := &QueryResult{Result: res, Epoch: snap.epoch, snap: snap}
+	r := &QueryResult{Result: res, Epoch: snap.epoch, Plan: planTrace, snap: snap}
 	if cacheable {
 		// The cache shares its entries across callers, traced and
-		// untraced alike, so the stored copy never carries a trace: the
-		// trace describes the first caller's run, not a later hit.
+		// untraced alike, so the stored copy never carries a trace or a
+		// planner decision: both describe the first caller's run, not a
+		// later hit.
 		cached := r
-		if res.Trace != nil {
+		if res.Trace != nil || planTrace != nil {
 			cp := *r
 			cp.Result.Trace = nil
+			cp.Plan = nil
 			cached = &cp
 		}
 		c.store(fp, snap.epoch, cached)
 	}
 	return r, nil
+}
+
+// plannerSeed derives a deterministic per-collection seed for the
+// planner's ε-greedy coin, so planning decisions replay identically for
+// a given collection name and query order.
+func plannerSeed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64())
+}
+
+// plannerFor returns the collection's planner, creating it (profiling
+// the snapshot) on first use, and re-profiling when a stream-backed
+// collection's size drifted ~4× from the profiled one — skyline
+// cardinality extrapolates on n, so a profile taken at 1k rows misprices
+// the set at 100k.
+func (c *Collection) plannerFor(snap *colSnapshot) *planner.Planner {
+	c.planMu.Lock()
+	defer c.planMu.Unlock()
+	if c.plan == nil {
+		prof := planner.ProfileFlat(snap.ds.vals, snap.ds.n, snap.ds.d)
+		c.plan = planner.New(prof, planner.Config{Seed: plannerSeed(c.name)})
+		return c.plan
+	}
+	if c.src != nil {
+		prof := c.plan.Profile()
+		n := snap.ds.n
+		if prof.N > 0 && (n >= prof.N*4 || n*4 <= prof.N) {
+			c.plan.SetProfile(planner.ProfileFlat(snap.ds.vals, snap.ds.n, snap.ds.d))
+		}
+	}
+	return c.plan
+}
+
+// decide resolves an Algorithm: Auto query in place: the planner picks
+// the concrete algorithm, the fan-out (possibly overriding the
+// configured shard count down to 1), and the α/β tuning — explicit
+// caller-set tuning fields always win. It returns the fan-out to
+// execute at and the decision trace.
+func (c *Collection) decide(snap *colSnapshot, q *Query) (int, *PlannerTrace) {
+	pl := c.plannerFor(snap)
+	maxShards := 1
+	// Progressive delivery needs an unsharded run, so the planner only
+	// chooses between unsharded arms for it.
+	if len(snap.parts) > 1 && q.Progressive == nil {
+		maxShards = len(snap.parts)
+	}
+	dec := pl.Decide(c.costs.plannerRows(), maxShards)
+	q.Algorithm = Hybrid
+	if dec.Algorithm == planner.AlgoQFlow {
+		q.Algorithm = QFlow
+	}
+	if q.Alpha <= 0 {
+		q.Alpha = dec.Alpha
+	}
+	if q.Beta <= 0 && !q.Ablation.NoPrefilter {
+		if dec.NoPrefilter {
+			q.Ablation.NoPrefilter = true
+		} else if dec.Beta > 0 {
+			q.Beta = dec.Beta
+		}
+	}
+	prof := pl.Profile()
+	pt := &PlannerTrace{
+		Class:       prof.Class,
+		MeanRho:     prof.MeanRho,
+		SkylineFrac: prof.SkylineFrac,
+		SkylineEst:  prof.SkylineEst,
+		SampleN:     prof.SampleN,
+		Algorithm:   q.Algorithm.String(),
+		Shards:      dec.Shards,
+		Alpha:       q.Alpha,
+		Beta:        q.Beta,
+		NoPrefilter: q.Ablation.NoPrefilter,
+		Explore:     dec.Explore,
+		Reason:      dec.Reason,
+	}
+	if len(dec.Candidates) > 0 {
+		pt.Candidates = make([]PlannerCandidate, len(dec.Candidates))
+		for i, cand := range dec.Candidates {
+			pt.Candidates[i] = PlannerCandidate{
+				Algorithm: cand.Algorithm,
+				Shards:    cand.Shards,
+				Predicted: cand.Predicted,
+				Source:    cand.Source,
+				Samples:   cand.Samples,
+			}
+		}
+	}
+	return dec.Shards, pt
+}
+
+// observePlan books one executed Auto run's measured latency into the
+// planner's arm history.
+func (c *Collection) observePlan(pt *PlannerTrace, elapsed time.Duration) {
+	c.planMu.Lock()
+	pl := c.plan
+	c.planMu.Unlock()
+	if pl != nil {
+		pl.Observe(pt.Algorithm, pt.Shards, elapsed)
+	}
 }
 
 // withCacheHitTrace wraps a shared cached result in a shallow copy
@@ -583,10 +741,41 @@ type CollectionStats struct {
 	// planner's input. Sorted by algorithm name; nil before the first
 	// executed query.
 	Costs []AlgorithmCost
+	// Planner holds the adaptive planner's data profile and decision
+	// tallies; nil until the first Algorithm: Auto query (or, for static
+	// collections, after the eager profile at Attach).
+	Planner *PlannerStats
 	// Durability holds WAL and checkpoint statistics for collections
 	// whose backing source persists itself (a durable
 	// stream.SkylineIndex); nil otherwise.
 	Durability *DurabilityStats
+}
+
+// PlannerStats is the observable state of a collection's adaptive
+// planner: the attach-time data profile and how its decisions have
+// distributed so far.
+type PlannerStats struct {
+	// Class is the profiled correlation class ("correlated",
+	// "independent", "anticorrelated"); MeanSpearman the mean pairwise
+	// Spearman rank correlation it derives from.
+	Class        string
+	MeanSpearman float64
+	// SkylineFrac and SkylineEst are the estimated skyline fraction and
+	// cardinality of the full set; SampleN the profiled sample size.
+	SkylineFrac float64
+	SkylineEst  int
+	SampleN     int
+	// Decisions tallies Auto decisions by chosen plan, sorted for
+	// stable rendering.
+	Decisions []PlannerDecision
+}
+
+// PlannerDecision is one (plan, explore-mode) decision tally.
+type PlannerDecision struct {
+	Algorithm string
+	Shards    int
+	Explore   bool
+	Count     uint64
 }
 
 // DurabilityStats reports the persistence-layer counters of a durable
@@ -630,6 +819,28 @@ func (c *Collection) Stats() (CollectionStats, error) {
 		Inflight:     c.inflight.Load(),
 		Costs:        c.costs.stats(),
 	}
+	c.planMu.Lock()
+	pl := c.plan
+	c.planMu.Unlock()
+	if pl != nil {
+		prof := pl.Profile()
+		ps := &PlannerStats{
+			Class:        prof.Class,
+			MeanSpearman: prof.MeanRho,
+			SkylineFrac:  prof.SkylineFrac,
+			SkylineEst:   prof.SkylineEst,
+			SampleN:      prof.SampleN,
+		}
+		for _, dc := range pl.DecisionCounts() {
+			ps.Decisions = append(ps.Decisions, PlannerDecision{
+				Algorithm: dc.Algorithm,
+				Shards:    dc.Shards,
+				Explore:   dc.Explore,
+				Count:     dc.Count,
+			})
+		}
+		st.Planner = ps
+	}
 	if dp, ok := c.src.(durabilityProvider); ok {
 		if ds, ok := dp.DurabilityStats(); ok {
 			st.Durability = &ds
@@ -657,9 +868,10 @@ func (c *Collection) Stats() (CollectionStats, error) {
 }
 
 // execute computes a query over one frozen snapshot: directly for
-// unsharded collections, fan-out + exact merge for sharded ones.
-func (c *Collection) execute(ctx context.Context, snap *colSnapshot, q Query) (Result, error) {
-	if len(snap.parts) <= 1 {
+// unsharded collections (or when the planner downshifted fanout to 1),
+// fan-out + exact merge for sharded ones.
+func (c *Collection) execute(ctx context.Context, snap *colSnapshot, q Query, fanout int) (Result, error) {
+	if len(snap.parts) <= 1 || fanout <= 1 {
 		q.ReuseIndices = false // results may outlive any engine context
 		return c.eng.exec(ctx, snap.ds, q)
 	}

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"skybench/internal/planner"
 )
 
 // costWindow is the number of recent latency samples each (collection,
@@ -23,13 +25,18 @@ type AlgorithmCost struct {
 	Count uint64
 	// MeanLatency is the mean wall-clock time over all recorded runs.
 	MeanLatency time.Duration
-	// P50Latency and P99Latency are percentile estimates over the last
-	// costWindow runs.
+	// P50Latency and P99Latency are nearest-rank percentile estimates
+	// over the last costWindow runs.
 	P50Latency time.Duration
 	P99Latency time.Duration
-	// MeanDominanceTests is the mean dominance-test count per run — the
-	// machine-independent cost signal.
+	// MeanDominanceTests is the lifetime mean dominance-test count per
+	// run — the machine-independent cost signal, kept lifetime for
+	// `skyctl info`.
 	MeanDominanceTests float64
+	// WindowedMeanDominanceTests is the mean dominance-test count over
+	// the same last-costWindow runs the latency percentiles cover, so
+	// all planner signals decay at the same rate.
+	WindowedMeanDominanceTests float64
 }
 
 // costTracker accumulates per-algorithm execution costs for one
@@ -45,9 +52,10 @@ type algoCost struct {
 	count    uint64
 	totalNs  int64
 	totalDTs uint64
-	window   [costWindow]int64 // latency ring, nanoseconds
-	wn       int               // filled length
-	wi       int               // next write position
+	window   [costWindow]int64  // latency ring, nanoseconds
+	dwin     [costWindow]uint64 // dominance-test ring, same positions
+	wn       int                // filled length
+	wi       int                // next write position
 }
 
 // record books one executed run.
@@ -65,6 +73,7 @@ func (t *costTracker) record(a Algorithm, elapsed time.Duration, dts uint64) {
 	c.totalNs += int64(elapsed)
 	c.totalDTs += dts
 	c.window[c.wi] = int64(elapsed)
+	c.dwin[c.wi] = dts
 	c.wi = (c.wi + 1) % costWindow
 	if c.wn < costWindow {
 		c.wn++
@@ -93,11 +102,52 @@ func (t *costTracker) stats() []AlgorithmCost {
 			MeanDominanceTests: float64(c.totalDTs) / float64(c.count),
 		}
 		if c.wn > 0 {
-			row.P50Latency = time.Duration(s[(c.wn-1)*50/100])
-			row.P99Latency = time.Duration(s[(c.wn-1)*99/100])
+			row.P50Latency = time.Duration(s[percentileIndex(c.wn, 50)])
+			row.P99Latency = time.Duration(s[percentileIndex(c.wn, 99)])
+			var dsum uint64
+			for _, d := range c.dwin[:c.wn] {
+				dsum += d
+			}
+			row.WindowedMeanDominanceTests = float64(dsum) / float64(c.wn)
 		}
 		out = append(out, row)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Algorithm < out[j].Algorithm })
+	return out
+}
+
+// percentileIndex is the zero-based nearest-rank index of the p-th
+// percentile in a sorted sample of n elements: ceil(p·n/100)−1, clamped
+// to the sample. The previous floor-rank form, s[(n−1)·p/100],
+// under-reported the tail for any window under 100 samples (n=10, p=99
+// indexed the 9th-smallest of 10 instead of the maximum).
+func percentileIndex(n, p int) int {
+	idx := (n*p+99)/100 - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > n-1 {
+		idx = n - 1
+	}
+	return idx
+}
+
+// plannerRows snapshots the tracker in the planner's input shape:
+// windowed signals only (p50 latency, windowed mean dominance tests),
+// both decaying at the same costWindow rate.
+func (t *costTracker) plannerRows() []planner.CostRow {
+	rows := t.stats()
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]planner.CostRow, len(rows))
+	for i, r := range rows {
+		out[i] = planner.CostRow{
+			Algorithm: r.Algorithm,
+			Count:     r.Count,
+			P50:       r.P50Latency,
+			MeanDTs:   r.WindowedMeanDominanceTests,
+		}
+	}
 	return out
 }

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"skybench"
+
+	"skybench/internal/dataset"
+)
+
+// plannerWarmup is the number of Auto queries spent before measuring:
+// enough to cover the planner's ε-greedy explore budget and fill the
+// exploited arm's cost history past its MinSamples threshold.
+const plannerWarmup = 12
+
+// Planner is the adaptive-planner experiment: per distribution, the
+// Auto meta-algorithm runs on a sharded collection until its explore
+// budget is spent, then its converged steady-state latency is compared
+// against every fixed arm the planner chooses between (Hybrid and
+// Q-Flow, unsharded and at full fan-out). The "plan" column shows what
+// Auto converged to; every Auto answer is cross-checked for
+// set-identity against the unsharded Hybrid baseline.
+func (cfg Config) Planner(w io.Writer) {
+	maxP := 4
+	for _, p := range cfg.Shards {
+		if p > maxP {
+			maxP = p
+		}
+	}
+	header(w, "adaptive planner: Algorithm Auto vs fixed arms (extension)",
+		fmt.Sprintf("Store collection, shards=%d; n=%d d=%d t=%d; %d warm-up queries before measuring",
+			maxP, cfg.N, cfg.D, cfg.MaxThreads, plannerWarmup))
+	fmt.Fprintf(w, "%-16s %-10s %6s %12s %14s %6s  %s\n",
+		"distribution", "arm", "shards", "ms", "dom. tests", "exact", "plan")
+
+	st := skybench.NewStore(cfg.MaxThreads)
+	defer st.Close()
+	reps := cfg.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	ctx := context.Background()
+
+	type arm struct {
+		name   string
+		alg    skybench.Algorithm
+		shards int
+	}
+	arms := []arm{
+		{"hybrid", skybench.Hybrid, 1},
+		{"hybrid", skybench.Hybrid, maxP},
+		{"qflow", skybench.QFlow, 1},
+		{"qflow", skybench.QFlow, maxP},
+	}
+
+	for _, dist := range dataset.AllDistributions {
+		m := cfg.gen(dist, cfg.N, cfg.D)
+		ds, err := skybench.DatasetFromFlat(m.Flat(), m.N(), m.D())
+		if err != nil {
+			panic(fmt.Sprintf("bench: planner dataset: %v", err))
+		}
+
+		// Fixed arms first; the unsharded Hybrid row doubles as the
+		// exactness baseline.
+		var baseline map[int]int32
+		for _, a := range arms {
+			col, err := st.Attach(fmt.Sprintf("%s-%s-p%d", dist, a.name, a.shards), ds,
+				skybench.CollectionOptions{Shards: a.shards, CacheCapacity: -1})
+			if err != nil {
+				panic(fmt.Sprintf("bench: planner attach: %v", err))
+			}
+			elapsed, last := timeReplay(ctx, col, skybench.Query{Algorithm: a.alg}, reps)
+			if baseline == nil {
+				baseline = resultSet(last)
+			}
+			fmt.Fprintf(w, "%-16s %-10s %6d %12s %14d %6s\n",
+				dist, a.name, a.shards, ms(elapsed), last.Stats.DominanceTests,
+				exactMark(resultSet(last), baseline))
+		}
+
+		// Auto: spend the explore budget, then measure the converged plan.
+		col, err := st.Attach(fmt.Sprintf("%s-auto", dist), ds,
+			skybench.CollectionOptions{Shards: maxP, CacheCapacity: -1})
+		if err != nil {
+			panic(fmt.Sprintf("bench: planner attach auto: %v", err))
+		}
+		q := skybench.Query{Algorithm: skybench.Auto}
+		for i := 0; i < plannerWarmup; i++ {
+			if _, err := col.Run(ctx, q); err != nil {
+				panic(fmt.Sprintf("bench: planner warmup %s: %v", dist, err))
+			}
+		}
+		elapsed, last := timeReplay(ctx, col, q, reps)
+		plan := last.Plan
+		desc := "-"
+		shards := 0
+		if plan != nil {
+			shards = plan.Shards
+			desc = fmt.Sprintf("%s/%d alpha=%d beta=%d no_prefilter=%v class=%s explore=%v",
+				plan.Algorithm, plan.Shards, plan.Alpha, plan.Beta, plan.NoPrefilter,
+				plan.Class, plan.Explore)
+		}
+		fmt.Fprintf(w, "%-16s %-10s %6d %12s %14d %6s  %s\n",
+			dist, "auto", shards, ms(elapsed), last.Stats.DominanceTests,
+			exactMark(resultSet(last), baseline), desc)
+	}
+}
+
+// timeReplay runs q reps times and returns the mean wall time (charging
+// Auto for its planning overhead) with the final result.
+func timeReplay(ctx context.Context, col *skybench.Collection, q skybench.Query, reps int) (time.Duration, *skybench.QueryResult) {
+	var total time.Duration
+	var last *skybench.QueryResult
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		res, err := col.Run(ctx, q)
+		if err != nil {
+			panic(fmt.Sprintf("bench: planner query: %v", err))
+		}
+		total += time.Since(start)
+		last = res
+	}
+	return total / time.Duration(reps), last
+}
+
+// resultSet keys a result by row index for order-insensitive
+// comparison (sharded and downshifted runs order results differently).
+func resultSet(res *skybench.QueryResult) map[int]int32 {
+	got := make(map[int]int32, res.Len())
+	for pos, i := range res.Indices {
+		if res.Counts != nil {
+			got[i] = res.Counts[pos]
+		} else {
+			got[i] = 0
+		}
+	}
+	return got
+}
+
+// exactMark compares two result sets for identity of membership and
+// dominator counts.
+func exactMark(got, want map[int]int32) string {
+	if len(got) != len(want) {
+		return "NO"
+	}
+	for i, c := range want {
+		if gc, ok := got[i]; !ok || gc != c {
+			return "NO"
+		}
+	}
+	return "yes"
+}

@@ -164,5 +164,6 @@ func Experiments() []struct {
 		{"stream", "incremental maintenance vs recompute (extension)", Config.StreamMaintenance},
 		{"skyband", "k-skyband cost curve over k (extension)", Config.Skyband},
 		{"shard", "sharded serving fan-out + merge vs single partition (extension)", Config.Shard},
+		{"planner", "adaptive planner (Algorithm Auto) vs fixed arms (extension)", Config.Planner},
 	}
 }

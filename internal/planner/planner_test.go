@@ -1,0 +1,205 @@
+package planner
+
+import (
+	"testing"
+	"time"
+
+	"skybench/internal/dataset"
+)
+
+func profileOf(t *testing.T, dist dataset.Distribution, n, d int) Profile {
+	t.Helper()
+	m := dataset.Generate(dist, n, d, 42)
+	return ProfileFlat(m.Flat(), m.N(), m.D())
+}
+
+// TestProfileClassifiesDistributions checks that the Spearman-based
+// classifier recovers the generator's three correlation classes, and
+// that the skyline estimate orders them correctly (correlated tiny,
+// anticorrelated huge).
+func TestProfileClassifiesDistributions(t *testing.T) {
+	n, d := 20000, 8
+	corr := profileOf(t, dataset.Correlated, n, d)
+	indep := profileOf(t, dataset.Independent, n, d)
+	anti := profileOf(t, dataset.Anticorrelated, n, d)
+
+	if corr.Class != ClassCorrelated {
+		t.Errorf("correlated profile classified %q (rho=%.3f)", corr.Class, corr.MeanRho)
+	}
+	if indep.Class != ClassIndependent {
+		t.Errorf("independent profile classified %q (rho=%.3f)", indep.Class, indep.MeanRho)
+	}
+	if anti.Class != ClassAnticorrelated {
+		t.Errorf("anticorrelated profile classified %q (rho=%.3f)", anti.Class, anti.MeanRho)
+	}
+	if !(corr.SkylineEst < indep.SkylineEst && indep.SkylineEst < anti.SkylineEst) {
+		t.Errorf("skyline estimates not ordered: corr=%d indep=%d anti=%d",
+			corr.SkylineEst, indep.SkylineEst, anti.SkylineEst)
+	}
+	for _, p := range []Profile{corr, indep, anti} {
+		if p.SkylineEst < 1 || p.SkylineEst > n {
+			t.Errorf("skyline estimate %d out of [1, %d]", p.SkylineEst, n)
+		}
+		if p.SampleN != profileSampleCap {
+			t.Errorf("sample size %d, want %d", p.SampleN, profileSampleCap)
+		}
+	}
+}
+
+// TestProfileDegenerateInputs: empty and tiny inputs must not panic and
+// must stay in sane ranges.
+func TestProfileDegenerateInputs(t *testing.T) {
+	if p := ProfileFlat(nil, 0, 0); p.Class != ClassIndependent || p.SkylineEst != 0 {
+		t.Errorf("empty profile = %+v", p)
+	}
+	p := ProfileFlat([]float64{1, 2, 3, 4}, 2, 2)
+	if p.SkylineEst < 0 || p.SkylineEst > 2 {
+		t.Errorf("tiny profile estimate %d", p.SkylineEst)
+	}
+}
+
+// TestDecideColdAnticorrelated: on a cold, large anticorrelated profile
+// the model must pick unsharded Hybrid (the measured best on this class
+// at low core counts) and must never explore Q-Flow — its predicted
+// cost sits far beyond the explore bound.
+func TestDecideColdAnticorrelated(t *testing.T) {
+	prof := Profile{
+		N: 100000, D: 8, SampleN: 512,
+		MeanRho: -0.14, Class: ClassAnticorrelated,
+		SkylineEst: 60000, SkylineFrac: 0.6,
+	}
+	p := New(prof, Config{Seed: 7})
+	// Replay what the Store feeds back on this workload (the BENCH shard
+	// numbers): Hybrid answers in ~500ms doing ~45M dominance tests, and
+	// the cost rows calibrate the planner's ns-per-test rate from that.
+	// Under the calibrated rate Q-Flow's predicted cost (n·m/4 ≈ 1.5G
+	// tests ≈ 17s) stays far beyond the 8×500ms explore bound — and on
+	// the very first, uncalibrated decision the bound is the model price
+	// of Hybrid itself (~tens of ms), which prices Q-Flow out too.
+	var rows []CostRow
+	for i := 0; i < 200; i++ {
+		dec := p.Decide(rows, 4)
+		if dec.Algorithm == AlgoQFlow {
+			t.Fatalf("decision %d explored Q-Flow on a cold 100k anticorrelated set (reason: %s)", i, dec.Reason)
+		}
+		if !dec.NoPrefilter {
+			t.Errorf("decision %d kept the prefilter on anticorrelated data", i)
+		}
+		p.Observe(dec.Algorithm, dec.Shards, 500*time.Millisecond)
+		rows = []CostRow{{Algorithm: AlgoHybrid, Count: uint64(i + 1), P50: 500 * time.Millisecond, MeanDTs: 45e6}}
+	}
+}
+
+// TestDecideConvergesToMeasuredBest: whatever the model believes, once
+// every arm has history the planner must exploit the measured fastest
+// arm (here: sharded Q-Flow, the anticorrelated BENCH result).
+func TestDecideConvergesToMeasuredBest(t *testing.T) {
+	prof := Profile{
+		N: 100000, D: 8, SampleN: 512,
+		MeanRho: -0.14, Class: ClassAnticorrelated,
+		SkylineEst: 60000, SkylineFrac: 0.6,
+	}
+	p := New(prof, Config{Seed: 3, MinSamples: 2})
+	// Hand every arm enough history that exploitation is pure p50
+	// comparison: qflow/4 measured fastest.
+	lat := map[Arm]time.Duration{
+		{AlgoHybrid, 1}: 700 * time.Millisecond,
+		{AlgoHybrid, 4}: 900 * time.Millisecond,
+		{AlgoQFlow, 1}:  5 * time.Second,
+		{AlgoQFlow, 4}:  300 * time.Millisecond,
+	}
+	for arm, l := range lat {
+		for i := 0; i < 4; i++ {
+			p.Observe(arm.Algorithm, arm.Shards, l)
+		}
+	}
+	exploit := 0
+	for i := 0; i < 50; i++ {
+		dec := p.Decide(nil, 4)
+		if !dec.Explore {
+			exploit++
+			if dec.Algorithm != AlgoQFlow || dec.Shards != 4 {
+				t.Fatalf("exploited %s/%d, want qflow/4 (reason: %s)", dec.Algorithm, dec.Shards, dec.Reason)
+			}
+		}
+	}
+	if exploit == 0 {
+		t.Fatal("no exploit decisions in 50 rounds")
+	}
+}
+
+// TestDecideHonorsMaxShards: with maxShards 1 only unsharded arms are
+// candidates.
+func TestDecideHonorsMaxShards(t *testing.T) {
+	p := New(Profile{N: 10000, D: 4, SkylineEst: 100, SkylineFrac: 0.01, Class: ClassCorrelated}, Config{Seed: 1})
+	for i := 0; i < 100; i++ {
+		dec := p.Decide(nil, 1)
+		if dec.Shards != 1 {
+			t.Fatalf("decision chose %d shards with maxShards 1", dec.Shards)
+		}
+		if len(dec.Candidates) != 2 {
+			t.Fatalf("%d candidates with maxShards 1, want 2", len(dec.Candidates))
+		}
+	}
+}
+
+// TestCalibrateFromHistory: the ns-per-dominance-test rate must come
+// from the cheapest measured row, clamped to the sane band.
+func TestCalibrateFromHistory(t *testing.T) {
+	p := New(Profile{N: 1000, SkylineEst: 10}, Config{})
+	if got := p.calibrate(nil); got != 2 {
+		t.Errorf("cold calibration = %v, want the default 2", got)
+	}
+	rows := []CostRow{
+		{Algorithm: AlgoHybrid, Count: 10, P50: 10 * time.Millisecond, MeanDTs: 1e6}, // 10 ns/DT
+		{Algorithm: AlgoQFlow, Count: 10, P50: 100 * time.Millisecond, MeanDTs: 2e7}, // 5 ns/DT
+	}
+	if got := p.calibrate(rows); got != 5 {
+		t.Errorf("calibration = %v, want 5 (cheapest row)", got)
+	}
+	hot := []CostRow{{Algorithm: AlgoHybrid, Count: 5, P50: time.Nanosecond, MeanDTs: 1e9}}
+	if got := p.calibrate(hot); got != 0.25 {
+		t.Errorf("calibration = %v, want the 0.25 floor", got)
+	}
+}
+
+// TestPickAlpha: paper defaults on big inputs, halved down (never below
+// 256) while fewer than four blocks fit.
+func TestPickAlpha(t *testing.T) {
+	if got := pickAlpha(AlgoHybrid, 100000); got != 1024 {
+		t.Errorf("hybrid alpha at 100k = %d, want 1024", got)
+	}
+	if got := pickAlpha(AlgoQFlow, 100000); got != 8192 {
+		t.Errorf("qflow alpha at 100k = %d, want 8192", got)
+	}
+	if got := pickAlpha(AlgoHybrid, 1000); got != 256 {
+		t.Errorf("hybrid alpha at 1k = %d, want 256", got)
+	}
+	if got := pickAlpha(AlgoQFlow, 50); got != 256 {
+		t.Errorf("qflow alpha at 50 = %d, want the 256 floor", got)
+	}
+}
+
+// TestDecisionCounts: tallies accumulate per (arm, explore) and come
+// back sorted.
+func TestDecisionCounts(t *testing.T) {
+	p := New(Profile{N: 1000, D: 2, SkylineEst: 10, SkylineFrac: 0.01}, Config{Seed: 5})
+	for i := 0; i < 30; i++ {
+		dec := p.Decide(nil, 2)
+		p.Observe(dec.Algorithm, dec.Shards, time.Millisecond)
+	}
+	var total uint64
+	counts := p.DecisionCounts()
+	for i, dc := range counts {
+		total += dc.Count
+		if i > 0 {
+			prev := counts[i-1]
+			if dc.Algorithm < prev.Algorithm {
+				t.Errorf("decision counts unsorted: %v before %v", prev, dc)
+			}
+		}
+	}
+	if total != 30 {
+		t.Errorf("decision counts sum to %d, want 30", total)
+	}
+}

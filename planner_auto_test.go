@@ -1,0 +1,345 @@
+package skybench_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"skybench"
+)
+
+// replayEvent is one query of an NDJSON-serialized workload trace: the
+// shape knobs a client would vary, one JSON object per line. The trace
+// below is self-authored (the server's event log records only a query
+// fingerprint hash, which cannot be inverted back into a query), but
+// the replay loop consumes it exactly the way a captured log would be.
+type replayEvent struct {
+	K    int `json:"k"`
+	Reps int `json:"reps"`
+}
+
+// plannerReplayTrace is a mixed workload: mostly plain skylines with
+// interleaved k-skyband bursts, and enough repetitions that the
+// planner's explore budget is spent and its cost history fills past
+// MinSamples for the exploited arm.
+const plannerReplayTrace = `{"k":1,"reps":4}
+{"k":2,"reps":2}
+{"k":1,"reps":3}
+{"k":3,"reps":2}
+{"k":1,"reps":4}
+{"k":2,"reps":1}
+{"k":1,"reps":4}
+`
+
+// decodeReplayTrace expands the NDJSON trace into the query sequence.
+func decodeReplayTrace(t *testing.T) []skybench.Query {
+	t.Helper()
+	var qs []skybench.Query
+	sc := bufio.NewScanner(strings.NewReader(plannerReplayTrace))
+	for sc.Scan() {
+		var ev replayEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("trace line %q: %v", sc.Text(), err)
+		}
+		for i := 0; i < ev.Reps; i++ {
+			qs = append(qs, skybench.Query{SkybandK: ev.K})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) < 18 {
+		t.Fatalf("trace expands to %d queries, want a mixed workload of at least 18", len(qs))
+	}
+	return qs
+}
+
+// runReplay replays the query sequence with a fixed algorithm choice
+// applied on top and returns total wall time (which, unlike
+// Stats.Elapsed, charges Auto for its planning overhead too).
+func runReplay(t *testing.T, col *skybench.Collection, base []skybench.Query, alg skybench.Algorithm) time.Duration {
+	t.Helper()
+	ctx := context.Background()
+	var total time.Duration
+	for _, q := range base {
+		q.Algorithm = alg
+		start := time.Now()
+		if _, err := col.Run(ctx, q); err != nil {
+			t.Fatalf("%v replay: %v", alg, err)
+		}
+		total += time.Since(start)
+	}
+	return total
+}
+
+// TestPlannerOracleReplay is the planner's oracle property: replaying
+// the same mixed trace, Algorithm Auto's total latency must stay within
+// a bounded factor of the best fixed hot-path algorithm on every
+// distribution — adaptivity may cost its explore budget but must never
+// degenerate to the worst arm. Caching is disabled so every query pays
+// for a real execution, and every Auto answer is checked bit-identical
+// to its resolved plan run explicitly.
+func TestPlannerOracleReplay(t *testing.T) {
+	const n, d = 4000, 6
+	trace := decodeReplayTrace(t)
+	st := skybench.NewStore(2)
+	defer st.Close()
+
+	for _, dist := range []string{"correlated", "independent", "anticorrelated"} {
+		t.Run(dist, func(t *testing.T) {
+			rows := storeTestData(t, dist, n, d, 9)
+			ds, err := skybench.NewDataset(rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			attach := func(suffix string) *skybench.Collection {
+				col, err := st.Attach(dist+"-"+suffix, ds, skybench.CollectionOptions{CacheCapacity: -1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return col
+			}
+
+			fixed := map[skybench.Algorithm]time.Duration{
+				skybench.Hybrid: runReplay(t, attach("hybrid"), trace, skybench.Hybrid),
+				skybench.QFlow:  runReplay(t, attach("qflow"), trace, skybench.QFlow),
+			}
+			best := fixed[skybench.Hybrid]
+			for _, el := range fixed {
+				if el < best {
+					best = el
+				}
+			}
+
+			auto := attach("auto")
+			ctx := context.Background()
+			var autoTotal time.Duration
+			for _, q := range trace {
+				q.Algorithm = skybench.Auto
+				start := time.Now()
+				res, err := auto.Run(ctx, q)
+				autoTotal += time.Since(start)
+				if err != nil {
+					t.Fatalf("auto replay: %v", err)
+				}
+				if res.Plan == nil {
+					t.Fatal("auto result carries no Plan")
+				}
+				checkPlanExactness(t, auto, q, res)
+			}
+
+			// 4× plus absolute slack: wide enough for scheduler noise on a
+			// loaded 1-CPU -race run, tight enough that picking the losing
+			// arm on anticorrelated data (Q-Flow is ~10× Hybrid there)
+			// still fails.
+			bound := 4*best + 250*time.Millisecond
+			t.Logf("%s: auto=%v hybrid=%v qflow=%v bound=%v",
+				dist, autoTotal, fixed[skybench.Hybrid], fixed[skybench.QFlow], bound)
+			if autoTotal > bound {
+				t.Errorf("auto total %v exceeds %v (best fixed %v)", autoTotal, bound, best)
+			}
+		})
+	}
+}
+
+// checkPlanExactness re-runs an Auto answer's resolved plan as an
+// explicit query and requires the bit-identical result — Auto must be
+// pure dispatch, never a different computation.
+func checkPlanExactness(t *testing.T, col *skybench.Collection, q skybench.Query, res *skybench.QueryResult) {
+	t.Helper()
+	alg, err := skybench.ParseAlgorithm(res.Plan.Algorithm)
+	if err != nil {
+		t.Fatalf("plan algorithm %q: %v", res.Plan.Algorithm, err)
+	}
+	explicit := q
+	explicit.Algorithm = alg
+	explicit.Alpha = res.Plan.Alpha
+	explicit.Beta = res.Plan.Beta
+	explicit.Ablation.NoPrefilter = res.Plan.NoPrefilter
+	want, err := col.Run(context.Background(), explicit)
+	if err != nil {
+		t.Fatalf("explicit %v replay: %v", alg, err)
+	}
+	if len(want.Indices) != len(res.Indices) {
+		t.Fatalf("auto returned %d points, explicit %v returned %d",
+			len(res.Indices), alg, len(want.Indices))
+	}
+	for p := range want.Indices {
+		if res.Indices[p] != want.Indices[p] {
+			t.Fatalf("auto/explicit results diverge at position %d: row %d vs %d",
+				p, res.Indices[p], want.Indices[p])
+		}
+		if res.Counts != nil && res.Counts[p] != want.Counts[p] {
+			t.Fatalf("auto/explicit dominator counts diverge at position %d: %d vs %d",
+				p, res.Counts[p], want.Counts[p])
+		}
+	}
+}
+
+// TestPlannerShardOverride: on a sharded collection the planner may
+// fan a query out below CollectionOptions.Shards. For Hybrid the model
+// always prices the unsharded arm cheaper (fan-out has never paid off
+// for it in the benchmarks), so the exploited plan must downshift to
+// one shard — and the downshifted answer must still match the
+// membership of the same query run at the collection's default fan-out.
+func TestPlannerShardOverride(t *testing.T) {
+	const n, d = 3000, 5
+	rows := storeTestData(t, "correlated", n, d, 11)
+	ds, err := skybench.NewDataset(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := skybench.NewStore(2)
+	defer st.Close()
+	col, err := st.Attach("sharded-auto", ds, skybench.CollectionOptions{Shards: 2, CacheCapacity: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	downshifted := 0
+	for i := 0; i < 12; i++ {
+		res, err := col.Run(ctx, skybench.Query{Algorithm: skybench.Auto, SkybandK: 1 + i%2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Plan == nil {
+			t.Fatal("auto result carries no Plan")
+		}
+		if res.Plan.Shards < 1 || res.Plan.Shards > 2 {
+			t.Fatalf("plan fan-out %d outside [1, Shards]", res.Plan.Shards)
+		}
+		// While every candidate is still model-priced the model taxes
+		// sharded Hybrid ×1.4, so an exploit decision must downshift.
+		// ε-greedy explores and decisions made after measured history
+		// replaces the model may legitimately keep fan-out 2 (noisy
+		// timings on a loaded box can rank the arms either way).
+		allModel := true
+		for _, c := range res.Plan.Candidates {
+			if c.Source != "model" {
+				allModel = false
+				break
+			}
+		}
+		if !res.Plan.Explore && allModel && res.Plan.Shards != 1 {
+			t.Errorf("model-priced exploit %d kept fan-out %d; the model prices hybrid/1 under hybrid/2", i, res.Plan.Shards)
+		}
+		if res.Plan.Shards == 1 {
+			downshifted++
+		}
+
+		// Membership must be independent of the chosen fan-out (only
+		// ordering may differ between merge paths).
+		explicit := skybench.Query{SkybandK: 1 + i%2}
+		explicit.Algorithm = skybench.Hybrid
+		explicit.Alpha = res.Plan.Alpha
+		explicit.Beta = res.Plan.Beta
+		explicit.Ablation.NoPrefilter = res.Plan.NoPrefilter
+		want, err := col.Run(ctx, explicit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ref := bandMap(res.Indices, res.Counts), bandMap(want.Indices, want.Counts)
+		if len(got) != len(ref) {
+			t.Fatalf("decision %d: auto returned %d points, explicit sharded run %d", i, len(got), len(ref))
+		}
+		for idx, cnt := range ref {
+			if gc, ok := got[idx]; !ok || gc != cnt {
+				t.Fatalf("decision %d: row %d count %d vs %d (present=%v)", i, idx, gc, cnt, ok)
+			}
+		}
+	}
+	if downshifted == 0 {
+		t.Error("planner never downshifted a sharded hybrid query to one shard")
+	}
+
+	stats, err := col.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Planner == nil {
+		t.Fatal("collection stats carry no planner section")
+	}
+	var tallied uint64
+	for _, dec := range stats.Planner.Decisions {
+		tallied += dec.Count
+	}
+	if tallied != 12 {
+		t.Errorf("planner decision counts sum to %d, want 12", tallied)
+	}
+}
+
+// TestEngineRejectsAuto: Auto is a Store-level meta-algorithm — the
+// bare Engine has no planner and must refuse it loudly rather than
+// silently running some default.
+func TestEngineRejectsAuto(t *testing.T) {
+	rows := storeTestData(t, "independent", 100, 3, 5)
+	ds, err := skybench.NewDataset(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := skybench.NewEngine(1)
+	defer eng.Close()
+	_, err = eng.Run(context.Background(), ds, skybench.Query{Algorithm: skybench.Auto})
+	if !errors.Is(err, skybench.ErrBadQuery) {
+		t.Fatalf("Engine.Run(Auto) = %v, want ErrBadQuery", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "auto") {
+		t.Errorf("error %v does not name the auto algorithm", err)
+	}
+}
+
+// TestAutoCacheSharesResolvedPlan: an Auto query and the identical
+// explicit query resolving to the same plan must share one cache entry
+// (the fingerprint is taken after planning), and an Auto cache hit
+// still reports the decision in Plan.
+func TestAutoCacheSharesResolvedPlan(t *testing.T) {
+	rows := storeTestData(t, "correlated", 2000, 4, 13)
+	ds, err := skybench.NewDataset(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := skybench.NewStore(2)
+	defer st.Close()
+	col, err := st.Attach("auto-cache", ds, skybench.CollectionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	first, err := col.Run(ctx, skybench.Query{Algorithm: skybench.Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Plan == nil {
+		t.Fatal("auto result carries no Plan")
+	}
+	// Run until the planner repeats a plan it has cached a result for —
+	// with one candidate arm exploited nearly always this happens within
+	// a few queries even if an early decision explored.
+	var hit *skybench.QueryResult
+	for i := 0; i < 10; i++ {
+		res, err := col.Run(ctx, skybench.Query{Algorithm: skybench.Auto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Plan == nil {
+			t.Fatal("auto result lost its Plan")
+		}
+		if cs := col.CacheStats(); cs.Hits > 0 {
+			hit = res
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatal(fmt.Errorf("10 identical auto queries never hit the cache (stats %+v)", col.CacheStats()))
+	}
+	if hit.Plan.Algorithm == "" {
+		t.Error("cache-hit Plan lost its resolved algorithm")
+	}
+}

@@ -35,9 +35,13 @@ type Client struct {
 }
 
 // New creates a client for the server at baseURL (e.g.
-// "http://localhost:8080"), using http.DefaultClient's transport.
+// "http://localhost:8080"). The client owns a private transport (not
+// http.DefaultTransport) so Close can actually release its idle
+// connections without touching unrelated traffic in the process.
 func New(baseURL string) *Client {
-	return NewWithHTTPClient(baseURL, &http.Client{})
+	return NewWithHTTPClient(baseURL, &http.Client{
+		Transport: &http.Transport{Proxy: http.ProxyFromEnvironment},
+	})
 }
 
 // NewWithHTTPClient creates a client with an explicit *http.Client
@@ -48,6 +52,36 @@ func NewWithHTTPClient(baseURL string, hc *http.Client) *Client {
 
 // BaseURL returns the server base URL the client was created with.
 func (c *Client) BaseURL() string { return c.base }
+
+// Close releases the client's idle keep-alive connections. Call it when
+// done with the client — especially before the server shuts down: a
+// kept-alive connection the client dialed but never reused sits in
+// StateNew on the server, and http.Server.Shutdown waits its full grace
+// period for such connections. (The Client remains usable after Close;
+// subsequent calls simply dial fresh connections.)
+func (c *Client) Close() {
+	c.hc.CloseIdleConnections()
+}
+
+// Healthz probes the server's health endpoint: nil when the server is
+// up and serving, an *APIError carrying the HTTP status otherwise (503
+// while the server is draining).
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeAPIError(resp)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
 
 // APIError is a non-2xx response decoded from the wire. Unwrap returns
 // the skybench sentinel for the wire code, so errors.Is(err,

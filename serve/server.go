@@ -108,6 +108,9 @@ type Server struct {
 	algoDur  *metrics.HistogramVec // {collection, algorithm}
 	algoDTs  *metrics.HistogramVec // {collection, algorithm}
 
+	// Adaptive planner decisions, counted per algorithm "auto" query.
+	planDecisions *metrics.CounterVec // {collection, algorithm, explore}
+
 	// Durability gauges, sampled at scrape from CollectionStats.
 	walFsyncs   *metrics.GaugeVec // {collection}
 	walFsyncNs  *metrics.GaugeVec
@@ -155,6 +158,7 @@ func New(st *skybench.Store, opts Options) *Server {
 	s.phaseDur = r.NewHistogramVec("skyserved_query_phase_seconds", "Engine time per execution phase, executed queries only.", nil, "collection", "phase")
 	s.algoDur = r.NewHistogramVec("skyserved_query_algorithm_seconds", "Engine service time by algorithm, executed queries only.", nil, "collection", "algorithm")
 	s.algoDTs = r.NewHistogramVec("skyserved_query_dominance_tests", "Dominance tests per executed query, by algorithm.", dtBuckets, "collection", "algorithm")
+	s.planDecisions = r.NewCounterVec("skyserved_planner_decisions_total", "Adaptive planner decisions for algorithm auto queries, by chosen algorithm and explore flag.", "collection", "algorithm", "explore")
 	s.walFsyncs = r.NewGaugeVec("skyserved_wal_fsyncs", "WAL fsyncs (lifetime, sampled at scrape).", "collection")
 	s.walFsyncNs = r.NewGaugeVec("skyserved_wal_fsync_nanoseconds", "Total time in WAL fsyncs (lifetime, sampled at scrape).", "collection")
 	s.walSegments = r.NewGaugeVec("skyserved_wal_segments", "Live WAL segment files at scrape time.", "collection")
@@ -435,6 +439,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, obs *observ
 	}
 	obs.cacheHit = col.CacheStats().Hits > hits0
 	obs.trace = res.Trace
+	if res.Plan != nil {
+		// An "auto" query resolved to a concrete plan: count the decision
+		// and attribute the engine cost (and the event-log record) to the
+		// algorithm that actually ran, not the "auto" placeholder.
+		s.planDecisions.With(name, res.Plan.Algorithm, strconv.FormatBool(res.Plan.Explore)).Inc()
+		obs.algorithm = res.Plan.Algorithm
+	}
 	if !obs.cacheHit {
 		s.observeQueryCost(name, obs.algorithm, &res.Stats)
 	}
@@ -519,6 +530,7 @@ func buildQueryResponse(name string, res *skybench.QueryResult, req *QueryReques
 	if req.Trace {
 		resp.Trace = res.Trace
 	}
+	resp.Planner = res.Plan
 	return resp
 }
 
@@ -692,13 +704,32 @@ func (s *Server) collectionInfo(name string) (CollectionInfo, error) {
 	}
 	for _, ac := range cs.Costs {
 		info.Costs = append(info.Costs, AlgorithmCostInfo{
-			Algorithm:          ac.Algorithm,
-			Count:              ac.Count,
-			MeanLatencyNs:      ac.MeanLatency.Nanoseconds(),
-			P50LatencyNs:       ac.P50Latency.Nanoseconds(),
-			P99LatencyNs:       ac.P99Latency.Nanoseconds(),
-			MeanDominanceTests: ac.MeanDominanceTests,
+			Algorithm:                  ac.Algorithm,
+			Count:                      ac.Count,
+			MeanLatencyNs:              ac.MeanLatency.Nanoseconds(),
+			P50LatencyNs:               ac.P50Latency.Nanoseconds(),
+			P99LatencyNs:               ac.P99Latency.Nanoseconds(),
+			MeanDominanceTests:         ac.MeanDominanceTests,
+			WindowedMeanDominanceTests: ac.WindowedMeanDominanceTests,
 		})
+	}
+	if ps := cs.Planner; ps != nil {
+		pi := &PlannerInfo{
+			Class:        ps.Class,
+			MeanSpearman: ps.MeanSpearman,
+			SkylineFrac:  ps.SkylineFrac,
+			SkylineEst:   ps.SkylineEst,
+			SampleN:      ps.SampleN,
+		}
+		for _, d := range ps.Decisions {
+			pi.Decisions = append(pi.Decisions, PlannerDecisionInfo{
+				Algorithm: d.Algorithm,
+				Shards:    d.Shards,
+				Explore:   d.Explore,
+				Count:     d.Count,
+			})
+		}
+		info.Planner = pi
 	}
 	if ds := cs.Durability; ds != nil {
 		info.Durability = &DurabilityInfo{

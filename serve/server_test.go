@@ -576,19 +576,17 @@ func TestGracefulShutdown(t *testing.T) {
 
 	// The shutdown sequence skyserved runs on SIGTERM.
 	srv.Drain()
-	// Probe with its own non-keep-alive transport: sharing the default
-	// transport with the subscription client would race a fresh dial
-	// against the conn the drain just freed, stranding an unused
-	// connection that stalls Shutdown for the stdlib's StateNew grace.
-	probe := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
-	if resp, err := probe.Get("http://" + ln.Addr().String() + "/healthz"); err != nil {
-		t.Fatalf("healthz during drain: %v", err)
-	} else {
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusServiceUnavailable {
-			t.Fatalf("healthz during drain = %d, want 503", resp.StatusCode)
-		}
+	err = c.Healthz(ctx)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain = %v, want 503 APIError", err)
 	}
+	// Close sheds the client's idle keep-alive connections before
+	// Shutdown. Without it, a connection the client dialed but never
+	// reused (the probe above races a fresh dial against the conn the
+	// drain just freed) sits in StateNew on the server and Shutdown
+	// waits its full grace for it.
+	c.Close()
 	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {
@@ -823,3 +821,67 @@ func (s *safeBuffer) String() string {
 
 // srvURL digs the base URL back out of a client for the raw-HTTP cases.
 func srvURL(c *client.Client) string { return c.BaseURL() }
+
+// TestAutoQueryWire: an Algorithm "auto" query over the wire must carry
+// the planner's decision in the response, tally it in the
+// per-decision metric family, and surface the collection's profile and
+// decision counts through info.
+func TestAutoQueryWire(t *testing.T) {
+	srv, c := newTestServer(t, skybench.StoreOptions{Threads: 2}, serve.Options{})
+	path := genCSV(t, 800, 4, 17)
+	if _, err := srv.AttachStaticFile("hotels", path, skybench.CollectionOptions{Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	res, err := c.Query(ctx, "hotels", &serve.QueryRequest{Algorithm: "auto", Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Planner == nil {
+		t.Fatal("auto query response carries no planner decision")
+	}
+	if res.Planner.Algorithm != "hybrid" && res.Planner.Algorithm != "qflow" {
+		t.Errorf("planner chose %q, want a hot-path algorithm", res.Planner.Algorithm)
+	}
+	if res.Trace == nil || res.Trace.Planner == nil {
+		t.Fatal("traced auto query carries no trace.planner")
+	}
+	if !reflect.DeepEqual(res.Trace.Planner, res.Planner) {
+		t.Errorf("trace.planner and response planner diverge:\n%+v\n%+v", res.Trace.Planner, res.Planner)
+	}
+
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf(`skyserved_planner_decisions_total{collection="hotels",algorithm=%q`, res.Planner.Algorithm)
+	if !strings.Contains(text, want) {
+		t.Errorf("exposition lacks %s", want)
+	}
+	// Cost attribution must follow the resolved algorithm, never "auto".
+	if strings.Contains(text, `algorithm="auto"`) {
+		t.Error(`exposition attributes cost to algorithm="auto"`)
+	}
+	if err := metrics.Lint(strings.NewReader(text)); err != nil {
+		t.Errorf("exposition with planner family does not lint: %v", err)
+	}
+
+	info, err := c.Info(ctx, "hotels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Planner == nil {
+		t.Fatal("collection info carries no planner section after an auto query")
+	}
+	if info.Planner.Class == "" || info.Planner.SampleN == 0 {
+		t.Errorf("planner info missing profile: %+v", info.Planner)
+	}
+	var total uint64
+	for _, d := range info.Planner.Decisions {
+		total += d.Count
+	}
+	if total != 1 {
+		t.Errorf("planner decision counts sum to %d, want 1", total)
+	}
+}

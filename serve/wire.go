@@ -96,6 +96,9 @@ type QueryResponse struct {
 	// trace. skybench.QueryTrace marshals durations as integer
 	// nanoseconds, so the trace round-trips the wire exactly.
 	Trace *skybench.QueryTrace `json:"trace,omitempty"`
+	// Planner is the adaptive planner's decision, present only for
+	// algorithm "auto" requests (traced or not).
+	Planner *skybench.PlannerTrace `json:"planner,omitempty"`
 }
 
 // InsertRequest is the body of POST /v1/collections/{name}/points: a
@@ -136,6 +139,28 @@ type AlgorithmCostInfo struct {
 	P50LatencyNs       int64   `json:"p50LatencyNs"`
 	P99LatencyNs       int64   `json:"p99LatencyNs"`
 	MeanDominanceTests float64 `json:"meanDominanceTests"`
+	// WindowedMeanDominanceTests is the mean dominance-test count over
+	// the same window the latency percentiles cover.
+	WindowedMeanDominanceTests float64 `json:"windowedMeanDominanceTests"`
+}
+
+// PlannerInfo mirrors skybench.PlannerStats on the wire: the adaptive
+// planner's data profile and decision tallies.
+type PlannerInfo struct {
+	Class        string                `json:"class"`
+	MeanSpearman float64               `json:"meanSpearman"`
+	SkylineFrac  float64               `json:"skylineFrac"`
+	SkylineEst   int                   `json:"skylineEst"`
+	SampleN      int                   `json:"sampleN"`
+	Decisions    []PlannerDecisionInfo `json:"decisions,omitempty"`
+}
+
+// PlannerDecisionInfo is one (plan, explore-mode) decision tally.
+type PlannerDecisionInfo struct {
+	Algorithm string `json:"algorithm"`
+	Shards    int    `json:"shards"`
+	Explore   bool   `json:"explore,omitempty"`
+	Count     uint64 `json:"count"`
 }
 
 // DurabilityInfo mirrors skybench.DurabilityStats on the wire.
@@ -164,6 +189,9 @@ type CollectionInfo struct {
 	// Costs are the collection's per-algorithm rolling cost statistics,
 	// one row per algorithm that has executed at least once.
 	Costs []AlgorithmCostInfo `json:"costs,omitempty"`
+	// Planner is the adaptive planner's profile and decision tallies,
+	// absent until the collection has been profiled.
+	Planner *PlannerInfo `json:"planner,omitempty"`
 	// Durability carries WAL and checkpoint counters for durable
 	// stream collections; absent otherwise.
 	Durability *DurabilityInfo `json:"durability,omitempty"`

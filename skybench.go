@@ -104,13 +104,21 @@ const (
 	// APSkyline is Liknes et al.'s angle-based multicore
 	// divide-and-conquer (equi-depth first-angle variant).
 	APSkyline
+	// Auto delegates the algorithm choice (and shard fan-out and α/β
+	// tuning) to the collection's adaptive planner, which combines an
+	// attach-time data profile with the rolling per-algorithm cost
+	// history. Auto is only valid on Store collections — a plain
+	// Engine.Run has no profile or history to plan from and rejects it
+	// with ErrBadQuery. It is deliberately absent from Algorithms: it is
+	// a meta-algorithm, not an extra comparison point.
+	Auto
 )
 
 var algoNames = map[Algorithm]string{
 	Hybrid: "hybrid", QFlow: "qflow", PSkyline: "pskyline",
 	BSkyTree: "bskytree", PBSkyTree: "pbskytree",
 	BNL: "bnl", SFS: "sfs", SaLSa: "salsa", LESS: "less", DnC: "dnc",
-	PSFS: "psfs", APSkyline: "apskyline",
+	PSFS: "psfs", APSkyline: "apskyline", Auto: "auto",
 }
 
 // String returns the algorithm's CLI name.

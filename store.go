@@ -148,6 +148,12 @@ func (s *Store) Attach(name string, ds *Dataset, opts CollectionOptions) (*Colle
 	if err := s.add(name, c); err != nil {
 		return nil, err
 	}
+	// Profile eagerly: a static collection's membership never changes,
+	// so the planner's data profile is paid for once at attach time and
+	// the first Algorithm: Auto query plans from it immediately.
+	// (Stream-backed collections profile lazily on first Auto query —
+	// their membership at attach time may be empty.)
+	c.plannerFor(c.static)
 	return c, nil
 }
 

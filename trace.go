@@ -67,6 +67,48 @@ type QueryTrace struct {
 	MergePath string `json:"merge_path,omitempty"`
 	// Shards breaks a sharded fan-out down per shard.
 	Shards []ShardTrace `json:"shards,omitempty"`
+	// Planner records the adaptive planner's decision for an
+	// Algorithm: Auto query — profile inputs, candidate scores, and the
+	// chosen plan. Nil for queries that named their algorithm.
+	Planner *PlannerTrace `json:"planner,omitempty"`
+}
+
+// PlannerTrace is the planner's account of one Auto decision: what it
+// knew (the data profile), what it considered (the scored candidates),
+// and what it chose (algorithm, fan-out, tuning, explore/exploit).
+type PlannerTrace struct {
+	// Class, MeanRho, SkylineFrac, SkylineEst and SampleN are the
+	// attach-time data-profile inputs (see planner.Profile).
+	Class       string  `json:"class"`
+	MeanRho     float64 `json:"mean_spearman"`
+	SkylineFrac float64 `json:"skyline_frac"`
+	SkylineEst  int     `json:"skyline_est"`
+	SampleN     int     `json:"sample_n"`
+	// Algorithm, Shards, Alpha, Beta and NoPrefilter are the chosen
+	// plan as it was written into the executed query.
+	Algorithm   string `json:"algorithm"`
+	Shards      int    `json:"shards"`
+	Alpha       int    `json:"alpha,omitempty"`
+	Beta        int    `json:"beta,omitempty"`
+	NoPrefilter bool   `json:"no_prefilter,omitempty"`
+	// Explore marks an ε-greedy exploration of an under-sampled arm;
+	// Reason says why the plan won in either mode.
+	Explore bool   `json:"explore,omitempty"`
+	Reason  string `json:"reason"`
+	// Candidates are every arm the planner scored.
+	Candidates []PlannerCandidate `json:"candidates,omitempty"`
+}
+
+// PlannerCandidate is one scored (algorithm, fan-out) arm.
+type PlannerCandidate struct {
+	Algorithm string `json:"algorithm"`
+	Shards    int    `json:"shards"`
+	// Predicted is the arm's predicted latency: its own windowed p50
+	// when Source is "history", the profile-driven cost model's price
+	// when Source is "model".
+	Predicted time.Duration `json:"predicted_ns"`
+	Source    string        `json:"source"`
+	Samples   int           `json:"samples"`
 }
 
 // ShardTrace is the per-shard slice of a sharded query's trace.
@@ -123,6 +165,16 @@ func (t *QueryTrace) String() string {
 	if t.Stale {
 		b.WriteString(" stale=true")
 	}
+	if p := t.Planner; p != nil {
+		fmt.Fprintf(&b, "\nplanner: class=%s rho=%.3f sky_frac=%.3f sky_est=%d sample=%d",
+			p.Class, p.MeanRho, p.SkylineFrac, p.SkylineEst, p.SampleN)
+		fmt.Fprintf(&b, "\nplanner: chose %s shards=%d alpha=%d beta=%d no_prefilter=%v explore=%v (%s)",
+			p.Algorithm, p.Shards, p.Alpha, p.Beta, p.NoPrefilter, p.Explore, p.Reason)
+		for _, c := range p.Candidates {
+			fmt.Fprintf(&b, "\n  candidate %s/%d: predicted=%v source=%s samples=%d",
+				c.Algorithm, c.Shards, c.Predicted.Round(time.Microsecond), c.Source, c.Samples)
+		}
+	}
 	fmt.Fprintf(&b, "\ninput=%d output=%d elapsed=%v", t.InputSize, t.Output, t.Elapsed.Round(time.Microsecond))
 	if t.CacheHit {
 		return b.String()
@@ -147,7 +199,8 @@ func (t *QueryTrace) String() string {
 	return b.String()
 }
 
-// Clone returns a deep copy of the trace (detaching the Shards slice).
+// Clone returns a deep copy of the trace (detaching the Shards slice
+// and the planner decision).
 func (t *QueryTrace) Clone() *QueryTrace {
 	if t == nil {
 		return nil
@@ -155,6 +208,13 @@ func (t *QueryTrace) Clone() *QueryTrace {
 	c := *t
 	if t.Shards != nil {
 		c.Shards = append([]ShardTrace(nil), t.Shards...)
+	}
+	if t.Planner != nil {
+		p := *t.Planner
+		if p.Candidates != nil {
+			p.Candidates = append([]PlannerCandidate(nil), p.Candidates...)
+		}
+		c.Planner = &p
 	}
 	return &c
 }
