@@ -9,6 +9,9 @@
 //	skyctl attach prices -dir /var/lib/skybench/prices -d 4
 //	skyctl drop prices
 //	skyctl metrics
+//	skyctl cluster ls
+//	skyctl cluster status hotels
+//	skyctl cluster attach hotels -file hotels.csv -workers http://w1:8081,http://w2:8082
 //
 // Every non-2xx response prints the server's error code and message and
 // exits non-zero.
@@ -63,6 +66,8 @@ func main() {
 		err = cmdDrop(c, args)
 	case "metrics":
 		err = cmdMetrics(c, args)
+	case "cluster":
+		err = cmdCluster(c, args)
 	default:
 		log.Printf("unknown command %q", cmd)
 		usage()
@@ -90,6 +95,9 @@ commands:
   attach <collection>        attach a collection (-file csv | -dir waldir)
   drop <collection>          drop a collection
   metrics                    dump the Prometheus metrics text (-lint to validate it)
+  cluster ls                 list cluster-backed collections on the coordinator
+  cluster status <name>      show a cluster collection's placement and worker health
+  cluster attach <name>      attach a cluster collection (-file csv -workers url,url)
 `)
 	flag.PrintDefaults()
 }
@@ -118,7 +126,10 @@ func cmdList(c *client.Client) error {
 	fmt.Printf("%-20s %10s %4s %8s %7s %7s\n", "NAME", "N", "D", "EPOCH", "SHARDS", "KIND")
 	for _, in := range infos {
 		kind := "static"
-		if in.StreamBacked {
+		switch {
+		case in.Cluster != nil:
+			kind = "cluster"
+		case in.StreamBacked:
 			kind = "stream"
 			if in.Durable {
 				kind = "durable"
@@ -369,6 +380,110 @@ func cmdMetrics(c *client.Client, args []string) error {
 	}
 	fmt.Print(text)
 	return nil
+}
+
+// cmdCluster dispatches the cluster subcommands: ls, status, attach.
+func cmdCluster(c *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: skyctl cluster <ls|status|attach> [args]")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "ls":
+		return cmdClusterList(c)
+	case "status":
+		return cmdClusterStatus(c, rest)
+	case "attach":
+		return cmdClusterAttach(c, rest)
+	}
+	return fmt.Errorf("unknown cluster subcommand %q (want ls, status, or attach)", sub)
+}
+
+func cmdClusterList(c *client.Client) error {
+	infos, err := c.List(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-20s %10s %4s %8s %8s %8s %8s\n", "NAME", "N", "D", "WORKERS", "POLICY", "HEALTHY", "PARTIALS")
+	for _, in := range infos {
+		cl := in.Cluster
+		if cl == nil {
+			continue
+		}
+		healthy := 0
+		for _, w := range cl.Workers {
+			if w.Healthy {
+				healthy++
+			}
+		}
+		fmt.Printf("%-20s %10d %4d %8d %8s %5d/%-2d %8d\n",
+			in.Name, in.N, in.D, len(cl.Workers), cl.Policy, healthy, len(cl.Workers), cl.Partials)
+	}
+	return nil
+}
+
+func cmdClusterStatus(c *client.Client, args []string) error {
+	name, _, err := collectionArg("cluster status", args)
+	if err != nil {
+		return err
+	}
+	info, err := c.Info(context.Background(), name)
+	if err != nil {
+		return err
+	}
+	cl := info.Cluster
+	if cl == nil {
+		return fmt.Errorf("collection %q is not cluster-backed", name)
+	}
+	fmt.Printf("collection %s: n=%d d=%d epoch=%d policy=%s partials=%d\n",
+		info.Name, info.N, info.D, info.Epoch, cl.Policy, cl.Partials)
+	fmt.Printf("%-4s %-32s %12s %8s %9s %9s %8s\n", "ID", "ADDR", "ROWS", "UP", "QUERIES", "FAILURES", "RETRIES")
+	for i, w := range cl.Workers {
+		up := "up"
+		if !w.Healthy {
+			up = "DOWN"
+		}
+		fmt.Printf("%-4d %-32s [%d,%d) %8s %9d %9d %8d\n",
+			i, w.Addr, w.Lo, w.Hi, up, w.Queries, w.Failures, w.Retries)
+	}
+	return nil
+}
+
+func cmdClusterAttach(c *client.Client, args []string) error {
+	name, rest, err := collectionArg("cluster attach", args)
+	if err != nil {
+		return err
+	}
+	fs := flag.NewFlagSet("cluster attach", flag.ExitOnError)
+	file := fs.String("file", "", "coordinator-side CSV file to shard across the workers")
+	workers := fs.String("workers", "", "comma-separated worker base URLs, in placement order")
+	policy := fs.String("policy", "", "degraded-answer policy: failfast (default) or partial")
+	margin := fs.Duration("margin", 0, "deadline margin reserved for the merge and return trip")
+	retries := fs.Int("retries", 0, "transport retries per worker call (0 = default)")
+	workerShards := fs.Int("worker-shards", 0, "in-process shard count on each worker")
+	cache := fs.Int("cache", 0, "coordinator result-cache capacity")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if *file == "" || *workers == "" {
+		return fmt.Errorf("cluster attach needs -file and -workers")
+	}
+	req := &serve.AttachRequest{
+		CacheCapacity: *cache,
+		Cluster: &serve.ClusterSpec{
+			Path:         *file,
+			Workers:      strings.Split(*workers, ","),
+			Policy:       *policy,
+			MarginMs:     margin.Milliseconds(),
+			Retries:      *retries,
+			WorkerShards: *workerShards,
+		},
+	}
+	info, err := c.Attach(context.Background(), name, req)
+	if err != nil {
+		return err
+	}
+	return printJSON(info)
 }
 
 func printJSON(v any) error {

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"skybench"
+	"skybench/internal/cluster"
 	"skybench/serve"
 	"skybench/stream"
 )
@@ -66,9 +67,11 @@ func main() {
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		statics     multiFlag
 		streams     multiFlag
+		clusters    multiFlag
 	)
 	flag.Var(&statics, "static", "attach a static collection: name=file.csv[,shards=N,cache=N] (repeatable)")
 	flag.Var(&streams, "stream", "attach a durable stream collection: name=dir[,d=N,k=N,fsync=os|always|interval,checkpoint=N,shards=N,cache=N] (repeatable; recovers existing state, creates fresh with d=)")
+	flag.Var(&clusters, "cluster", "coordinator mode: shard a CSV across worker skyserveds and serve the merged collection: name=file.csv@http://w1|http://w2[,policy=failfast|partial,margin=5ms,retries=N,worker-shards=N,cache=N] (repeatable)")
 	flag.Parse()
 
 	st := skybench.NewStoreWithOptions(skybench.StoreOptions{
@@ -88,7 +91,14 @@ func main() {
 		// graceful shutdown flushes the write buffer and closes it.
 		opts.Events = serve.NewEventLog(f)
 	}
-	srv := serve.New(st, opts)
+	// Coordinator mode is also reachable over the wire (skyctl cluster
+	// attach): the hook distributes the CSV and attaches the coordinator
+	// exactly like the -cluster flag does at boot.
+	var srv *serve.Server
+	opts.AttachCluster = func(name string, spec *serve.ClusterSpec, colOpts skybench.CollectionOptions) error {
+		return attachClusterSpec(srv, name, spec, colOpts)
+	}
+	srv = serve.New(st, opts)
 
 	for _, spec := range statics {
 		if err := attachStatic(srv, spec); err != nil {
@@ -98,6 +108,11 @@ func main() {
 	for _, spec := range streams {
 		if err := attachStream(srv, spec); err != nil {
 			log.Fatalf("-stream %s: %v", spec, err)
+		}
+	}
+	for _, spec := range clusters {
+		if err := attachCluster(srv, spec); err != nil {
+			log.Fatalf("-cluster %s: %v", spec, err)
 		}
 	}
 
@@ -244,6 +259,93 @@ func attachStream(srv *serve.Server, spec string) error {
 	// d= option supplies the shape (recovery reads it from disk).
 	_, err := srv.AttachDurable(name, dir, true, d, cfg, colOpts)
 	return err
+}
+
+// attachCluster parses and attaches one -cluster spec:
+// name=file.csv@http://w1|http://w2[,policy=...,margin=...,retries=N,worker-shards=N,cache=N].
+// Workers are |-separated so the comma can keep separating options.
+func attachCluster(srv *serve.Server, spec string) error {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok || name == "" {
+		return errors.New("want name=file.csv@worker|worker[,options]")
+	}
+	parts := strings.Split(rest, ",")
+	path, workerList, ok := strings.Cut(parts[0], "@")
+	if !ok || path == "" || workerList == "" {
+		return errors.New("want name=file.csv@worker|worker[,options]")
+	}
+	cs := &serve.ClusterSpec{Path: path, Workers: strings.Split(workerList, "|")}
+	var opts skybench.CollectionOptions
+	for _, kv := range parts[1:] {
+		k, v, err := splitOpt(kv)
+		if err != nil {
+			return err
+		}
+		switch k {
+		case "policy":
+			cs.Policy = v
+		case "margin":
+			var dur time.Duration
+			dur, err = time.ParseDuration(v)
+			cs.MarginMs = dur.Milliseconds()
+		case "retries":
+			cs.Retries, err = strconv.Atoi(v)
+		case "worker-shards":
+			cs.WorkerShards, err = strconv.Atoi(v)
+		case "cache":
+			opts.CacheCapacity, err = strconv.Atoi(v)
+		default:
+			return fmt.Errorf("unknown option %q", k)
+		}
+		if err != nil {
+			return fmt.Errorf("option %s: %v", k, err)
+		}
+	}
+	return attachClusterSpec(srv, name, cs, opts)
+}
+
+// attachClusterSpec realizes a ClusterSpec (from the -cluster flag or a
+// wire attach): distribute the CSV's contiguous shards across the
+// workers, build a coordinator over the resulting placement, and attach
+// it as a cluster-backed collection the coordinator owns.
+func attachClusterSpec(srv *serve.Server, name string, spec *serve.ClusterSpec, opts skybench.CollectionOptions) error {
+	if spec == nil || spec.Path == "" || len(spec.Workers) == 0 {
+		return fmt.Errorf("%w: cluster spec needs a csv path and at least one worker", skybench.ErrBadQuery)
+	}
+	policy, err := cluster.ParsePolicy(spec.Policy)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	specs, n, d, err := cluster.Distribute(ctx, spec.Path, cluster.DistributeOptions{
+		Collection:   name,
+		Workers:      spec.Workers,
+		WorkerShards: spec.WorkerShards,
+		Replace:      true,
+	})
+	if err != nil {
+		return fmt.Errorf("distributing %s: %w", spec.Path, err)
+	}
+	co, err := cluster.New(cluster.Config{
+		Collection: name,
+		D:          d,
+		Workers:    specs,
+		Policy:     policy,
+		Margin:     time.Duration(spec.MarginMs) * time.Millisecond,
+		Retries:    spec.Retries,
+		Engine:     srv.Store().Engine(),
+	})
+	if err != nil {
+		return err
+	}
+	opts.CloseOnDrop = true
+	if _, err := srv.Store().AttachRemote(name, co, opts); err != nil {
+		co.Close()
+		return err
+	}
+	log.Printf("cluster %s: %d rows across %d workers (policy %s)", name, n, len(specs), policy)
+	return nil
 }
 
 // splitOpt splits one k=v option token.

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"hash/fnv"
 	"runtime/debug"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -112,8 +111,9 @@ type Collection struct {
 	timeout     time.Duration // default per-query deadline (0 = none)
 	closeOnDrop bool          // Drop/Close also closes the source
 
-	src    StreamSource // nil for static collections
-	static *colSnapshot // non-nil for static collections
+	src    StreamSource  // nil for static collections
+	static *colSnapshot  // non-nil for static collections
+	remote RemoteBackend // non-nil for cluster-backed collections
 
 	snapMu sync.Mutex                  // serializes stream materialization
 	snap   atomic.Pointer[colSnapshot] // current stream snapshot
@@ -136,14 +136,18 @@ type Collection struct {
 	srcOnce sync.Once
 }
 
-// closeSource closes the backing StreamSource if the collection owns it
-// (CollectionOptions.CloseOnDrop) and it is closeable. Idempotent.
+// closeSource closes the backing StreamSource or RemoteBackend if the
+// collection owns it (CollectionOptions.CloseOnDrop) and it is
+// closeable. Idempotent.
 func (c *Collection) closeSource() {
-	if !c.closeOnDrop || c.src == nil {
+	if !c.closeOnDrop || (c.src == nil && c.remote == nil) {
 		return
 	}
 	c.srcOnce.Do(func() {
 		if cl, ok := c.src.(interface{ Close() }); ok {
+			cl.Close()
+		}
+		if cl, ok := c.remote.(interface{ Close() }); ok {
 			cl.Close()
 		}
 	})
@@ -167,8 +171,12 @@ func (c *Collection) StreamBacked() bool { return c.src != nil }
 
 // Epoch returns the collection's current membership epoch: always 0
 // for a static collection, the backing source's LiveEpoch for a
-// stream-backed one. Cached results are keyed by it.
+// stream-backed one, the workers' last agreed epoch for a
+// cluster-backed one. Cached results are keyed by it.
 func (c *Collection) Epoch() uint64 {
+	if c.remote != nil {
+		return c.remote.Epoch()
+	}
 	if c.src == nil {
 		return 0
 	}
@@ -178,6 +186,9 @@ func (c *Collection) Epoch() uint64 {
 // N returns the current number of points (taking a fresh stream
 // snapshot if the backing mutated since the last query).
 func (c *Collection) N() (int, error) {
+	if c.remote != nil {
+		return c.remote.Len(), nil
+	}
 	snap, err := c.snapshot()
 	if err != nil {
 		return 0, err
@@ -187,6 +198,9 @@ func (c *Collection) N() (int, error) {
 
 // D returns the dimensionality of the collection's points.
 func (c *Collection) D() int {
+	if c.remote != nil {
+		return c.remote.D()
+	}
 	if c.src != nil {
 		return c.src.D()
 	}
@@ -358,6 +372,12 @@ type QueryResult struct {
 	// an earlier epoch — because computing fresh failed with overload or
 	// a missed deadline.
 	Stale bool
+	// Partial marks a degraded cluster answer: one or more workers
+	// failed and the collection's partial policy merged the surviving
+	// ones, so the rows placed on the failed workers are missing.
+	// Always false for local collections and under the fail-fast
+	// policy, where a worker failure is an error instead.
+	Partial bool
 	// Plan is the adaptive planner's decision for an Algorithm: Auto
 	// query (also mirrored into Trace.Planner when the query was
 	// traced); nil for queries that named their algorithm. It is set on
@@ -365,7 +385,9 @@ type QueryResult struct {
 	// already known.
 	Plan *PlannerTrace
 
-	snap *colSnapshot
+	snap *colSnapshot // local collections: frozen snapshot rows resolve against
+	rows [][]float64  // remote results: per-result-point coordinates
+	rids []uint64     // remote results: per-result-point stream IDs (optional)
 }
 
 // Len returns the number of result points.
@@ -373,8 +395,13 @@ func (r *QueryResult) Len() int { return len(r.Indices) }
 
 // Row returns the coordinates of the p-th result point (original,
 // un-staged values, whatever the query's preferences). The slice
-// aliases the result's frozen snapshot: read-only, valid forever.
+// aliases the result's frozen snapshot — or, for cluster-backed
+// collections, the coordinates shipped back with the worker responses:
+// read-only, valid forever either way.
 func (r *QueryResult) Row(p int) []float64 {
+	if r.snap == nil {
+		return r.rows[p]
+	}
 	return r.snap.ds.Row(r.Indices[p])
 }
 
@@ -383,6 +410,12 @@ func (r *QueryResult) Row(p int) []float64 {
 // collections there are no IDs and ok is false — Indices themselves
 // are the stable handle there.
 func (r *QueryResult) ID(p int) (id uint64, ok bool) {
+	if r.snap == nil {
+		if r.rids == nil {
+			return 0, false
+		}
+		return r.rids[p], true
+	}
 	if r.snap.ids == nil {
 		return 0, false
 	}
@@ -426,6 +459,9 @@ func (c *Collection) run(ctx context.Context, q Query) (*QueryResult, error) {
 	}
 	if c.dropped.Load() {
 		return nil, fmt.Errorf("%w: collection %q", ErrClosed, c.name)
+	}
+	if c.remote != nil {
+		return c.runRemote(ctx, q)
 	}
 	snap, err := c.snapshotCtx(ctx)
 	if err != nil {
@@ -749,6 +785,9 @@ type CollectionStats struct {
 	// whose backing source persists itself (a durable
 	// stream.SkylineIndex); nil otherwise.
 	Durability *DurabilityStats
+	// Placement describes the worker placement, health, and fan-out
+	// counters of a cluster-backed collection; nil for local ones.
+	Placement *PlacementStats
 }
 
 // PlannerStats is the observable state of a collection's adaptive
@@ -846,8 +885,17 @@ func (c *Collection) Stats() (CollectionStats, error) {
 			st.Durability = &ds
 		}
 	}
+	if c.remote != nil {
+		pl := c.remote.Placement()
+		st.Placement = &pl
+	}
 	if c.dropped.Load() {
 		return st, fmt.Errorf("%w: collection %q", ErrClosed, c.name)
+	}
+	if c.remote != nil {
+		st.N = c.remote.Len()
+		st.Epoch = c.remote.Epoch()
+		return st, nil
 	}
 	if c.src == nil {
 		st.N = c.static.ds.n
@@ -963,7 +1011,7 @@ func (c *Collection) execute(ctx context.Context, snap *colSnapshot, q Query, fa
 	for j, p := range keep {
 		idx[j] = cand[p]
 	}
-	sortMerged(idx, counts)
+	shard.SortByIndex(idx, counts)
 
 	res := Result{Indices: idx, Counts: counts}
 	res.Stats = Stats{
@@ -1030,29 +1078,6 @@ func (c *Collection) mergeCandidates(ctx context.Context, buf []float64, nc, de,
 	}
 	*dts += res.Stats.DominanceTests
 	return res.Indices, res.Counts, shard.MergePathEngine, nil
-}
-
-// sortMerged orders the merged result by ascending global row index,
-// keeping counts parallel — the documented deterministic order of
-// sharded results.
-func sortMerged(idx []int, counts []int32) {
-	if counts == nil {
-		sort.Ints(idx)
-		return
-	}
-	order := make([]int, len(idx))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return idx[order[a]] < idx[order[b]] })
-	idx2 := make([]int, len(idx))
-	cnt2 := make([]int32, len(counts))
-	for p, o := range order {
-		idx2[p] = idx[o]
-		cnt2[p] = counts[o]
-	}
-	copy(idx, idx2)
-	copy(counts, cnt2)
 }
 
 // Future is the handle of one asynchronously submitted query. Wait (or

@@ -79,6 +79,21 @@ var (
 	// collection stay serviceable.
 	ErrQueryPanic = errors.New("skybench: query panicked")
 
+	// ErrWorkerUnavailable reports a cluster query that could not get an
+	// answer from a required worker process: transport failure after the
+	// client's bounded retries, a non-query error from the worker, or a
+	// worker deadline too small to attempt. Under the fail-fast policy
+	// any worker failure surfaces as this error; under the partial
+	// policy it surfaces only when every worker failed.
+	ErrWorkerUnavailable = errors.New("skybench: cluster worker unavailable")
+
+	// ErrEpochSkew reports cluster worker responses computed at
+	// different membership epochs. Merging them would silently mix two
+	// point sets, so the coordinator rejects the fan-out instead —
+	// epoch-consistent stream shipping is the documented non-goal this
+	// error fences off (DESIGN.md §15).
+	ErrEpochSkew = errors.New("skybench: cluster epoch skew across workers")
+
 	// ErrCorruptWAL reports durable stream state that cannot be
 	// recovered: a write-ahead-log record damaged before the final torn
 	// frame, a checkpoint failing its integrity check, or recovered

@@ -1,0 +1,38 @@
+package cluster
+
+import "time"
+
+// DefaultMargin is the RTT-and-merge margin reserved out of the
+// caller's deadline when Config.Margin is zero: the coordinator must
+// get every worker's answer back over the wire and still have time to
+// merge before the caller's deadline fires, so workers get strictly
+// less budget than the caller granted.
+const DefaultMargin = 5 * time.Millisecond
+
+// Budget derives the per-worker deadline budget from the remaining
+// request budget at fan-out time: the caller's deadline minus now
+// (time already spent upstream never counts twice) minus the margin
+// reserved for the return trip and the merge. ok is false when nothing
+// useful remains — the deadline already passed, or the margin consumes
+// all of it — in which case the coordinator fails the query without
+// burning a wire round trip it could never merge in time.
+//
+// This is the deadline-propagation fix in one place: the coordinator
+// forwards the *remaining* budget, never the caller's original header
+// verbatim — a verbatim forward would grant each worker time the
+// coordinator already spent, and the fan-out would sail past the
+// caller's deadline by exactly the accumulated overhead.
+func Budget(now, deadline time.Time, margin time.Duration) (time.Duration, bool) {
+	if margin < 0 {
+		margin = 0
+	}
+	remaining := deadline.Sub(now)
+	if remaining <= 0 {
+		return 0, false
+	}
+	budget := remaining - margin
+	if budget <= 0 {
+		return 0, false
+	}
+	return budget, true
+}

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBudget(t *testing.T) {
+	now := time.Unix(1000, 0)
+	cases := []struct {
+		name     string
+		deadline time.Time
+		margin   time.Duration
+		want     time.Duration
+		ok       bool
+	}{
+		{
+			name:     "plenty of budget",
+			deadline: now.Add(500 * time.Millisecond),
+			margin:   5 * time.Millisecond,
+			want:     495 * time.Millisecond,
+			ok:       true,
+		},
+		{
+			name:     "remaining budget only, never the original grant",
+			deadline: now.Add(80 * time.Millisecond), // 120ms of a 200ms grant already spent upstream
+			margin:   5 * time.Millisecond,
+			want:     75 * time.Millisecond,
+			ok:       true,
+		},
+		{
+			name:     "already expired",
+			deadline: now.Add(-time.Millisecond),
+			ok:       false,
+		},
+		{
+			name:     "expired exactly now",
+			deadline: now,
+			ok:       false,
+		},
+		{
+			name:     "margin consumes the rest",
+			deadline: now.Add(4 * time.Millisecond),
+			margin:   5 * time.Millisecond,
+			ok:       false,
+		},
+		{
+			name:     "margin exactly consumes the rest",
+			deadline: now.Add(5 * time.Millisecond),
+			margin:   5 * time.Millisecond,
+			ok:       false,
+		},
+		{
+			name:     "zero margin forwards the full remainder",
+			deadline: now.Add(30 * time.Millisecond),
+			margin:   0,
+			want:     30 * time.Millisecond,
+			ok:       true,
+		},
+		{
+			name:     "negative margin clamps to zero",
+			deadline: now.Add(30 * time.Millisecond),
+			margin:   -time.Second,
+			want:     30 * time.Millisecond,
+			ok:       true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := Budget(now, tc.deadline, tc.margin)
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v", ok, tc.ok)
+			}
+			if ok && got != tc.want {
+				t.Fatalf("budget = %v, want %v", got, tc.want)
+			}
+			if !ok && got != 0 {
+				t.Fatalf("budget = %v, want 0 when not ok", got)
+			}
+		})
+	}
+}

@@ -93,6 +93,31 @@ func Split(n, p int) []Range {
 	return out
 }
 
+// SortByIndex orders a merged result by ascending global row index,
+// keeping counts (nil for skyline queries) parallel — the documented
+// deterministic order of sharded results. Both merge consumers — the
+// in-process Collection fan-out and the cluster coordinator — share it
+// so the ordering contract cannot drift between the two transports.
+func SortByIndex(idx []int, counts []int32) {
+	if counts == nil {
+		sort.Ints(idx)
+		return
+	}
+	order := make([]int, len(idx))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return idx[order[a]] < idx[order[b]] })
+	idx2 := make([]int, len(idx))
+	cnt2 := make([]int32, len(counts))
+	for p, o := range order {
+		idx2[p] = idx[o]
+		cnt2[p] = counts[o]
+	}
+	copy(idx, idx2)
+	copy(counts, cnt2)
+}
+
 // MergeBand computes the exact k-skyband of the nc candidate points
 // (row-major flat values, d columns per row) — intended for candidates
 // that are the union of per-shard bands, where the package comment's

@@ -23,6 +23,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"skybench/serve"
@@ -30,9 +31,42 @@ import (
 
 // Client is a skyserved API client. Safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	retry   RetryPolicy
+	retries atomic.Uint64
 }
+
+// RetryPolicy bounds the client's automatic retries of transient
+// transport failures (connection refused/reset, a dropped keep-alive —
+// anything where no HTTP response arrived). Only idempotent calls
+// retry: every GET plus Query, which is a read despite its POST
+// spelling. Mutations (Insert, Delete, Attach, Drop) never retry — a
+// request that died mid-flight may still have been applied. Responses
+// the server actually produced, error or not, never retry either: the
+// server's answer is authoritative, and its own error taxonomy
+// (overloaded, deadline) tells the caller what to do. Retries honor the
+// call's context — its deadline keeps counting down across attempts and
+// cancels a pending backoff sleep.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts (first try included);
+	// values ≤ 1 disable retrying.
+	MaxAttempts int
+	// Backoff is the sleep before the first retry, doubling on each
+	// subsequent one. 0 selects 10ms.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling. 0 selects 500ms.
+	MaxBackoff time.Duration
+}
+
+// SetRetryPolicy configures automatic retries. Configure before sharing
+// the client across goroutines; the zero policy (the default) disables
+// retrying.
+func (c *Client) SetRetryPolicy(p RetryPolicy) { c.retry = p }
+
+// RetryCount reports the total number of retry attempts the client has
+// spent (first tries not included).
+func (c *Client) RetryCount() uint64 { return c.retries.Load() }
 
 // New creates a client for the server at baseURL (e.g.
 // "http://localhost:8080"). The client owns a private transport (not
@@ -99,37 +133,77 @@ func (e *APIError) Error() string {
 func (e *APIError) Unwrap() error { return serve.SentinelForCode(e.Code) }
 
 // do issues one JSON round trip: method + path, optional request body,
-// optional decoded response body.
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+// optional decoded response body. Calls marked idempotent retry
+// transient transport failures per the client's RetryPolicy.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, idempotent bool) error {
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
+		var err error
+		if data, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	attempts := 1
+	if idempotent && c.retry.MaxAttempts > 1 {
+		attempts = c.retry.MaxAttempts
+	}
+	backoff := c.retry.Backoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	maxBackoff := c.retry.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 500 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return lastErr
+			case <-t.C:
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+		var body io.Reader
+		if in != nil {
+			body = bytes.NewReader(data) // fresh reader: the last attempt consumed it
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(data)
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		setDeadlineHeader(req, ctx)
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			// No response arrived. Retry only while the caller's context is
+			// still live — a fired deadline (or cancel) is not transient and
+			// the remaining budget is gone anyway.
+			lastErr = err
+			if ctx.Err() != nil {
+				return err
+			}
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			return decodeAPIError(resp)
+		}
+		if out == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
-	if err != nil {
-		return err
-	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	setDeadlineHeader(req, ctx)
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return decodeAPIError(resp)
-	}
-	if out == nil {
-		_, _ = io.Copy(io.Discard, resp.Body)
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return lastErr
 }
 
 // setDeadlineHeader forwards the context deadline, when one is set, as
@@ -164,7 +238,7 @@ func (c *Client) Query(ctx context.Context, collection string, req *serve.QueryR
 		req = &serve.QueryRequest{}
 	}
 	var out serve.QueryResponse
-	if err := c.do(ctx, http.MethodPost, c.colPath(collection)+"/query", req, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, c.colPath(collection)+"/query", req, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -174,7 +248,7 @@ func (c *Client) Query(ctx context.Context, collection string, req *serve.QueryR
 // returns their assigned IDs.
 func (c *Client) Insert(ctx context.Context, collection string, points [][]float64) ([]uint64, error) {
 	var out serve.InsertResponse
-	err := c.do(ctx, http.MethodPost, c.colPath(collection)+"/points", &serve.InsertRequest{Points: points}, &out)
+	err := c.do(ctx, http.MethodPost, c.colPath(collection)+"/points", &serve.InsertRequest{Points: points}, &out, false)
 	if err != nil {
 		return nil, err
 	}
@@ -184,13 +258,13 @@ func (c *Client) Insert(ctx context.Context, collection string, points [][]float
 // Delete removes one point by stream ID.
 func (c *Client) Delete(ctx context.Context, collection string, id uint64) error {
 	path := fmt.Sprintf("%s/points/%d", c.colPath(collection), id)
-	return c.do(ctx, http.MethodDelete, path, nil, nil)
+	return c.do(ctx, http.MethodDelete, path, nil, nil, false)
 }
 
 // Attach creates a collection on the server (PUT /v1/collections/{name}).
 func (c *Client) Attach(ctx context.Context, collection string, req *serve.AttachRequest) (*serve.CollectionInfo, error) {
 	var out serve.CollectionInfo
-	if err := c.do(ctx, http.MethodPut, c.colPath(collection), req, &out); err != nil {
+	if err := c.do(ctx, http.MethodPut, c.colPath(collection), req, &out, false); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -198,13 +272,13 @@ func (c *Client) Attach(ctx context.Context, collection string, req *serve.Attac
 
 // Drop detaches a collection.
 func (c *Client) Drop(ctx context.Context, collection string) error {
-	return c.do(ctx, http.MethodDelete, c.colPath(collection), nil, nil)
+	return c.do(ctx, http.MethodDelete, c.colPath(collection), nil, nil, false)
 }
 
 // Info describes one collection.
 func (c *Client) Info(ctx context.Context, collection string) (*serve.CollectionInfo, error) {
 	var out serve.CollectionInfo
-	if err := c.do(ctx, http.MethodGet, c.colPath(collection), nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, c.colPath(collection), nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -213,7 +287,7 @@ func (c *Client) Info(ctx context.Context, collection string) (*serve.Collection
 // List enumerates the server's collections, sorted by name.
 func (c *Client) List(ctx context.Context) ([]serve.CollectionInfo, error) {
 	var out serve.CollectionList
-	if err := c.do(ctx, http.MethodGet, "/v1/collections", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/collections", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return out.Collections, nil

@@ -1,0 +1,179 @@
+// Cluster-facing serving surface, tested with a fake RemoteBackend so
+// the wire semantics — Partial round trip, Cluster info block, the
+// worker_unavailable/epoch_skew error rows, cluster metrics — are
+// pinned independently of the real coordinator (which has its own
+// tests in internal/cluster).
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"skybench"
+	"skybench/serve"
+	"skybench/serve/metrics"
+)
+
+// fakeRemote is a canned RemoteBackend: fixed placement, fixed answer,
+// optionally failing or partial.
+type fakeRemote struct {
+	n, d    int
+	epoch   uint64
+	partial bool
+	err     error
+}
+
+func (f *fakeRemote) D() int        { return f.d }
+func (f *fakeRemote) Len() int      { return f.n }
+func (f *fakeRemote) Epoch() uint64 { return f.epoch }
+
+func (f *fakeRemote) Run(ctx context.Context, q skybench.Query) (*skybench.QueryResult, error) {
+	if f.err != nil {
+		return nil, f.err
+	}
+	res := skybench.Result{Indices: []int{0, 2}}
+	res.Stats.InputSize = f.n
+	res.Stats.DominanceTests = 7
+	res.Stats.SkylineSize = 2
+	rows := [][]float64{{1, 9}, {2, 8}}
+	return skybench.NewRemoteQueryResult(res, f.epoch, f.partial, rows, nil), nil
+}
+
+func (f *fakeRemote) Placement() skybench.PlacementStats {
+	return skybench.PlacementStats{
+		Policy:   "partial",
+		Partials: 3,
+		Workers: []skybench.WorkerPlacement{
+			{Addr: "http://w0", Lo: 0, Hi: 2, Healthy: true, Queries: 5, Retries: 1},
+			{Addr: "http://w1", Lo: 2, Hi: 4, Healthy: false, Queries: 5, Failures: 2},
+		},
+	}
+}
+
+func TestClusterBackedServing(t *testing.T) {
+	srv, c := newTestServer(t, skybench.StoreOptions{}, serve.Options{})
+	fake := &fakeRemote{n: 4, d: 2, epoch: 9, partial: true}
+	if _, err := srv.Store().AttachRemote("cl", fake, skybench.CollectionOptions{}); err != nil {
+		t.Fatalf("AttachRemote: %v", err)
+	}
+	ctx := context.Background()
+
+	res, err := c.Query(ctx, "cl", nil)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !res.Partial {
+		t.Error("Partial flag lost on the wire")
+	}
+	if res.Epoch != 9 || res.Count != 2 || res.Indices[1] != 2 {
+		t.Errorf("response = %+v, want epoch 9, indices [0 2]", res)
+	}
+	if len(res.Values) != 2 || res.Values[1][0] != 2 {
+		t.Errorf("values = %v, want the backend's rows", res.Values)
+	}
+
+	info, err := c.Info(ctx, "cl")
+	if err != nil {
+		t.Fatalf("Info: %v", err)
+	}
+	if info.Cluster == nil {
+		t.Fatal("collection info carries no cluster section")
+	}
+	if info.Cluster.Policy != "partial" || info.Cluster.Partials != 3 || len(info.Cluster.Workers) != 2 {
+		t.Errorf("cluster info = %+v", info.Cluster)
+	}
+	w1 := info.Cluster.Workers[1]
+	if w1.Addr != "http://w1" || w1.Healthy || w1.Failures != 2 || w1.Lo != 2 || w1.Hi != 4 {
+		t.Errorf("worker 1 info = %+v", w1)
+	}
+	if info.N != 4 || info.Epoch != 9 {
+		t.Errorf("info N=%d epoch=%d, want 4/9", info.N, info.Epoch)
+	}
+
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	for _, want := range []string{
+		`skyserved_cluster_workers{collection="cl"} 2`,
+		`skyserved_cluster_partial_results{collection="cl"} 3`,
+		`skyserved_cluster_worker_up{collection="cl",worker="0"} 1`,
+		`skyserved_cluster_worker_up{collection="cl",worker="1"} 0`,
+		`skyserved_cluster_worker_rows{collection="cl",worker="1"} 2`,
+		`skyserved_cluster_worker_failures{collection="cl",worker="1"} 2`,
+		`skyserved_cluster_worker_retries{collection="cl",worker="0"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if err := metrics.Lint(strings.NewReader(text)); err != nil {
+		t.Errorf("cluster exposition fails lint: %v", err)
+	}
+}
+
+// TestClusterErrorRows pins the wire mapping of the two cluster
+// sentinels: worker_unavailable → 502, epoch_skew → 409, both
+// recoverable to errors.Is through the client.
+func TestClusterErrorRows(t *testing.T) {
+	srv, c := newTestServer(t, skybench.StoreOptions{}, serve.Options{})
+	ctx := context.Background()
+	down := &fakeRemote{n: 4, d: 2, err: fmt.Errorf("%w: worker w1: connection refused", skybench.ErrWorkerUnavailable)}
+	skewed := &fakeRemote{n: 4, d: 2, err: fmt.Errorf("%w: worker w1 answered at epoch 3, others at 2", skybench.ErrEpochSkew)}
+	if _, err := srv.Store().AttachRemote("down", down, skybench.CollectionOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Store().AttachRemote("skewed", skewed, skybench.CollectionOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(ctx, "down", nil); !errors.Is(err, skybench.ErrWorkerUnavailable) {
+		t.Errorf("down err = %v, want ErrWorkerUnavailable", err)
+	}
+	if _, err := c.Query(ctx, "skewed", nil); !errors.Is(err, skybench.ErrEpochSkew) {
+		t.Errorf("skewed err = %v, want ErrEpochSkew", err)
+	}
+}
+
+// TestClusterAttachGating pins the attach-body rules: a ClusterSpec
+// needs the coordinator hook, and the three backings stay mutually
+// exclusive.
+func TestClusterAttachGating(t *testing.T) {
+	_, c := newTestServer(t, skybench.StoreOptions{}, serve.Options{})
+	ctx := context.Background()
+
+	spec := &serve.ClusterSpec{Path: "/tmp/nope.csv", Workers: []string{"http://w0"}}
+	if _, err := c.Attach(ctx, "cl", &serve.AttachRequest{Cluster: spec}); !errors.Is(err, skybench.ErrBadQuery) {
+		t.Errorf("cluster attach without hook: err = %v, want ErrBadQuery", err)
+	}
+	if _, err := c.Attach(ctx, "both", &serve.AttachRequest{
+		Static:  &serve.StaticSpec{Path: "x.csv"},
+		Cluster: spec,
+	}); !errors.Is(err, skybench.ErrBadQuery) {
+		t.Errorf("two backings: err = %v, want ErrBadQuery", err)
+	}
+
+	// With a hook installed, the spec is handed through verbatim.
+	var gotName string
+	var gotSpec *serve.ClusterSpec
+	var srv2 *serve.Server
+	srv2, c2 := newTestServer(t, skybench.StoreOptions{}, serve.Options{
+		AttachCluster: func(name string, s *serve.ClusterSpec, opts skybench.CollectionOptions) error {
+			gotName, gotSpec = name, s
+			_, err := srv2.Store().AttachRemote(name, &fakeRemote{n: 4, d: 2}, skybench.CollectionOptions{})
+			return err
+		},
+	})
+	info, err := c2.Attach(ctx, "cl", &serve.AttachRequest{Cluster: spec})
+	if err != nil {
+		t.Fatalf("cluster attach with hook: %v", err)
+	}
+	if gotName != "cl" || gotSpec == nil || len(gotSpec.Workers) != 1 {
+		t.Errorf("hook saw name=%q spec=%+v", gotName, gotSpec)
+	}
+	if info.Cluster == nil {
+		t.Errorf("attach response info lacks cluster section: %+v", info)
+	}
+}

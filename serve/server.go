@@ -73,6 +73,13 @@ type Options struct {
 	// event-log record. The response carries a trace only when the
 	// request asked for one.
 	SlowQuery time.Duration
+	// AttachCluster, when non-nil, realizes wire attach requests that
+	// carry a ClusterSpec: distribute the CSV across the spec's workers
+	// and attach a coordinator-backed collection under name. skyserved's
+	// coordinator mode installs the hook; without it cluster attach
+	// requests are rejected. (The hook lives outside this package so
+	// serve does not depend on the coordinator implementation.)
+	AttachCluster func(name string, spec *ClusterSpec, opts skybench.CollectionOptions) error
 }
 
 // Server is the HTTP serving surface over one Store. Create with New,
@@ -124,6 +131,16 @@ type Server struct {
 	gcCycles   *metrics.GaugeVec
 	gcPauseNs  *metrics.GaugeVec
 
+	// Cluster gauges, sampled at scrape from PlacementStats (lifetime
+	// counters exported as gauges, matching the cache/durability idiom).
+	clWorkers  *metrics.GaugeVec // {collection}
+	clPartials *metrics.GaugeVec // {collection}
+	clUp       *metrics.GaugeVec // {collection, worker}
+	clRows     *metrics.GaugeVec
+	clQueries  *metrics.GaugeVec
+	clFailures *metrics.GaugeVec
+	clRetries  *metrics.GaugeVec
+
 	mu      sync.Mutex
 	streams map[string]*stream.SkylineIndex // mutable collections by name
 }
@@ -168,6 +185,13 @@ func New(st *skybench.Store, opts Options) *Server {
 	s.heapBytes = r.NewGaugeVec("skyserved_heap_alloc_bytes", "Heap bytes allocated and in use at scrape time.")
 	s.gcCycles = r.NewGaugeVec("skyserved_gc_cycles", "Completed GC cycles at scrape time.")
 	s.gcPauseNs = r.NewGaugeVec("skyserved_gc_pause_nanoseconds", "Cumulative GC stop-the-world pause at scrape time.")
+	s.clWorkers = r.NewGaugeVec("skyserved_cluster_workers", "Placed cluster workers at scrape time.", "collection")
+	s.clPartials = r.NewGaugeVec("skyserved_cluster_partial_results", "Partial (degraded) cluster answers served (lifetime, sampled at scrape).", "collection")
+	s.clUp = r.NewGaugeVec("skyserved_cluster_worker_up", "1 when the worker's last health probe succeeded.", "collection", "worker")
+	s.clRows = r.NewGaugeVec("skyserved_cluster_worker_rows", "Rows placed on the worker.", "collection", "worker")
+	s.clQueries = r.NewGaugeVec("skyserved_cluster_worker_queries", "Fan-out calls sent to the worker (lifetime, sampled at scrape).", "collection", "worker")
+	s.clFailures = r.NewGaugeVec("skyserved_cluster_worker_failures", "Fan-out calls the worker failed (lifetime, sampled at scrape).", "collection", "worker")
+	s.clRetries = r.NewGaugeVec("skyserved_cluster_worker_retries", "Transport retries toward the worker (lifetime, sampled at scrape).", "collection", "worker")
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/collections/{name}/query", s.instrument("query", s.handleQuery))
@@ -495,6 +519,7 @@ func buildQueryResponse(name string, res *skybench.QueryResult, req *QueryReques
 		Collection: name,
 		Epoch:      res.Epoch,
 		Stale:      res.Stale,
+		Partial:    res.Partial,
 		Count:      len(pos),
 		Indices:    make([]int, len(pos)),
 		Stats: QueryStats{
@@ -607,8 +632,14 @@ func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request, obs *obser
 		writeError(w, obs, err)
 		return
 	}
-	if (req.Static == nil) == (req.Stream == nil) {
-		writeError(w, obs, fmt.Errorf("%w: attach body needs exactly one of static or stream", skybench.ErrBadQuery))
+	backings := 0
+	for _, set := range []bool{req.Static != nil, req.Stream != nil, req.Cluster != nil} {
+		if set {
+			backings++
+		}
+	}
+	if backings != 1 {
+		writeError(w, obs, fmt.Errorf("%w: attach body needs exactly one of static, stream, or cluster", skybench.ErrBadQuery))
 		return
 	}
 	opts := skybench.CollectionOptions{
@@ -617,10 +648,17 @@ func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request, obs *obser
 		DefaultTimeout: time.Duration(req.DefaultTimeoutMs) * time.Millisecond,
 	}
 	var err error
-	if req.Static != nil {
+	switch {
+	case req.Static != nil:
 		_, err = s.AttachStaticFile(name, req.Static.Path, opts)
-	} else {
+	case req.Stream != nil:
 		err = s.attachStreamSpec(name, req.Stream, opts)
+	default:
+		if s.opts.AttachCluster == nil {
+			err = fmt.Errorf("%w: this server is not running in coordinator mode (no cluster attach hook)", skybench.ErrBadQuery)
+		} else {
+			err = s.opts.AttachCluster(name, req.Cluster, opts)
+		}
 	}
 	if err != nil {
 		writeError(w, obs, err)
@@ -731,6 +769,21 @@ func (s *Server) collectionInfo(name string) (CollectionInfo, error) {
 		}
 		info.Planner = pi
 	}
+	if pl := cs.Placement; pl != nil {
+		ci := &ClusterInfo{Policy: pl.Policy, Partials: pl.Partials}
+		for _, wp := range pl.Workers {
+			ci.Workers = append(ci.Workers, ClusterWorkerInfo{
+				Addr:     wp.Addr,
+				Lo:       wp.Lo,
+				Hi:       wp.Hi,
+				Healthy:  wp.Healthy,
+				Queries:  wp.Queries,
+				Failures: wp.Failures,
+				Retries:  wp.Retries,
+			})
+		}
+		info.Cluster = ci
+	}
 	if ds := cs.Durability; ds != nil {
 		info.Durability = &DurabilityInfo{
 			WALFsyncs:        ds.WALFsyncs,
@@ -786,6 +839,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.inflight.With(name).Set(cs.Inflight)
 		s.points.With(name).Set(int64(cs.N))
 		s.epoch.With(name).Set(int64(cs.Epoch))
+		if pl := cs.Placement; pl != nil {
+			s.clWorkers.With(name).Set(int64(len(pl.Workers)))
+			s.clPartials.With(name).Set(int64(pl.Partials))
+			for i, wp := range pl.Workers {
+				wl := strconv.Itoa(i)
+				up := int64(0)
+				if wp.Healthy {
+					up = 1
+				}
+				s.clUp.With(name, wl).Set(up)
+				s.clRows.With(name, wl).Set(int64(wp.Hi - wp.Lo))
+				s.clQueries.With(name, wl).Set(int64(wp.Queries))
+				s.clFailures.With(name, wl).Set(int64(wp.Failures))
+				s.clRetries.With(name, wl).Set(int64(wp.Retries))
+			}
+		}
 		if ds := cs.Durability; ds != nil {
 			s.walFsyncs.With(name).Set(int64(ds.WALFsyncs))
 			s.walFsyncNs.With(name).Set(ds.WALFsyncTime.Nanoseconds())

@@ -80,6 +80,11 @@ type QueryResponse struct {
 	// a graceful-degradation answer from an earlier epoch.
 	Epoch uint64 `json:"epoch"`
 	Stale bool   `json:"stale,omitempty"`
+	// Partial marks a degraded cluster answer: one or more workers
+	// failed and the collection's partial policy merged the rest, so
+	// the rows placed on the failed workers are missing. Never set for
+	// local collections.
+	Partial bool `json:"partial,omitempty"`
 	// Count is the number of result points.
 	Count int `json:"count"`
 	// Indices are snapshot row positions (the stable handle for static
@@ -195,6 +200,34 @@ type CollectionInfo struct {
 	// Durability carries WAL and checkpoint counters for durable
 	// stream collections; absent otherwise.
 	Durability *DurabilityInfo `json:"durability,omitempty"`
+	// Cluster carries the worker placement and fan-out counters of a
+	// cluster-backed collection; absent for local ones.
+	Cluster *ClusterInfo `json:"cluster,omitempty"`
+}
+
+// ClusterInfo mirrors skybench.PlacementStats on the wire: how a
+// cluster-backed collection's rows are placed across worker processes
+// and how the fan-out has fared.
+type ClusterInfo struct {
+	// Policy is the degraded-answer policy: "failfast" or "partial".
+	Policy string `json:"policy"`
+	// Partials counts degraded (partial) answers served so far.
+	Partials uint64 `json:"partials,omitempty"`
+	// Workers describes each worker in placement order.
+	Workers []ClusterWorkerInfo `json:"workers"`
+}
+
+// ClusterWorkerInfo is one worker's slice of a cluster placement.
+type ClusterWorkerInfo struct {
+	Addr    string `json:"addr"`
+	Lo      int    `json:"lo"`
+	Hi      int    `json:"hi"`
+	Healthy bool   `json:"healthy"`
+	Queries uint64 `json:"queries"`
+	// Failures counts fan-out calls that produced no mergeable answer;
+	// Retries the transport retries spent on the worker.
+	Failures uint64 `json:"failures,omitempty"`
+	Retries  uint64 `json:"retries,omitempty"`
 }
 
 // CollectionList is the body of GET /v1/collections, sorted by name.
@@ -228,11 +261,38 @@ type StreamSpec struct {
 	CheckpointEvery int `json:"checkpointEvery,omitempty"`
 }
 
+// ClusterSpec attaches a cluster-backed collection: the server splits
+// the CSV at Path into one contiguous shard per worker, ships each
+// shard to its worker through the attach endpoint, and serves queries
+// by fanning out and merging exactly. Workers must be able to read the
+// server's scratch directory (single-host clusters or a shared
+// filesystem) — the shards travel by path, not by value.
+type ClusterSpec struct {
+	// Path is a headerless CSV on the server's filesystem holding the
+	// full point set.
+	Path string `json:"path"`
+	// Workers are the worker base URLs, in placement order.
+	Workers []string `json:"workers"`
+	// Policy is the degraded-answer policy: "failfast" (default — any
+	// worker failure fails the query) or "partial" (merge the surviving
+	// workers and flag the response partial).
+	Policy string `json:"policy,omitempty"`
+	// MarginMs is the RTT-and-merge margin subtracted from the request
+	// deadline when deriving per-worker budgets (default 5).
+	MarginMs int64 `json:"marginMs,omitempty"`
+	// Retries bounds transport retries per worker call (default 2).
+	Retries int `json:"retries,omitempty"`
+	// WorkerShards is the worker-local Shards option for the shipped
+	// collections (0 = unsharded workers).
+	WorkerShards int `json:"workerShards,omitempty"`
+}
+
 // AttachRequest is the body of PUT /v1/collections/{name}: exactly one
-// of Static or Stream, plus collection options.
+// of Static, Stream, or Cluster, plus collection options.
 type AttachRequest struct {
-	Static *StaticSpec `json:"static,omitempty"`
-	Stream *StreamSpec `json:"stream,omitempty"`
+	Static  *StaticSpec  `json:"static,omitempty"`
+	Stream  *StreamSpec  `json:"stream,omitempty"`
+	Cluster *ClusterSpec `json:"cluster,omitempty"`
 	// Shards, CacheCapacity, and DefaultTimeoutMs map onto
 	// skybench.CollectionOptions.
 	Shards           int   `json:"shards,omitempty"`
@@ -291,6 +351,8 @@ var errorTable = []struct {
 	{skybench.ErrUnknownCollection, http.StatusNotFound, "unknown_collection"},
 	{ErrUnknownPoint, http.StatusNotFound, "unknown_point"},
 	{skybench.ErrDuplicateCollection, http.StatusConflict, "duplicate_collection"},
+	{skybench.ErrWorkerUnavailable, http.StatusBadGateway, "worker_unavailable"},
+	{skybench.ErrEpochSkew, http.StatusConflict, "epoch_skew"},
 	{skybench.ErrBadQuery, http.StatusBadRequest, "bad_query"},
 	{skybench.ErrBadPoint, http.StatusBadRequest, "bad_point"},
 	{skybench.ErrBadDataset, http.StatusBadRequest, "bad_dataset"},

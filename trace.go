@@ -31,6 +31,10 @@ type QueryTrace struct {
 	// Stale reports that the answer was a stale-fallback (AllowStale)
 	// served after fresh computation failed.
 	Stale bool `json:"stale,omitempty"`
+	// Partial marks a degraded cluster answer: one or more workers
+	// failed and the collection's partial policy merged the rest, so
+	// the rows placed on the failed workers are missing.
+	Partial bool `json:"partial,omitempty"`
 	// Epoch is the collection membership epoch the answer reflects
 	// (zero for plain Engine runs).
 	Epoch uint64 `json:"epoch,omitempty"`
@@ -67,6 +71,11 @@ type QueryTrace struct {
 	MergePath string `json:"merge_path,omitempty"`
 	// Shards breaks a sharded fan-out down per shard.
 	Shards []ShardTrace `json:"shards,omitempty"`
+	// Workers breaks a cluster fan-out down per worker process — one
+	// level above Shards: each worker owns a contiguous row range and
+	// may itself have fanned out locally. Only cluster-backed
+	// collections set it.
+	Workers []WorkerTrace `json:"workers,omitempty"`
 	// Planner records the adaptive planner's decision for an
 	// Algorithm: Auto query — profile inputs, candidate scores, and the
 	// chosen plan. Nil for queries that named their algorithm.
@@ -127,6 +136,37 @@ type ShardTrace struct {
 	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
+// WorkerTrace is the per-worker slice of a cluster query's trace: one
+// remote skyserved process answering for one contiguous row-range
+// shard over the wire protocol.
+type WorkerTrace struct {
+	// Worker is the worker's ordinal in the coordinator's placement.
+	Worker int `json:"worker"`
+	// Addr is the worker's base URL.
+	Addr string `json:"addr"`
+	// Lo and Hi are the global row range [Lo, Hi) placed on the worker.
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// InputSize and Output are the worker's point count and the size of
+	// its local band (zero when the worker failed).
+	InputSize int `json:"input_size"`
+	Output    int `json:"output"`
+	// DominanceTests is the worker run's reported dominance-test count.
+	DominanceTests uint64 `json:"dominance_tests"`
+	// Wire is the whole wire round trip as the coordinator saw it
+	// (serialize, transport, worker compute, parse); Elapsed is the
+	// worker's own reported compute time, so Wire − Elapsed bounds the
+	// transport-and-queue overhead.
+	Wire    time.Duration `json:"wire_ns"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Retries counts the transport retries the client spent on the call.
+	Retries int `json:"retries,omitempty"`
+	// Failed marks a worker that produced no mergeable answer (transport
+	// failure, deadline, epoch skew); Err carries its failure message.
+	Failed bool   `json:"failed,omitempty"`
+	Err    string `json:"err,omitempty"`
+}
+
 // traceFromResult materializes the trace of one engine run from the
 // result's always-on statistics. Called only for traced queries, so
 // untraced runs never pay the allocation.
@@ -165,6 +205,9 @@ func (t *QueryTrace) String() string {
 	if t.Stale {
 		b.WriteString(" stale=true")
 	}
+	if t.Partial {
+		b.WriteString(" partial=true")
+	}
 	if p := t.Planner; p != nil {
 		fmt.Fprintf(&b, "\nplanner: class=%s rho=%.3f sky_frac=%.3f sky_est=%d sample=%d",
 			p.Class, p.MeanRho, p.SkylineFrac, p.SkylineEst, p.SampleN)
@@ -188,7 +231,20 @@ func (t *QueryTrace) String() string {
 		p.Prefilter.Round(time.Microsecond), p.Pivot.Round(time.Microsecond),
 		p.PhaseOne.Round(time.Microsecond), p.PhaseTwo.Round(time.Microsecond),
 		p.Compress.Round(time.Microsecond), p.Other.Round(time.Microsecond))
-	if t.MergePath != "" {
+	if len(t.Workers) > 0 {
+		fmt.Fprintf(&b, "\nmerge=%s workers=%d", t.MergePath, len(t.Workers))
+		for _, w := range t.Workers {
+			fmt.Fprintf(&b, "\n  worker %d %s rows=[%d,%d): input=%d output=%d dts=%d wire=%v elapsed=%v",
+				w.Worker, w.Addr, w.Lo, w.Hi, w.InputSize, w.Output, w.DominanceTests,
+				w.Wire.Round(time.Microsecond), w.Elapsed.Round(time.Microsecond))
+			if w.Retries > 0 {
+				fmt.Fprintf(&b, " retries=%d", w.Retries)
+			}
+			if w.Failed {
+				fmt.Fprintf(&b, " FAILED(%s)", w.Err)
+			}
+		}
+	} else if t.MergePath != "" {
 		fmt.Fprintf(&b, "\nmerge=%s shards=%d", t.MergePath, len(t.Shards))
 		for _, s := range t.Shards {
 			fmt.Fprintf(&b, "\n  shard %d: input=%d output=%d dts=%d pruned=%d elapsed=%v",
@@ -199,8 +255,8 @@ func (t *QueryTrace) String() string {
 	return b.String()
 }
 
-// Clone returns a deep copy of the trace (detaching the Shards slice
-// and the planner decision).
+// Clone returns a deep copy of the trace (detaching the Shards and
+// Workers slices and the planner decision).
 func (t *QueryTrace) Clone() *QueryTrace {
 	if t == nil {
 		return nil
@@ -208,6 +264,9 @@ func (t *QueryTrace) Clone() *QueryTrace {
 	c := *t
 	if t.Shards != nil {
 		c.Shards = append([]ShardTrace(nil), t.Shards...)
+	}
+	if t.Workers != nil {
+		c.Workers = append([]WorkerTrace(nil), t.Workers...)
 	}
 	if t.Planner != nil {
 		p := *t.Planner
